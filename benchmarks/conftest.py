@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs a figure's experiment harness at a reduced scale
+(one round — the simulations are deterministic, so repetition only
+measures host noise) and asserts the paper's directional shape on the
+returned records.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,21 @@
+"""§3.4 benchmark — background-write window sweep."""
+
+from repro.experiments import ablation_bgwrite
+
+SCALE = 0.12
+
+
+def test_ablation_bgwrite(once):
+    records = once(ablation_bgwrite.run, scale=SCALE, quiet=True)
+    batch = records["_batch_s"]
+    no_bg = records["no-bg"]["makespan_s"]
+    print()
+    print(ablation_bgwrite.render(records, batch, no_bg))
+
+    # a short window near the paper's 10 % is at least as good as no
+    # background writing at all
+    assert records["bg@0.10"]["makespan_s"] <= no_bg * 1.02
+    # longer windows write strictly more pages (repeated writing, §3.4)
+    writes = [records[f"bg@{f:.2f}"]["bg_writes"]
+              for f in ablation_bgwrite.FRACTIONS]
+    assert writes == sorted(writes)

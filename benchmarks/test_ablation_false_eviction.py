@@ -1,0 +1,17 @@
+"""§3.1 benchmark — false eviction measured via refault counts."""
+
+from repro.experiments import ablation_false_eviction
+
+SCALE = 0.12
+
+
+def test_ablation_false_eviction(once):
+    records = once(ablation_false_eviction.run, scale=SCALE, quiet=True)
+    print()
+    print(ablation_false_eviction.render(records))
+
+    # selective page-out slashes refaults (the §3.1 false evictions)
+    assert records["so"]["refaults"] < 0.6 * records["lru"]["refaults"]
+    # and with fewer false evictions, less is swapped in overall
+    assert (records["so"]["pages_swapped_in"]
+            < records["lru"]["pages_swapped_in"])

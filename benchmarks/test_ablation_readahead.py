@@ -1,0 +1,20 @@
+"""§3.3 benchmark — read-ahead boosting vs adaptive page-in."""
+
+from repro.experiments import ablation_readahead
+
+SCALE = 0.12
+
+
+def test_ablation_readahead(once):
+    records = once(ablation_readahead.run, scale=SCALE, quiet=True)
+    batch = records["_batch_s"]
+    print()
+    print(ablation_readahead.render(records, batch))
+
+    # adaptive page-in beats the kernel-default read-ahead baseline
+    assert (records["ai (ra16)"]["makespan_s"]
+            < records["lru+ra16"]["makespan_s"])
+    # and is at least competitive with even a 256-page boost, without
+    # reading pages that "may not be useful at all" (§3.3)
+    assert (records["ai (ra16)"]["makespan_s"]
+            <= records["lru+ra256"]["makespan_s"] * 1.1)

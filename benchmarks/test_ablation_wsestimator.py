@@ -1,0 +1,21 @@
+"""§3.2/§3.5 benchmark — working-set estimator vs oracle vs none."""
+
+from repro.experiments import ablation_wsestimator
+
+SCALE = 0.12
+
+
+def test_ablation_wsestimator(once):
+    records = once(ablation_wsestimator.run, scale=SCALE, quiet=True)
+    print()
+    print(ablation_wsestimator.render(records))
+
+    est = records["estimator"]
+    oracle = records["oracle"]
+    whole = records["whole-memory"]
+    # the previous-quantum estimator is as good as perfect information
+    assert est["makespan_s"] <= oracle["makespan_s"] * 1.03
+    # blind whole-memory eviction writes strictly more pages (§3.2's
+    # "too many page-outs") and is no faster
+    assert whole["pages_written"] > est["pages_written"]
+    assert whole["makespan_s"] >= est["makespan_s"] * 0.99

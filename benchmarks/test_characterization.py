@@ -1,0 +1,21 @@
+"""Benchmark — workload properties predict the adaptive win."""
+
+from repro.experiments import extension_characterization
+
+SCALE = 0.08
+
+
+def test_extension_characterization(once):
+    records = once(extension_characterization.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_characterization.render(records))
+
+    c = records["_correlations"]
+    # the §4.1 narrative, quantified: memory overcommit predicts both
+    # the baseline's pain and the adaptive win (strong rank correlation)
+    assert c["overcommit_vs_overhead"] > 0.7
+    assert c["overcommit_vs_reduction"] > 0.7
+    # MG (heaviest overcommit) tops the reduction ranking
+    benches = [b for b in records if not b.startswith("_")]
+    top = max(benches, key=lambda b: records[b]["reduction"])
+    assert top == "MG"

@@ -1,0 +1,53 @@
+"""Benchmarks for the extension experiments (paper §5/§6 follow-ups)."""
+
+from repro.experiments import (
+    extension_policies,
+    extension_quantum,
+    extension_scaling,
+)
+
+SCALE = 0.08
+
+
+def test_extension_quantum_sweep(once):
+    records = once(extension_quantum.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_quantum.render(records))
+
+    quanta = sorted(k for k in records if not isinstance(k, str))
+    # overhead decreases monotonically with quantum length for lru
+    lru_oh = [records[q]["lru"]["overhead"] for q in quanta]
+    assert all(a >= b - 0.02 for a, b in zip(lru_oh, lru_oh[1:]))
+    # the adaptive policy achieves the paper's §6 promise: a smaller
+    # quantum within the same overhead budget
+    q_lru = extension_quantum.smallest_quantum_within_budget(records, "lru")
+    q_full = extension_quantum.smallest_quantum_within_budget(
+        records, "so/ao/ai/bg"
+    )
+    assert q_full is not None
+    assert q_lru is None or q_full <= q_lru
+
+
+def test_extension_policy_baselines(once):
+    records = once(extension_policies.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_policies.render(records))
+
+    for name, r in records.items():
+        # adaptive paging helps no matter which baseline the kernel uses
+        assert r["adaptive_s"] <= r["lru_s"], name
+        assert r["reduction"] > 0.3, name
+
+
+def test_extension_node_scaling(once):
+    records = once(extension_scaling.run, scale=SCALE, quiet=True,
+                   node_counts=(2, 4, 8))
+    print()
+    print(extension_scaling.render(records))
+
+    # per-node footprint shrinks with node count, so LRU overhead falls
+    assert (records[2]["overhead_lru"]
+            >= records[4]["overhead_lru"]
+            >= records[8]["overhead_lru"] - 0.02)
+    # where paging exists, adaptive wins
+    assert records[2]["reduction"] > 0.4

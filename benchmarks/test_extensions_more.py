@@ -1,0 +1,55 @@
+"""Benchmarks for the matrix, admission and disk-scheduling extensions."""
+
+from repro.experiments import (
+    extension_admission,
+    extension_diskched,
+    extension_matrix,
+)
+
+SCALE = 0.06
+
+
+def test_extension_matrix(once):
+    records = once(extension_matrix.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_matrix.render(records))
+
+    lru = records["lru"]
+    full = records["so/ao/ai/bg"]
+    # adaptive paging wins on the mixed matrix workload too
+    assert full["makespan_s"] <= lru["makespan_s"]
+    assert full["mean_completion_s"] <= lru["mean_completion_s"] * 1.02
+    # and moves fewer pages doing it
+    assert full["pages_read"] <= lru["pages_read"]
+
+
+def test_extension_admission(once):
+    records = once(extension_admission.run, scale=0.1, quiet=True)
+    print()
+    print(extension_admission.render(records))
+
+    ac = records["admission (fits-only)"]
+    lru = records["gang overcommit, lru"]
+    full = records["gang overcommit, adaptive"]
+    # ref. [15]'s trade-off: admission avoids paging entirely ...
+    assert ac["pages_read"] == 0
+    # ... but delays the short jobs relative to adaptive time-sharing
+    assert (full["completions"]["short1"]
+            < ac["completions"]["short1"])
+    # and the adaptive stack beats overcommitted LRU on makespan
+    assert full["makespan_s"] <= lru["makespan_s"] * 1.02
+
+
+def test_extension_diskched(once):
+    records = once(extension_diskched.run, scale=0.1, quiet=True)
+    print()
+    print(extension_diskched.render(records))
+
+    # the elevator alone cannot substitute for adaptive paging: under
+    # every discipline the adaptive run dominates the lru run
+    for disc, r in records.items():
+        assert (r["so/ao/ai/bg"]["makespan_s"]
+                <= r["lru"]["makespan_s"]), disc
+    # and the disciplines barely differ (queue depth ~1)
+    lru_spans = [r["lru"]["makespan_s"] for r in records.values()]
+    assert max(lru_spans) <= min(lru_spans) * 1.05

@@ -1,0 +1,20 @@
+"""Figure 1 benchmark — measured paging compaction (reduced scale)."""
+
+from repro.experiments import fig1_compaction
+
+SCALE = 0.12
+
+
+def test_fig1_compaction(once):
+    records = once(fig1_compaction.run, scale=SCALE, quiet=True)
+    print()
+    print(fig1_compaction.render(records))
+
+    lru = records["lru"]
+    full = records["so/ao/ai/bg"]
+    # paging concentrates at the start of the quantum...
+    assert full["compaction"] > lru["compaction"] + 0.2
+    # ...with page-in/page-out interleaving eliminated...
+    assert full["interleave"] < lru["interleave"]
+    # ...in far fewer disk transactions
+    assert full["transfers"] < lru["transfers"]

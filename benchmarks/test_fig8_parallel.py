@@ -1,0 +1,30 @@
+"""Figure 8 benchmark — parallel NPB on 2 and 4 nodes (reduced scale).
+
+Asserts the paper's qualitative results: adaptive paging wins wherever
+paging occurs, and the CG-on-4-nodes crossover (footprint shrinks below
+memory, so there is nothing to win) shows ~zero reduction.
+"""
+
+from repro.experiments import fig8_parallel
+
+SCALE = 0.08
+
+
+def test_fig8_parallel(once):
+    records = once(fig8_parallel.run, scale=SCALE, quiet=True)
+    print()
+    print(fig8_parallel.render(records))
+
+    for (bench, n), r in records.items():
+        # where there is nothing to win (CG@4 pages barely at all) the
+        # adaptive run may carry a little prefetch cost
+        slack = 1.06 if r["overhead_lru"] < 0.05 else 1.02
+        assert r["adaptive_s"] <= r["lru_s"] * slack, (bench, n)
+
+    # the paper's crossover: CG at 4 nodes no longer pages
+    assert records[("CG", 4)]["overhead_lru"] < 0.05
+    assert abs(records[("CG", 4)]["reduction"]) < 0.35
+
+    # where memory is stressed, the reduction is substantial
+    for key in (("LU", 2), ("IS", 2), ("LU", 4)):
+        assert records[key]["reduction"] > 0.3, key

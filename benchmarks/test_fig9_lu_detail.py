@@ -1,0 +1,28 @@
+"""Figure 9 benchmark — LU across all six policy combinations.
+
+Asserts the §4.3 observations: ``ai`` and ``so`` are individually
+strong; the full combination is at least as good as plain LRU in every
+configuration and achieves a large reduction.
+"""
+
+from repro.experiments import fig9_lu_detail
+
+SCALE = 0.08
+
+
+def test_fig9_lu_detail(once):
+    records = once(fig9_lu_detail.run, scale=SCALE, quiet=True)
+    print()
+    print(fig9_lu_detail.render(records))
+
+    for label, per in records.items():
+        lru = per["lru"]["makespan_s"]
+        # every adaptive combination at worst matches the original
+        for pol in fig9_lu_detail.ADAPTIVE_POLICIES:
+            assert per[pol]["makespan_s"] <= lru * 1.05, (label, pol)
+        # ai and so are individually effective (paper: > 65 %; allow
+        # slack at reduced scale)
+        assert per["ai"]["reduction"] > 0.25, label
+        assert per["so"]["reduction"] > 0.25, label
+        # the full combination achieves a strong reduction
+        assert per["so/ao/ai/bg"]["reduction"] > 0.4, label

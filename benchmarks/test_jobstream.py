@@ -1,0 +1,21 @@
+"""Benchmark — open-system job stream (slowdown under arrivals)."""
+
+from repro.experiments import extension_jobstream
+
+SCALE = 0.08
+
+
+def test_extension_jobstream(once):
+    records = once(extension_jobstream.run, scale=SCALE, quiet=True,
+                   njobs=10)
+    print()
+    print(extension_jobstream.render(records))
+
+    lru = records["lru"]
+    full = records["so/ao/ai/bg"]
+    # slowdowns are well-formed
+    assert all(s >= 1.0 for s in lru["slowdowns"])
+    # adaptive paging never worsens the open-system metrics
+    assert full["mean_slowdown"] <= lru["mean_slowdown"] * 1.02
+    assert full["p95_slowdown"] <= lru["p95_slowdown"] * 1.05
+    assert full["makespan_s"] <= lru["makespan_s"] * 1.02

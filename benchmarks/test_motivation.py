@@ -1,0 +1,16 @@
+"""§1 motivation benchmark — Moreira et al. memory-size slowdown."""
+
+from repro.experiments import motivation_moreira
+
+SCALE = 0.25
+
+
+def test_motivation_moreira(once):
+    record = once(motivation_moreira.run, scale=SCALE, quiet=True)
+    print()
+    print(motivation_moreira.render(record))
+
+    # the paper's reference reports a 3.5x average slowdown; assert the
+    # direction and a same-order magnitude
+    assert record["slowdown_ratio"] > 1.5
+    assert record["slowdown_ratio"] < 12.0

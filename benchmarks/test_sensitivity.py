@@ -1,0 +1,31 @@
+"""Benchmark — sensitivity of the headline result to modelling choices."""
+
+from repro.experiments import sensitivity
+
+SCALE = 0.08
+
+
+def test_sensitivity(once):
+    records = once(sensitivity.run, scale=SCALE, quiet=True)
+    print()
+    print(sensitivity.render(records))
+
+    for axis, points in records.items():
+        for label, r in points.items():
+            if r["overhead_lru"] > 0.05:
+                # wherever paging matters, the conclusion holds
+                assert r["reduction"] > 0.3, (axis, label)
+            else:
+                # little paging to begin with: the adaptive stack must
+                # at least not make things materially worse
+                assert r["reduction"] > -0.5, (axis, label)
+
+    # directionality along the axes
+    mem = records["memory"]
+    assert (mem["300 MB"]["overhead_lru"]
+            >= mem["350 MB (paper)"]["overhead_lru"]
+            >= mem["420 MB"]["overhead_lru"])
+    q = records["quantum"]
+    assert (q["150 s"]["overhead_lru"]
+            >= q["300 s (paper)"]["overhead_lru"]
+            >= q["600 s"]["overhead_lru"])

@@ -1,0 +1,37 @@
+"""Benchmarks — topology extension and the disk calibration grid."""
+
+from repro.experiments import calibration, extension_topology
+
+SCALE = 0.06
+
+
+def test_extension_topology(once):
+    records = once(extension_topology.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_topology.render(records))
+
+    flat = records["flat switch"]
+    racked = records["2 racks (4+4)"]
+    # the cross-rack uplink measurably raises pure wire cost ...
+    assert (racked["lru"]["wire_sync_s"]
+            > flat["lru"]["wire_sync_s"])
+    # ... but straggler (paging) sync dwarfs it, so overheads tie
+    for r in (flat, racked):
+        assert r["lru"]["mean_rank_sync_s"] > 10 * r["lru"]["wire_sync_s"]
+    assert abs(flat["lru"]["overhead"] - racked["lru"]["overhead"]) < 0.05
+    # adaptive paging wins under either topology
+    for r in (flat, racked):
+        assert r["so/ao/ai/bg"]["overhead"] <= r["lru"]["overhead"]
+
+
+def test_calibration_grid(once):
+    records = once(calibration.run, scale=SCALE, quiet=True)
+    print()
+    print(calibration.render(records))
+
+    for (seek, xfer), r in records.items():
+        # adaptive wins at every grid point
+        assert r["reduction"] > 0.3, (seek, xfer)
+    # slower transfer -> higher adaptive floor -> lower reduction
+    assert (records[(0.012, 6e6)]["reduction"]
+            < records[(0.012, 10e6)]["reduction"])

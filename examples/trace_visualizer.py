@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Render paging-activity traces (the paper's Figure 6) in the terminal.
+
+Runs two gang-scheduled instances of an NPB workload under a ladder of
+policy combinations and draws per-policy page-in / page-out time series
+as block characters, with switch markers.
+
+Examples:
+    python examples/trace_visualizer.py
+    python examples/trace_visualizer.py --bench MG --klass B --scale 0.15
+    python examples/trace_visualizer.py --policies lru so/ao/ai/bg
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import GangConfig, run_experiment
+from repro.metrics import ascii_series
+from repro.workloads import NPB_BENCHMARKS
+
+# --memory uses the periodic sampler to show free-frame pressure; the
+# runner builds its own Environment, so we hook node construction.
+from repro.cluster.node import Node as _Node
+from repro.sim.monitor import PeriodicSampler
+
+
+def switch_ruler(series_t: np.ndarray, switches, width: int) -> str:
+    """A line marking coordinated switch times with '^'."""
+    if series_t.size == 0:
+        return ""
+    horizon = series_t[-1] + (series_t[1] - series_t[0] if series_t.size > 1
+                              else 1.0)
+    cells = [" "] * width
+    for rec in switches:
+        if rec.started_at >= horizon:
+            continue
+        idx = min(width - 1, int(rec.started_at / horizon * width))
+        cells[idx] = "^"
+    return "  switches  |" + "".join(cells) + "|"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="LU",
+                        choices=sorted(NPB_BENCHMARKS))
+    parser.add_argument("--klass", default="B", choices=["A", "B", "C"])
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--policies", nargs="+",
+                        default=["lru", "so", "so/ao", "so/ao/ai/bg"])
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--width", type=int, default=76)
+    parser.add_argument("--memory", action="store_true",
+                        help="also plot free frames on node0 over time")
+    args = parser.parse_args()
+
+    print(f"{args.bench}.{args.klass} x2 on {args.nodes} node(s), "
+          f"scale {args.scale} — paging on node0 over the full run\n")
+
+    for pol in args.policies:
+        cfg = GangConfig(
+            args.bench, args.klass, nprocs=args.nodes, policy=pol,
+            seed=args.seed, scale=args.scale,
+        )
+        samplers = []
+        if args.memory:
+            orig_init = _Node.__init__
+
+            def spying_init(self, env, name, memory, *a, **kw):
+                orig_init(self, env, name, memory, *a, **kw)
+                if name == "node0":
+                    samplers.append(
+                        PeriodicSampler(env, lambda v=self.vmm: v.frames.free,
+                                        interval_s=max(0.5, 5 * args.scale))
+                    )
+
+            _Node.__init__ = spying_init
+            try:
+                res = run_experiment(cfg)
+            finally:
+                _Node.__init__ = orig_init
+        else:
+            res = run_experiment(cfg)
+        series = res.collector.paging_series(
+            bin_s=max(0.5, 5.0 * args.scale), node="node0",
+            t_end=res.makespan,
+        )
+        vmax = max(series["read"].max(), series["write"].max(), 1.0)
+        print(f"--- {pol}   (makespan {res.makespan:.0f}s, "
+              f"{res.pages_read} pages in / {res.pages_written} out)")
+        print(ascii_series(series["read"], width=args.width,
+                           label=" page-in"))
+        print(ascii_series(series["write"], width=args.width,
+                           label=" page-out"))
+        if samplers:
+            _, free = samplers[0].series()
+            print(ascii_series(free, width=args.width, label=" free mem"))
+        print(switch_ruler(series["t"], res.collector.switches, args.width))
+        print()
+
+
+if __name__ == "__main__":
+    main()

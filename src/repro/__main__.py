@@ -1,0 +1,186 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                 show every reproducible experiment
+``run <experiment>``     run one experiment (``--scale``, ``--seed``)
+``all``                  run every experiment in sequence
+``replicate``            multi-seed stability check for one workload
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig7 --scale 0.2
+    python -m repro run fig9
+    python -m repro replicate --bench CG --klass B --seeds 1 2 3
+    python -m repro all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablation_bgwrite,
+    ablation_wsestimator,
+    calibration,
+    ablation_false_eviction,
+    ablation_readahead,
+    extension_admission,
+    extension_characterization,
+    extension_diskched,
+    extension_jobstream,
+    extension_matrix,
+    extension_policies,
+    extension_quantum,
+    extension_scaling,
+    extension_topology,
+    fig1_compaction,
+    fig6_traces,
+    fig7_serial,
+    fig8_parallel,
+    fig9_lu_detail,
+    fig_summary,
+    motivation_moreira,
+    sensitivity,
+)
+
+EXPERIMENTS = {
+    "fig1": (fig1_compaction, "Fig 1 — paging compaction, measured"),
+    "fig6": (fig6_traces, "Fig 6 — LU.C x 4 paging activity traces"),
+    "fig7": (fig7_serial, "Fig 7 — serial NPB class B"),
+    "fig8": (fig8_parallel, "Fig 8 — parallel NPB on 2 and 4 nodes"),
+    "fig9": (fig9_lu_detail, "Fig 9 — LU per-mechanism detail"),
+    "motivation": (motivation_moreira, "§1 — Moreira et al. slowdown"),
+    "bgwrite": (ablation_bgwrite, "§3.4 — background-write window sweep"),
+    "readahead": (ablation_readahead, "§3.3 — read-ahead vs adaptive page-in"),
+    "false-eviction": (ablation_false_eviction, "§3.1 — refault counting"),
+    "ws-estimator": (ablation_wsestimator,
+                     "§3.2 — working-set estimate source"),
+    "quantum": (extension_quantum, "ext — overhead vs quantum length"),
+    "policies": (extension_policies, "ext — baseline replacement policies"),
+    "scaling": (extension_scaling, "ext — 2/4/8/16-node clusters"),
+    "diskched": (extension_diskched, "ext — elevator vs adaptive paging"),
+    "admission": (extension_admission, "ext — admission control (ref. [15])"),
+    "matrix": (extension_matrix, "ext — mixed workload scheduling matrix"),
+    "jobstream": (extension_jobstream, "ext — open-system arrival stream"),
+    "sensitivity": (sensitivity, "robustness of the headline result"),
+    "summary": (fig_summary, "paper-vs-measured one-table summary"),
+    "calibration": (calibration, "disk-parameter calibration grid"),
+    "topology": (extension_topology, "ext — rack topology vs paging"),
+    "characterization": (extension_characterization,
+                         "ext — workload properties vs adaptive win"),
+}
+
+
+def cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_mod, desc) in EXPERIMENTS.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    entry = EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    module, _ = entry
+    record = module.run(scale=args.scale, seed=args.seed)
+    if args.json:
+        from repro.experiments.report_io import save_record
+
+        path = save_record(record, args.json)
+        print(f"\nrecord written to {path}")
+    return 0
+
+
+def cmd_all(args) -> int:
+    for key, (module, desc) in EXPERIMENTS.items():
+        print(f"\n##### {key} — {desc}\n")
+        module.run(scale=args.scale, seed=args.seed)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import numpy as np
+
+    from repro.workloads import make_npb
+    from repro.workloads.trace import Trace
+
+    w = make_npb(args.bench, args.klass, args.nodes)
+    if args.scale != 1.0:
+        w.footprint_pages = max(64, int(w.footprint_pages * args.scale))
+        w.cpu_it_s *= args.scale
+    trace = Trace.record(w, np.random.default_rng(args.seed))
+    trace.save(args.out)
+    print(
+        f"recorded {trace.name}: {trace.nphases} phases, "
+        f"{trace.total_pages_touched} page touches, "
+        f"{trace.total_cpu_s:.0f}s CPU -> {args.out}"
+    )
+    return 0
+
+
+def cmd_replicate(args) -> int:
+    from repro.experiments.multi_seed import render, replicate
+    from repro.experiments.runner import GangConfig
+
+    cfg = GangConfig(args.bench, args.klass, nprocs=args.nodes,
+                     scale=args.scale)
+    record = replicate(cfg, policy=args.policy, seeds=args.seeds)
+    print(render(record, label=cfg.label()))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show available experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment key (see `list`)")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--json", metavar="PATH",
+                       help="also write the structured record as JSON")
+
+    p_all = sub.add_parser("all", help="run everything")
+    p_all.add_argument("--scale", type=float, default=1.0)
+    p_all.add_argument("--seed", type=int, default=1)
+
+    p_tr = sub.add_parser("trace", help="record an NPB workload trace")
+    p_tr.add_argument("--bench", default="LU")
+    p_tr.add_argument("--klass", default="B")
+    p_tr.add_argument("--nodes", type=int, default=1)
+    p_tr.add_argument("--seed", type=int, default=1)
+    p_tr.add_argument("--scale", type=float, default=1.0)
+    p_tr.add_argument("--out", default="trace.npz")
+
+    p_rep = sub.add_parser("replicate", help="multi-seed stability check")
+    p_rep.add_argument("--bench", default="LU")
+    p_rep.add_argument("--klass", default="B")
+    p_rep.add_argument("--nodes", type=int, default=1)
+    p_rep.add_argument("--policy", default="so/ao/ai/bg")
+    p_rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    p_rep.add_argument("--scale", type=float, default=0.2)
+
+    args = parser.parse_args(argv)
+    return {
+        "list": cmd_list,
+        "run": cmd_run,
+        "all": cmd_all,
+        "trace": cmd_trace,
+        "replicate": cmd_replicate,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

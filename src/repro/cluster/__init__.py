@@ -1,0 +1,16 @@
+"""Cluster substrate: nodes, network model, MPI-style synchronisation.
+
+The paper's testbed is a small Linux cluster (1 GB nodes, 100 Mb/s
+Ethernet) running MPI NPB2 programs.  Here a :class:`Node` bundles one
+CPU's worth of execution with its own disk, VMM and adaptive-paging
+instance; :class:`Barrier` couples the ranks of a parallel job so that
+paging delay on one node stalls the whole gang — the effect that makes
+the parallel results differ from the serial ones (§4.2).
+"""
+
+from repro.cluster.mpi import Barrier
+from repro.cluster.network import NetworkParams
+from repro.cluster.node import Node
+from repro.cluster.topology import TwoLevelTopology
+
+__all__ = ["Barrier", "NetworkParams", "Node", "TwoLevelTopology"]

@@ -1,0 +1,92 @@
+"""MPI-style synchronisation primitives.
+
+Only the collective the phase model needs: a reusable :class:`Barrier`.
+All ranks of a gang-scheduled job run the same phase sequence; at a
+barrier phase each rank waits for the others, then everyone pays the
+network synchronisation cost plus the slowest rank's communication
+payload.  This is the coupling through which one node's paging delay
+stalls the entire parallel job (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.network import NetworkParams
+from repro.sim.engine import Environment, Event
+
+
+class Barrier:
+    """A reusable dissemination barrier among ``nranks`` ranks.
+
+    Each round: every rank calls :meth:`wait` once; when the last rank
+    arrives, all waiters are released after the network barrier cost
+    plus the largest per-rank payload time.  Generation counting makes
+    the barrier safely reusable round after round.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nranks: int,
+        network: Optional[NetworkParams] = None,
+        name: str = "barrier",
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.env = env
+        self.nranks = nranks
+        self.network = network or NetworkParams()
+        self.name = name
+        self._generation = 0
+        self._arrived: set[int] = set()
+        self._max_payload = 0.0
+        self._release: Event = env.event()
+        #: statistics
+        self.rounds_completed = 0
+        self.total_sync_s = 0.0
+
+    def wait(self, rank: int, payload_s: float = 0.0):
+        """Process fragment: arrive at the barrier and block until all
+        ranks of this generation have arrived (plus network cost).
+
+        ``payload_s`` models this rank's communication volume exchanged
+        at the barrier; the release is delayed by the *maximum* payload
+        across ranks (bandwidth-bound collective).
+        """
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range 0..{self.nranks - 1}")
+        if payload_s < 0:
+            raise ValueError("payload_s must be non-negative")
+        if rank in self._arrived:
+            raise RuntimeError(
+                f"rank {rank} arrived twice at {self.name} "
+                f"generation {self._generation}"
+            )
+        arrived_at = self.env.now
+        self._arrived.add(rank)
+        self._max_payload = max(self._max_payload, payload_s)
+
+        if len(self._arrived) == self.nranks:
+            delay = self.network.barrier_s(self.nranks) + self._max_payload
+            release = self._release
+            # reset for the next generation before anyone resumes
+            self._generation += 1
+            self._arrived = set()
+            self._max_payload = 0.0
+            self._release = self.env.event()
+            self.rounds_completed += 1
+            if delay > 0:
+                yield self.env.timeout(delay)
+            release.succeed(self._generation - 1)
+        else:
+            yield self._release
+        self.total_sync_s += self.env.now - arrived_at
+
+    @property
+    def waiting(self) -> int:
+        """Ranks currently blocked in the ongoing generation."""
+        return len(self._arrived)
+
+
+__all__ = ["Barrier"]

@@ -1,0 +1,48 @@
+"""A small latency model of the cluster interconnect.
+
+Defaults approximate the paper's 100 Mb/s switched Ethernet: ~100 µs
+one-way small-message latency.  A barrier among ``n`` ranks costs a
+dissemination-style ``ceil(log2 n)`` rounds of message latency; bulk
+payloads (e.g. IS's all-to-all) add transfer time at link bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Interconnect latency/bandwidth parameters."""
+
+    #: one-way small-message latency, seconds
+    latency_s: float = 100e-6
+    #: per-rank link bandwidth, bytes/second (100 Mb/s Ethernet)
+    bandwidth_bytes_s: float = 12.5e6
+    #: fixed per-collective software overhead, seconds
+    overhead_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.overhead_s < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth_bytes_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def barrier_s(self, nranks: int) -> float:
+        """Synchronisation cost of a barrier among ``nranks`` ranks."""
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return self.overhead_s + rounds * self.latency_s
+
+    def transfer_s(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` point-to-point."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_s
+
+
+__all__ = ["NetworkParams"]

@@ -1,0 +1,66 @@
+"""A compute node: CPU + memory + paging disk + adaptive paging.
+
+Matches the paper's setup: every node runs its own kernel instance
+(VMM + disk) with the adaptive-paging extension; the user-level gang
+scheduler coordinates them from outside (§3.5, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.api import AdaptivePaging
+from repro.core.policies import PagingPolicy
+from repro.disk.device import Disk, DiskParams, DiskRequest
+from repro.disk.scheduler import ScheduledDisk
+from repro.mem.params import MemoryParams
+from repro.mem.replacement import ReplacementPolicy
+from repro.mem.vmm import VirtualMemoryManager
+from repro.sim.engine import Environment
+
+
+class Node:
+    """One machine of the cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory: MemoryParams,
+        policy: PagingPolicy | str = "lru",
+        disk_params: Optional[DiskParams] = None,
+        replacement: Optional[ReplacementPolicy] = None,
+        on_disk_complete=None,
+        refault_window_s: float = 150.0,
+        disk_discipline: str = "fifo",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.disk = ScheduledDisk(
+            env, disk_params or DiskParams(), discipline=disk_discipline,
+            on_complete=on_disk_complete, name=f"{name}.disk",
+        )
+        self.vmm = VirtualMemoryManager(
+            env, memory, self.disk, policy=replacement, name=f"{name}.vmm",
+            refault_window_s=refault_window_s,
+        )
+        self.adaptive = AdaptivePaging(self.vmm, policy)
+
+    @classmethod
+    def build(
+        cls,
+        env: Environment,
+        name: str,
+        memory_mb: float,
+        policy: PagingPolicy | str = "lru",
+        **kw,
+    ) -> "Node":
+        """Convenience factory taking memory in MB (the paper's usable
+        memory after the mlock() reduction, e.g. 350)."""
+        return cls(env, name, MemoryParams.from_mb(memory_mb), policy, **kw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name}, policy={self.adaptive.policy.name})"
+
+
+__all__ = ["Node"]

@@ -1,0 +1,99 @@
+"""Hierarchical cluster topology for the network model.
+
+The flat :class:`~repro.cluster.network.NetworkParams` treats every
+rank pair alike — right for the paper's single 100 Mb/s switch.  For
+the 8/16-node future-work experiments a two-level topology (nodes in
+racks, racks behind an uplink) makes synchronisation costs grow the way
+real clusters' do: intra-rack hops are cheap, cross-rack hops pay the
+uplink latency.
+
+:class:`TwoLevelTopology` computes per-pair latencies and an effective
+barrier cost, and exposes a ``NetworkParams``-compatible interface so
+:class:`~repro.cluster.mpi.Barrier` can use it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TwoLevelTopology:
+    """Racks of nodes behind a shared uplink switch.
+
+    Ranks are assigned to racks round-robin-block: rank r lives in rack
+    ``r // rack_size``.
+    """
+
+    nranks: int
+    rack_size: int
+    #: one-way latency within a rack
+    intra_latency_s: float = 100e-6
+    #: one-way latency across the uplink (both rack switches + core)
+    inter_latency_s: float = 350e-6
+    #: per-rank link bandwidth, bytes/second
+    bandwidth_bytes_s: float = 12.5e6
+    #: fixed per-collective software overhead
+    overhead_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1 or self.rack_size < 1:
+            raise ValueError("nranks and rack_size must be >= 1")
+        if self.inter_latency_s < self.intra_latency_s:
+            raise ValueError("uplink cannot be faster than the rack")
+        if self.bandwidth_bytes_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def nracks(self) -> int:
+        return math.ceil(self.nranks / self.rack_size)
+
+    def rack_of(self, rank: int) -> int:
+        """The rack index hosting ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.rack_size
+
+    def pair_latency_s(self, a: int, b: int) -> float:
+        """One-way latency between two ranks."""
+        if a == b:
+            return 0.0
+        if self.rack_of(a) == self.rack_of(b):
+            return self.intra_latency_s
+        return self.inter_latency_s
+
+    # -- NetworkParams-compatible interface ------------------------------------
+    def barrier_s(self, nranks: int) -> float:
+        """Dissemination barrier over the topology.
+
+        ``ceil(log2 n)`` rounds; a round's cost is the worst link it
+        uses.  With the standard power-of-two partner pattern, rounds
+        whose stride stays inside a rack pay intra-rack latency and the
+        rest pay the uplink.
+        """
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        total = self.overhead_s
+        for k in range(rounds):
+            stride = 1 << k
+            # a round crosses racks as soon as any partner pair does;
+            # with block placement that is exactly stride >= rack_size
+            crosses = stride >= self.rack_size and self.nracks > 1
+            total += self.inter_latency_s if crosses else self.intra_latency_s
+        return total
+
+    def transfer_s(self, nbytes: float) -> float:
+        """Worst-case point-to-point transfer (via the uplink)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        lat = self.inter_latency_s if self.nracks > 1 \
+            else self.intra_latency_s
+        return lat + nbytes / self.bandwidth_bytes_s
+
+
+__all__ = ["TwoLevelTopology"]

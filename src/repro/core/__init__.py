@@ -1,0 +1,36 @@
+"""Adaptive paging — the paper's contribution (§3).
+
+Four mechanisms exploiting gang-schedule knowledge (which process is
+incoming, which is outgoing, and the incoming working-set size):
+
+* :mod:`repro.core.selective`  — selective page-out (§3.1, Fig. 2)
+* :mod:`repro.core.aggressive` — aggressive page-out (§3.2, Fig. 3)
+* :mod:`repro.core.recorder`   — adaptive page-in's page-record lists
+  (§3.3, Fig. 4)
+* :mod:`repro.core.background` — background writing of dirty pages (§3.4)
+
+:class:`repro.core.api.AdaptivePaging` is the user↔kernel interface of
+§3.5: ``adaptive_page_out()``, ``adaptive_page_in()``,
+``start_bgwrite()`` and ``stop_bgwrite()``, bound to one node's VMM.
+:class:`PagingPolicy` names the mechanism combinations the paper
+evaluates (``lru``, ``ai``, ``so``, ``so/ao``, ``so/ao/bg``,
+``so/ao/ai/bg``).
+"""
+
+from repro.core.aggressive import AggressivePageOut
+from repro.core.api import AdaptivePaging
+from repro.core.background import BackgroundWriter
+from repro.core.policies import PAPER_POLICIES, PagingPolicy
+from repro.core.recorder import PageRecorder, PageRun
+from repro.core.selective import SelectivePageOut
+
+__all__ = [
+    "AdaptivePaging",
+    "AggressivePageOut",
+    "BackgroundWriter",
+    "PAPER_POLICIES",
+    "PageRecorder",
+    "PageRun",
+    "PagingPolicy",
+    "SelectivePageOut",
+]

@@ -1,0 +1,187 @@
+"""The adaptive-paging API of §3.5.
+
+One :class:`AdaptivePaging` instance binds a policy combination to one
+node's VMM and exposes the four entry points the paper's user-level
+gang scheduler invokes through ``/dev/kmem``:
+
+* ``adaptive_page_out(in_pid, out_pid, ws_size)``
+* ``adaptive_page_in(in_pid, out_pid, ws_size)``
+* ``start_bgwrite(in_pid)``
+* ``stop_bgwrite()``
+
+plus scheduling notifications (``notify_scheduled`` /
+``notify_descheduled``) that stand in for the kernel observing context
+switches, feeding the working-set estimator and gating the page
+recorder to non-running processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.aggressive import AggressivePageOut
+from repro.core.background import BackgroundWriter
+from repro.core.policies import PagingPolicy
+from repro.core.recorder import PageRecorder
+from repro.core.selective import SelectivePageOut
+from repro.mem.readahead import plan_block_reads
+from repro.mem.vmm import VirtualMemoryManager
+from repro.mem.working_set import WorkingSetEstimator
+
+
+class AdaptivePaging:
+    """Kernel-side adaptive paging bound to one node's VMM.
+
+    Parameters
+    ----------
+    vmm:
+        The node's virtual memory manager.  Hook points
+        (``victim_selector``, ``on_flush``) are installed according to
+        the policy flags.
+    policy:
+        Which mechanisms are active (a :class:`PagingPolicy` or the
+        paper's string notation).
+    """
+
+    def __init__(
+        self,
+        vmm: VirtualMemoryManager,
+        policy: PagingPolicy | str = "lru",
+        ws_estimator: Optional[WorkingSetEstimator] = None,
+    ) -> None:
+        if isinstance(policy, str):
+            policy = PagingPolicy.parse(policy)
+        self.vmm = vmm
+        self.policy = policy
+        self.ws = ws_estimator or WorkingSetEstimator()
+        self._running: set[int] = set()
+
+        self.selective: Optional[SelectivePageOut] = None
+        self.aggressive: Optional[AggressivePageOut] = None
+        self.recorder: Optional[PageRecorder] = None
+        self.bgwriter: Optional[BackgroundWriter] = None
+
+        if policy.so:
+            self.selective = SelectivePageOut(fallback=vmm.policy)
+            vmm.victim_selector = self.selective
+        if policy.ao:
+            self.aggressive = AggressivePageOut(vmm, policy.ao_batch)
+        if policy.ai:
+            self.recorder = PageRecorder()
+            vmm.on_flush = self._on_flush
+        if policy.bg:
+            self.bgwriter = BackgroundWriter(
+                vmm, policy.bg_batch, policy.bg_poll_s
+            )
+
+    # ------------------------------------------------------------------
+    # scheduling notifications
+    # ------------------------------------------------------------------
+    def notify_scheduled(self, pid: int) -> None:
+        """The gang scheduler resumed ``pid`` on this node."""
+        self._running.add(pid)
+        self.ws.begin_quantum(pid, self.vmm.env.now)
+
+    def notify_descheduled(self, pid: int) -> None:
+        """The gang scheduler stopped ``pid`` on this node."""
+        self._running.discard(pid)
+        table = self.vmm.tables.get(pid)
+        if table is not None:
+            self.ws.end_quantum(pid, table, self.vmm.env.now)
+
+    def working_set_estimate(self, pid: int) -> int:
+        """Working-set size estimate in pages (§3.2's kernel estimate)."""
+        return self.ws.estimate(pid, self.vmm.tables.get(pid))
+
+    # ------------------------------------------------------------------
+    # the §3.5 API
+    # ------------------------------------------------------------------
+    def adaptive_page_out(self, in_pid: int, out_pid: int,
+                          ws_pages: Optional[int] = None):
+        """Process fragment: run the page-out side of a job switch.
+
+        With ``so`` active, installs the outgoing process as the
+        preferred victim for the whole coming quantum; with ``ao``
+        active, immediately evicts the outgoing process in blocks until
+        the incoming working set fits.
+        """
+        if in_pid == out_pid:
+            return
+        if self.selective is not None:
+            self.selective.set_outgoing(out_pid)
+        if self.aggressive is not None:
+            if ws_pages is None:
+                ws_pages = self.working_set_estimate(in_pid)
+            target = self.aggressive.target_for(ws_pages)
+            yield from self.aggressive.run(out_pid, target)
+
+    def adaptive_page_in(self, in_pid: int, out_pid: int,
+                         ws_pages: Optional[int] = None):
+        """Process fragment: run the page-in side of a job switch.
+
+        With ``ai`` active, replays the recorded flush list of the
+        incoming process as induced faults, batched into large
+        slot-ordered block reads.
+        """
+        if self.recorder is None:
+            return
+        recorded = self.recorder.take(in_pid)
+        if recorded.size == 0:
+            return
+        table = self.vmm.tables.get(in_pid)
+        if table is None:
+            return
+        if ws_pages is None:
+            ws_pages = self.working_set_estimate(in_pid)
+        # Cap the prefetch at what memory can hold alongside the pages
+        # the process already has resident (and at the working set if
+        # we have an estimate): §3.3 aims to "make the entire working
+        # set of the process available", not to thrash.
+        resident = table.resident_pages()
+        cap = (self.vmm.params.total_frames
+               - self.vmm.params.freepages_high - resident.size)
+        if ws_pages and ws_pages > 0:
+            cap = min(cap, ws_pages)
+        if cap <= 0:
+            return
+        if recorded.size > cap:
+            recorded = recorded[:cap]
+        groups = plan_block_reads(table, recorded, self.policy.ai_batch)
+        # The induced faults must not cannibalise the incoming process's
+        # own residual working set: the kernel reclaims from the
+        # outgoing (still-largest) process while servicing them, so pin
+        # the incoming process's pages for the duration of the replay.
+        entry = (in_pid, np.concatenate([resident, recorded]))
+        self.vmm._active_demands.append(entry)
+        try:
+            yield from self.vmm.swap_in_block(in_pid, groups)
+        finally:
+            self.vmm._remove_demand(entry)
+
+    def start_bgwrite(self, in_pid: int) -> None:
+        """Activate background dirty-page writing for ``in_pid``."""
+        if self.bgwriter is not None and not self.bgwriter.active:
+            self.bgwriter.start(in_pid)
+
+    def stop_bgwrite(self) -> None:
+        """Deactivate background writing (idempotent)."""
+        if self.bgwriter is not None:
+            self.bgwriter.stop()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _on_flush(self, pid: int, pages: np.ndarray) -> None:
+        # Intra-job paging of the running process is left to the
+        # original policy (§2); only flushes of stopped processes are
+        # recorded for later adaptive page-in.
+        if pid not in self._running:
+            self.recorder.record(pid, pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AdaptivePaging(policy={self.policy.name}, vmm={self.vmm.name})"
+
+
+__all__ = ["AdaptivePaging"]

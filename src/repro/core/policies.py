@@ -1,0 +1,105 @@
+"""Policy combinations and their string notation.
+
+The paper names combinations with slash-separated mechanism ids:
+``so/ao/ai/bg`` etc. (§4).  :class:`PagingPolicy` parses and renders
+that notation and carries the per-mechanism tuning knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+_MECHANISMS = ("so", "ao", "ai", "bg")
+
+
+@dataclass(frozen=True)
+class PagingPolicy:
+    """Which adaptive mechanisms are active, plus their tunables.
+
+    ``lru`` (all flags off) is the unmodified baseline.
+    """
+
+    #: selective page-out (§3.1)
+    so: bool = False
+    #: aggressive page-out at switch time (§3.2)
+    ao: bool = False
+    #: adaptive page-in of recorded flush lists (§3.3)
+    ai: bool = False
+    #: background writing of dirty pages (§3.4)
+    bg: bool = False
+
+    #: pages per aggressive page-out write burst
+    ao_batch: int = 256
+    #: pages per adaptive page-in read burst
+    ai_batch: int = 256
+    #: pages per background-writer burst
+    bg_batch: int = 64
+    #: fraction of the quantum during which the background writer runs
+    #: (the paper finds the last 10 % works best, §3.4)
+    bg_fraction: float = 0.1
+    #: background writer poll interval when no dirty pages are found
+    bg_poll_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.ao_batch, self.ai_batch, self.bg_batch) <= 0:
+            raise ValueError("batch sizes must be positive")
+        if not 0.0 <= self.bg_fraction <= 1.0:
+            raise ValueError("bg_fraction must be within [0, 1]")
+        if self.bg_poll_s <= 0:
+            raise ValueError("bg_poll_s must be positive")
+
+    # -- notation ----------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, **tunables) -> "PagingPolicy":
+        """Parse the paper's notation: ``"lru"``, ``"so/ao/ai/bg"``, ...
+
+        Mechanism order in the string is irrelevant; unknown ids raise.
+        """
+        spec = spec.strip().lower()
+        if spec in ("lru", "original", "none", ""):
+            return cls(**tunables)
+        flags = {}
+        for token in spec.split("/"):
+            token = token.strip()
+            if token not in _MECHANISMS:
+                raise ValueError(
+                    f"unknown mechanism {token!r}; expected one of "
+                    f"{_MECHANISMS} or 'lru'"
+                )
+            if token in flags:
+                raise ValueError(f"mechanism {token!r} repeated in {spec!r}")
+            flags[token] = True
+        return cls(**flags, **tunables)
+
+    @property
+    def name(self) -> str:
+        """Canonical string form (``lru`` when nothing is enabled)."""
+        on = [m for m in _MECHANISMS if getattr(self, m)]
+        return "/".join(on) if on else "lru"
+
+    @property
+    def is_baseline(self) -> bool:
+        return not (self.so or self.ao or self.ai or self.bg)
+
+    def with_tunables(self, **kw) -> "PagingPolicy":
+        """Copy with changed tuning knobs."""
+        return replace(self, **kw)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The six combinations evaluated in the paper's Figure 9 (the five
+#: adaptive ones of §4 plus the unmodified baseline).
+PAPER_POLICIES = (
+    "lru",
+    "ai",
+    "so",
+    "so/ao",
+    "so/ao/bg",
+    "so/ao/ai/bg",
+)
+
+
+__all__ = ["PAPER_POLICIES", "PagingPolicy"]

@@ -1,0 +1,90 @@
+"""Page-record lists for adaptive page-in (§3.3, Fig. 4).
+
+As pages are flushed out at a job switch, the kernel records, per
+process, the flushed addresses compressed as ``(base, offset)`` runs —
+"our page recording module records just the offset as the number of
+contiguous pages from a given page address, thereby saving [a]
+substantial amount of kernel memory" (§3.3).  When the process is
+rescheduled, the recorded list is replayed as induced faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PageRun:
+    """A maximal run of contiguous flushed pages: ``base .. base+count-1``."""
+
+    base: int
+    count: int
+
+    def pages(self) -> np.ndarray:
+        """Expand the run into its page numbers."""
+        return np.arange(self.base, self.base + self.count, dtype=np.int64)
+
+
+def compress_runs(pages: np.ndarray) -> list[PageRun]:
+    """Compress sorted-or-not page numbers into maximal contiguous runs.
+
+    Input order within the array is not meaningful for a single flush
+    batch (the batch is written as one I/O); runs are emitted in
+    ascending base order.
+    """
+    arr = np.unique(np.asarray(pages, dtype=np.int64))
+    if arr.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(arr) != 1) + 1
+    return [
+        PageRun(int(run[0]), int(run.size))
+        for run in np.split(arr, breaks)
+    ]
+
+
+class PageRecorder:
+    """Per-process flush records, in flush order.
+
+    The recorder is an ``on_flush`` observer for the VMM: every eviction
+    batch of a *non-running* process is appended as compressed runs.
+    ``take()`` hands the recorded pages (flush order preserved at batch
+    granularity) to the adaptive page-in path and clears the record.
+    """
+
+    def __init__(self) -> None:
+        self._runs: dict[int, list[PageRun]] = {}
+
+    def record(self, pid: int, pages: np.ndarray) -> None:
+        """Append one flush batch for ``pid``."""
+        if pages.size == 0:
+            return
+        self._runs.setdefault(pid, []).extend(compress_runs(pages))
+
+    def take(self, pid: int) -> np.ndarray:
+        """Return and clear the recorded pages for ``pid`` (flush order)."""
+        runs = self._runs.pop(pid, [])
+        if not runs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([r.pages() for r in runs])
+
+    def peek(self, pid: int) -> list[PageRun]:
+        """The current runs for ``pid`` without clearing them."""
+        return list(self._runs.get(pid, []))
+
+    def clear(self, pid: int) -> None:
+        """Drop records for ``pid`` (e.g. on process exit)."""
+        self._runs.pop(pid, None)
+
+    def recorded_pages(self, pid: int) -> int:
+        """Total pages currently recorded for ``pid``."""
+        return sum(r.count for r in self._runs.get(pid, []))
+
+    def record_entries(self, pid: int) -> int:
+        """Number of (base, offset) records — the §3.3 kernel-memory
+        footprint of the mechanism."""
+        return len(self._runs.get(pid, []))
+
+
+__all__ = ["PageRecorder", "PageRun", "compress_runs"]

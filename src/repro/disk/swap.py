@@ -1,0 +1,214 @@
+"""Swap-space slot allocator.
+
+Swap space is an array of page-sized *slots*.  The allocator hands out
+runs of slots and tries hard to keep each allocation contiguous, because
+the disk's service model (see :mod:`repro.disk.device`) charges one seek
+per discontiguous run.  Whether a page-out lands in contiguous slots is
+exactly what distinguishes the paper's block-style aggressive page-out
+from LRU's one-page-at-a-time evictions.
+
+The allocator keeps free space as a set of maximal runs, stored in two
+parallel structures: a ``start -> length`` dict and a sorted list of
+starts for bisection.  Frees coalesce with both neighbours.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable
+
+import numpy as np
+
+
+class SwapFullError(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+class SwapAllocator:
+    """Allocate and free runs of swap slots.
+
+    Parameters
+    ----------
+    num_slots:
+        Total size of the swap area, in pages.
+
+    strategy:
+        How a hosting run is chosen when several could satisfy a
+        request: ``"first-fit"`` (lowest start; the Linux swap-map
+        behaviour and the default), ``"best-fit"`` (smallest run that
+        fits, minimising leftover holes) or ``"next-fit"`` (first fit
+        after the previous allocation, spreading wear).
+
+    Notes
+    -----
+    * If no single run is large enough the allocation is split over
+      several runs (largest-first), mirroring how a real swap area
+      fragments.
+    * All returned slot arrays are ``int64`` numpy arrays.
+    """
+
+    STRATEGIES = ("first-fit", "best-fit", "next-fit")
+
+    def __init__(self, num_slots: int, strategy: str = "first-fit") -> None:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected {self.STRATEGIES}"
+            )
+        self.num_slots = int(num_slots)
+        self.strategy = strategy
+        self._free_runs: dict[int, int] = {0: self.num_slots}
+        self._starts: list[int] = [0]
+        self._free_count = self.num_slots
+        self._next_hint = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        """Number of free slots."""
+        return self._free_count
+
+    @property
+    def used_slots(self) -> int:
+        """Number of allocated slots."""
+        return self.num_slots - self._free_count
+
+    def free_runs(self) -> list[tuple[int, int]]:
+        """Current maximal free runs as ``(start, length)`` pairs."""
+        return sorted(self._free_runs.items())
+
+    def largest_free_run(self) -> int:
+        """Length of the largest free run (0 if swap is full)."""
+        return max(self._free_runs.values(), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_run/free_count: 0 when free space is one run."""
+        if self._free_count == 0:
+            return 0.0
+        return 1.0 - self.largest_free_run() / self._free_count
+
+    # -- allocation --------------------------------------------------------
+    def allocate(self, n: int) -> np.ndarray:
+        """Allocate ``n`` slots, as contiguously as possible.
+
+        Returns the allocated slot ids in ascending order per run,
+        concatenated run by run.  Raises :class:`SwapFullError` if fewer
+        than ``n`` slots are free.
+        """
+        if n <= 0:
+            raise ValueError(f"allocation size must be positive, got {n}")
+        if n > self._free_count:
+            raise SwapFullError(
+                f"requested {n} slots but only {self._free_count} free"
+            )
+
+        start = self._choose_run(n)
+        if start is not None:
+            self._take(start, n)
+            self._next_hint = start + n
+            return np.arange(start, start + n, dtype=np.int64)
+
+        # No single run is big enough: consume runs largest-first.
+        pieces: list[np.ndarray] = []
+        remaining = n
+        while remaining > 0:
+            start = max(self._free_runs, key=self._free_runs.__getitem__)
+            length = self._free_runs[start]
+            take = min(length, remaining)
+            self._take(start, take)
+            pieces.append(np.arange(start, start + take, dtype=np.int64))
+            remaining -= take
+        return np.concatenate(pieces)
+
+    def allocate_single(self) -> int:
+        """Allocate one slot (LRU-style single-page eviction path)."""
+        return int(self.allocate(1)[0])
+
+    def free(self, slots: Iterable[int] | np.ndarray) -> None:
+        """Return ``slots`` to the free pool (coalescing neighbours)."""
+        arr = np.asarray(list(slots) if not isinstance(slots, np.ndarray) else slots,
+                         dtype=np.int64)
+        if arr.size == 0:
+            return
+        if arr.min() < 0 or arr.max() >= self.num_slots:
+            raise ValueError("slot id out of range")
+        arr = np.sort(arr)
+        if arr.size > 1 and np.any(np.diff(arr) == 0):
+            raise ValueError("duplicate slot in free()")
+        # Split into maximal consecutive runs and free each.
+        breaks = np.flatnonzero(np.diff(arr) != 1) + 1
+        for run in np.split(arr, breaks):
+            self._release(int(run[0]), int(run.size))
+
+    # -- internals ---------------------------------------------------------
+    def _choose_run(self, n: int) -> int | None:
+        """Pick the start of a free run able to hold ``n`` slots."""
+        if self.strategy == "first-fit":
+            for start in self._starts:
+                if self._free_runs[start] >= n:
+                    return start
+            return None
+        if self.strategy == "best-fit":
+            best = None
+            best_len = None
+            for start in self._starts:
+                length = self._free_runs[start]
+                if length >= n and (best_len is None or length < best_len):
+                    best, best_len = start, length
+            return best
+        # next-fit: first fitting run at/after the hint, wrapping once
+        idx = bisect_left(self._starts, self._next_hint)
+        for start in self._starts[idx:] + self._starts[:idx]:
+            if self._free_runs[start] >= n:
+                return start
+        return None
+
+    def _take(self, start: int, n: int) -> None:
+        """Remove ``n`` slots from the head of the free run at ``start``."""
+        length = self._free_runs.pop(start)
+        idx = bisect_left(self._starts, start)
+        del self._starts[idx]
+        if length > n:
+            new_start = start + n
+            self._free_runs[new_start] = length - n
+            insort(self._starts, new_start)
+        self._free_count -= n
+
+    def _release(self, start: int, n: int) -> None:
+        """Insert a run, coalescing with adjacent free runs."""
+        freed = n
+        end = start + n
+        # Find potential neighbours via the sorted starts list.
+        idx = bisect_left(self._starts, start)
+        prev_start = self._starts[idx - 1] if idx > 0 else None
+        next_start = self._starts[idx] if idx < len(self._starts) else None
+
+        if prev_start is not None:
+            prev_end = prev_start + self._free_runs[prev_start]
+            if prev_end > start:
+                raise ValueError(f"double free of slots near {start}")
+            if prev_end == start:  # merge left
+                start = prev_start
+                n += self._free_runs.pop(prev_start)
+                del self._starts[idx - 1]
+                idx -= 1
+        if next_start is not None:
+            if next_start < end:
+                raise ValueError(f"double free of slots near {next_start}")
+            if next_start == end:  # merge right
+                n += self._free_runs.pop(next_start)
+                del self._starts[idx]
+
+        self._free_runs[start] = n
+        insort(self._starts, start)
+        self._free_count += freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SwapAllocator(slots={self.num_slots}, free={self._free_count}, "
+            f"runs={len(self._free_runs)})"
+        )
+
+
+__all__ = ["SwapAllocator", "SwapFullError"]

@@ -1,0 +1,87 @@
+"""§3.3 ablation — naive read-ahead boost vs adaptive page-in.
+
+The paper argues that simply boosting the kernel's swap-in read-ahead
+window (default 16 pages) is the obvious alternative to adaptive
+page-in, but "since the extra pages brought in might not be used at
+all, boosting the read-ahead size might actually degrade the
+performance".  This sweep runs LU serial under plain LRU with windows
+of 16/64/256 pages and compares against the recorded-page replay
+(``ai``) with the default window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster.node import Node
+from repro.experiments import runner as _r
+from repro.experiments.runner import GangConfig, run_experiment
+from repro.gang.job import Job
+from repro.gang.scheduler import GangScheduler
+from repro.mem.params import MemoryParams
+from repro.metrics.analysis import overhead_seconds
+from repro.metrics.report import format_table
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+
+WINDOWS = (16, 64, 256)
+
+
+def _run_with_window(base: GangConfig, window: int, policy: str) -> dict:
+    env = Environment()
+    rngs = RngStreams(base.seed)
+    memory = MemoryParams.from_mb(
+        base.memory_mb * base.scale, readahead_pages=window
+    )
+    max_phase = min(
+        8192, max(64, (memory.total_frames - memory.freepages_high) // 2)
+    )
+    node = Node(env, "node0", memory, policy, disk_params=base.disk)
+    jobs = []
+    for j in range(base.njobs):
+        w = _r._scaled_workload(base, max_phase)
+        jobs.append(Job(f"LU#{j}", [node], [w], rngs.spawn(f"job{j}")))
+    GangScheduler(env, jobs, quantum_s=base.quantum_s * base.scale).start()
+    env.run()
+    return {
+        "makespan_s": max(j.completed_at for j in jobs),
+        "pages_read": node.disk.total_pages["read"],
+        "useless_prefetch_hint": node.vmm.stats.pages_swapped_in,
+    }
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
+    base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
+    batch = run_experiment(replace(base, mode="batch")).makespan
+    records = {"_batch_s": batch}
+    for window in WINDOWS:
+        records[f"lru+ra{window}"] = _run_with_window(base, window, "lru")
+    records["ai (ra16)"] = _run_with_window(base, 16, "ai")
+    if not quiet:
+        print(render(records, batch))
+    return records
+
+
+def render(records: dict, batch: float) -> str:
+    rows = []
+    for label, r in records.items():
+        if label.startswith("_"):
+            continue
+        rows.append(
+            (
+                label,
+                f"{r['makespan_s']:.0f}",
+                f"{overhead_seconds(r['makespan_s'], batch):.0f}",
+                r["pages_read"],
+            )
+        )
+    return format_table(
+        ("config", "makespan [s]", "switch overhead [s]", "pages read"),
+        rows,
+        title="§3.3 ablation — read-ahead window vs adaptive page-in "
+              "(LU.B serial)",
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,96 @@
+"""§3.2/§3.5 ablation — does the working-set estimator matter?
+
+The §3.5 API takes the incoming working-set size from the gang
+scheduler "or the kernel estimates it using the incoming process' run
+during the previous time quantum".  This ablation runs ``so/ao`` (the
+mechanisms that consume the estimate) with three sources:
+
+* **estimator** — the kernel-side previous-quantum estimate (default);
+* **oracle** — the exact footprint, as a perfectly informed scheduler
+  would supply;
+* **whole-memory** — no information: aggressively free everything
+  (target = all frames), the degenerate upper bound.
+
+If the estimator is any good, its column matches the oracle; the
+whole-memory column shows the §3.2 cost of over-eviction (extra
+page-outs the incoming job did not need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import repro.core.api as _api
+from repro.experiments.runner import GangConfig, run_experiment
+from repro.metrics.analysis import overhead_fraction
+from repro.metrics.report import format_table, percent
+
+MODES = ("estimator", "oracle", "whole-memory")
+
+
+class _ForcedWs:
+    """Context manager overriding the WS source inside AdaptivePaging."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._orig = None
+
+    def __enter__(self):
+        orig = _api.AdaptivePaging.working_set_estimate
+        mode = self.mode
+
+        def patched(self, pid: int) -> int:
+            if mode == "oracle":
+                table = self.vmm.tables.get(pid)
+                return table.num_pages if table is not None else 0
+            if mode == "whole-memory":
+                return self.vmm.params.total_frames
+            return orig(self, pid)
+
+        self._orig = orig
+        _api.AdaptivePaging.working_set_estimate = patched
+        return self
+
+    def __exit__(self, *exc):
+        _api.AdaptivePaging.working_set_estimate = self._orig
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
+    base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
+    batch = run_experiment(replace(base, mode="batch")).makespan
+    records: dict = {"_batch_s": batch}
+    for mode in MODES:
+        with _ForcedWs(mode):
+            res = run_experiment(replace(base, policy="so/ao"))
+        records[mode] = {
+            "makespan_s": res.makespan,
+            "overhead": overhead_fraction(res.makespan, batch),
+            "pages_written": res.pages_written,
+        }
+    if not quiet:
+        print(render(records))
+    return records
+
+
+def render(records: dict) -> str:
+    rows = [
+        (
+            mode,
+            f"{r['makespan_s']:.0f}",
+            percent(r["overhead"]),
+            r["pages_written"],
+        )
+        for mode, r in records.items()
+        if not mode.startswith("_")
+    ]
+    return format_table(
+        ("WS source", "makespan [s]", "overhead", "pages written"),
+        rows,
+        title="§3.2/§3.5 ablation — working-set size source for "
+              "aggressive page-out (LU.B serial, so/ao)",
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,88 @@
+"""Extension — the quantum-length trade-off (§5, Wang et al.).
+
+The related-work discussion: longer quanta amortise switching overhead
+but hurt responsiveness, which "contrasts with the goal of gang
+scheduling".  The paper's point is that adaptive paging lets the
+scheduler *keep* a short quantum.  This sweep measures switching
+overhead across quantum lengths for ``lru`` and ``so/ao/ai/bg`` and
+reports the quantum each policy needs to stay under a 10 % overhead
+budget — the paper's §6 claim ("this reduction will enable the gang
+scheduler to use a smaller time quantum") made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.runner import GangConfig, run_experiment
+from repro.metrics.analysis import overhead_fraction
+from repro.metrics.report import format_table, percent
+
+QUANTA_S = (75.0, 150.0, 300.0, 600.0, 1200.0)
+POLICIES = ("lru", "so/ao/ai/bg")
+BUDGET = 0.10
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
+        quanta=QUANTA_S) -> dict:
+    base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
+    batch = run_experiment(replace(base, mode="batch")).makespan
+    records: dict = {"_batch_s": batch}
+    for q in quanta:
+        row = {}
+        for pol in POLICIES:
+            res = run_experiment(
+                replace(base, policy=pol, quantum_s=q)
+            )
+            row[pol] = {
+                "makespan_s": res.makespan,
+                "overhead": overhead_fraction(res.makespan, batch),
+                "switches": res.switch_count,
+            }
+        records[q] = row
+    if not quiet:
+        print(render(records))
+    return records
+
+
+def smallest_quantum_within_budget(records: dict, policy: str,
+                                   budget: float = BUDGET):
+    """The shortest quantum whose overhead stays under ``budget``."""
+    for q in sorted(k for k in records if not isinstance(k, str)):
+        if records[q][policy]["overhead"] <= budget:
+            return q
+    return None
+
+
+def render(records: dict) -> str:
+    rows = []
+    for q, row in records.items():
+        if isinstance(q, str):
+            continue
+        rows.append(
+            (
+                f"{q:.0f}",
+                percent(row["lru"]["overhead"]),
+                row["lru"]["switches"],
+                percent(row["so/ao/ai/bg"]["overhead"]),
+                row["so/ao/ai/bg"]["switches"],
+            )
+        )
+    table = format_table(
+        ("quantum [s]", "oh lru", "sw lru", "oh adaptive", "sw adaptive"),
+        rows,
+        title="Extension (§5/§6) — switching overhead vs quantum length "
+              "(LU.B serial)",
+    )
+    q_lru = smallest_quantum_within_budget(records, "lru")
+    q_full = smallest_quantum_within_budget(records, "so/ao/ai/bg")
+    note = (
+        f"\nsmallest quantum within a {BUDGET:.0%} overhead budget: "
+        f"lru: {q_lru if q_lru else '> max'} s, "
+        f"adaptive: {q_full if q_full else '> max'} s"
+    )
+    return table + note
+
+
+if __name__ == "__main__":
+    run()

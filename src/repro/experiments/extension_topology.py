@@ -1,0 +1,127 @@
+"""Extension — does the interconnect topology change the story?
+
+The paper's testbed is one 100 Mb/s switch; its future work (§6) moves
+to 8- and 16-node clusters, where real machines split across racks and
+cross-rack barriers get slower.  This experiment runs LU.C on 8 nodes
+under a flat switch vs a two-rack topology (4 nodes per rack, 3.5×
+uplink latency), for both paging policies.
+
+Measured shape: the topologies tie.  The table shows why — per-rank
+synchronisation time is tens of seconds of *waiting for paging
+stragglers*, while the pure wire cost of every barrier crossing the
+uplink adds only fractions of a second.  In a paging-bound gang
+schedule the interconnect is not the bottleneck; fixing paging (the
+paper's contribution) is worth orders of magnitude more than fixing
+the network.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import NetworkParams
+from repro.cluster.node import Node
+from repro.cluster.topology import TwoLevelTopology
+from repro.disk.device import ERA_DISK
+from repro.experiments import runner as _r
+from repro.experiments.runner import GangConfig
+from repro.gang.job import Job
+from repro.gang.scheduler import BatchScheduler, GangScheduler
+from repro.mem.params import MemoryParams
+from repro.metrics.analysis import overhead_fraction
+from repro.metrics.report import format_table, percent
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+
+NNODES = 8
+POLICIES = ("lru", "so/ao/ai/bg")
+
+TOPOLOGIES = {
+    "flat switch": NetworkParams(latency_s=100e-6),
+    "2 racks (4+4)": TwoLevelTopology(
+        NNODES, rack_size=4, intra_latency_s=100e-6,
+        inter_latency_s=350e-6,
+    ),
+}
+
+
+def _run_one(base: GangConfig, network, policy: str, mode: str):
+    env = Environment()
+    rngs = RngStreams(base.seed)
+    memory = MemoryParams.from_mb(base.memory_mb * base.scale)
+    max_phase = min(
+        8192, max(64, (memory.total_frames - memory.freepages_high) // 2)
+    )
+    nodes = [
+        Node(env, f"node{i}", memory,
+             policy if mode == "gang" else "lru",
+             disk_params=ERA_DISK,
+             refault_window_s=0.5 * base.quantum_s * base.scale)
+        for i in range(NNODES)
+    ]
+    jobs = []
+    for j in range(base.njobs):
+        wls = [_r._scaled_workload(base, max_phase) for _ in nodes]
+        jobs.append(Job(f"{base.benchmark}#{j}", nodes, wls,
+                        rngs.spawn(f"job{j}"), network=network))
+    if mode == "batch":
+        BatchScheduler(env, jobs).start()
+    else:
+        GangScheduler(env, jobs,
+                      quantum_s=base.quantum_s * base.scale).start()
+    env.run()
+    sync = sum(
+        j.barrier.total_sync_s for j in jobs if j.barrier is not None
+    ) / (NNODES * base.njobs)
+    rounds = sum(
+        j.barrier.rounds_completed for j in jobs if j.barrier is not None
+    )
+    wire = rounds * network.barrier_s(NNODES)
+    return max(j.completed_at for j in jobs), sync, wire
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
+    # a memory lock that stresses 8 nodes: LU.C per-node ~115 MB, so
+    # use 200 MB usable to keep the pair overcommitted
+    base = GangConfig("LU", "C", nprocs=NNODES, memory_mb=200.0,
+                      seed=seed, scale=scale)
+    records = {}
+    for label, network in TOPOLOGIES.items():
+        batch, _, _ = _run_one(base, network, "lru", "batch")
+        row = {"batch_s": batch}
+        for pol in POLICIES:
+            mk, sync, wire = _run_one(base, network, pol, "gang")
+            row[pol] = {
+                "makespan_s": mk,
+                "overhead": overhead_fraction(mk, batch),
+                "mean_rank_sync_s": sync,
+                "wire_sync_s": wire,
+            }
+        records[label] = row
+    if not quiet:
+        print(render(records))
+    return records
+
+
+def render(records: dict) -> str:
+    rows = [
+        (
+            label,
+            f"{r['batch_s']:.0f}",
+            percent(r["lru"]["overhead"]),
+            f"{r['lru']['mean_rank_sync_s']:.0f}",
+            f"{r['lru']['wire_sync_s']:.2f}",
+            percent(r["so/ao/ai/bg"]["overhead"]),
+            f"{r['so/ao/ai/bg']['mean_rank_sync_s']:.0f}",
+        )
+        for label, r in records.items()
+    ]
+    return format_table(
+        ("topology", "batch [s]", "oh lru", "straggler sync [s]",
+         "wire sync [s]", "oh adaptive", "sync adaptive [s]"),
+        rows,
+        title=f"Extension — interconnect topology, LU.C x2 on {NNODES} "
+              "nodes (200 MB lock)",
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,59 @@
+"""JSON persistence for experiment records.
+
+Every experiment harness returns a nested plain-Python/numpy record;
+:func:`save_record` writes it to JSON (numpy scalars and arrays are
+converted, non-serialisable leaves like collectors are dropped with a
+marker) so results can be archived and diffed between code versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def _sanitise(obj: Any) -> Any:
+    """Convert a record tree into JSON-compatible values."""
+    if isinstance(obj, dict):
+        return {str(k): _sanitise(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitise(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "__dict__") and type(obj).__module__.startswith("repro"):
+        # dataclass-ish repro objects: keep their public scalars
+        fields = {
+            k: v for k, v in vars(obj).items() if not k.startswith("_")
+        }
+        return {"__type__": type(obj).__name__, **_sanitise(fields)}
+    return f"<unserialisable:{type(obj).__name__}>"
+
+
+def save_record(record: dict, path: str | Path) -> Path:
+    """Write ``record`` as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(_sanitise(record), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_record(path: str | Path) -> dict:
+    """Read a record saved by :func:`save_record`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+__all__ = ["load_record", "save_record"]

@@ -1,0 +1,159 @@
+"""Shared experiment runner.
+
+Builds a cluster, instantiates two (or more) identical job instances of
+an NPB workload, runs them under a gang or batch scheduler, and collects
+the metrics the paper reports.  The ``scale`` knob shrinks memory,
+footprint, CPU time and quantum together so the identical experiment
+logic runs full-size from the scripts and sub-second from the test and
+benchmark suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.node import Node
+from repro.disk.device import ERA_DISK, DiskParams
+from repro.gang.job import Job
+from repro.gang.scheduler import BatchScheduler, GangScheduler
+from repro.mem.params import MemoryParams, mb_to_pages
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.workloads.base import Workload
+from repro.workloads.npb import make_npb
+
+
+@dataclass(frozen=True)
+class GangConfig:
+    """One experiment run: a workload mix under one scheduling mode."""
+
+    benchmark: str
+    klass: str
+    nprocs: int = 1
+    policy: str = "lru"
+    #: usable memory per node in MB — the paper's post-mlock() 350 MB
+    memory_mb: float = 350.0
+    #: gang time quantum (the paper's default is 5 minutes)
+    quantum_s: float = 300.0
+    njobs: int = 2
+    seed: int = 0
+    #: proportional shrink factor for fast runs
+    scale: float = 1.0
+    #: "gang" or "batch"
+    mode: str = "gang"
+    #: paging-device model (defaults to the testbed-era disk)
+    disk: DiskParams = ERA_DISK
+
+    def label(self) -> str:
+        """Short human-readable run identifier for logs/tables."""
+        return (
+            f"{self.benchmark}.{self.klass}x{self.njobs}@{self.nprocs} "
+            f"{self.mode}:{self.policy}"
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    config: GangConfig
+    makespan: float
+    completions: dict[str, float]
+    collector: MetricsCollector
+    vmm_stats: list[dict]
+    pages_read: int
+    pages_written: int
+    switch_count: int
+
+    @property
+    def avg_completion(self) -> float:
+        vals = list(self.completions.values())
+        return sum(vals) / len(vals)
+
+
+def _scaled_workload(cfg: GangConfig, max_phase_pages: int) -> Workload:
+    w = make_npb(cfg.benchmark, cfg.klass, cfg.nprocs,
+                 max_phase_pages=max_phase_pages)
+    if cfg.scale != 1.0:
+        w.scale_in_place(cfg.scale)
+    return w
+
+
+def run_experiment(cfg: GangConfig) -> RunResult:
+    """Run one configuration to completion and collect metrics."""
+    if cfg.njobs < 1:
+        raise ValueError("njobs must be >= 1")
+    env = Environment()
+    rngs = RngStreams(cfg.seed)
+    collector = MetricsCollector()
+
+    memory_mb = cfg.memory_mb * cfg.scale
+    memory = MemoryParams.from_mb(memory_mb)
+    # keep phases comfortably below the reclaim ceiling
+    max_phase = min(
+        8192, max(64, (memory.total_frames - memory.freepages_high) // 2)
+    )
+    policy = cfg.policy if cfg.mode == "gang" else "lru"
+    nodes = [
+        Node(
+            env, f"node{i}", memory, policy, disk_params=cfg.disk,
+            # a refault = re-read within half a quantum of eviction —
+            # the §3.1 false-eviction signature at any scale
+            refault_window_s=0.5 * cfg.quantum_s * cfg.scale,
+        )
+        for i in range(cfg.nprocs)
+    ]
+    for node in nodes:
+        collector.attach_node(node)
+
+    jobs = []
+    for j in range(cfg.njobs):
+        workloads = [_scaled_workload(cfg, max_phase) for _ in nodes]
+        jobs.append(
+            Job(f"{cfg.benchmark}#{j}", nodes, workloads,
+                rngs.spawn(f"job{j}"))
+        )
+
+    if cfg.mode == "batch":
+        BatchScheduler(env, jobs).start()
+        switch_count = 0
+        env.run()
+        switches = 0
+    elif cfg.mode == "gang":
+        sched = GangScheduler(
+            env, jobs, quantum_s=cfg.quantum_s * cfg.scale,
+            on_switch=collector.on_switch,
+        )
+        sched.start()
+        env.run()
+        switches = len(sched.switches)
+    else:
+        raise ValueError(f"unknown mode {cfg.mode!r}")
+
+    makespan = max(j.completed_at for j in jobs)
+    return RunResult(
+        config=cfg,
+        makespan=makespan,
+        completions={j.name: j.completed_at for j in jobs},
+        collector=collector,
+        vmm_stats=[n.vmm.stats.snapshot() for n in nodes],
+        pages_read=sum(n.disk.total_pages["read"] for n in nodes),
+        pages_written=sum(n.disk.total_pages["write"] for n in nodes),
+        switch_count=switches if cfg.mode == "gang" else 0,
+    )
+
+
+def run_modes(
+    base: GangConfig, policies: Sequence[str]
+) -> dict[str, RunResult]:
+    """Run ``batch`` plus a gang run per policy; keys: "batch", policies."""
+    out: dict[str, RunResult] = {}
+    out["batch"] = run_experiment(replace(base, mode="batch"))
+    for pol in policies:
+        out[pol] = run_experiment(replace(base, mode="gang", policy=pol))
+    return out
+
+
+__all__ = ["GangConfig", "RunResult", "run_experiment", "run_modes"]

@@ -1,0 +1,25 @@
+"""Gang scheduling substrate.
+
+A user-level gang scheduler in the paper's architecture (Fig. 5): it
+stops the outgoing job's processes on every node (SIGSTOP), invokes the
+adaptive-paging API, resumes the incoming job (SIGCONT), and repeats
+every time quantum.  A batch scheduler (jobs run back to back) provides
+the paper's ``batch`` baseline that defines switching overhead.
+"""
+
+from repro.gang.admission import AdmissionGangScheduler
+from repro.gang.job import Job, JobProcess
+from repro.gang.matrix import MatrixGangScheduler, ScheduleMatrix
+from repro.gang.scheduler import BatchScheduler, GangScheduler
+from repro.gang.signals import ProcessControl
+
+__all__ = [
+    "AdmissionGangScheduler",
+    "BatchScheduler",
+    "GangScheduler",
+    "Job",
+    "JobProcess",
+    "MatrixGangScheduler",
+    "ProcessControl",
+    "ScheduleMatrix",
+]

@@ -1,0 +1,124 @@
+"""Memory-aware admission control (Batat & Feitelson, paper ref. [15]).
+
+The paper's related work discusses an alternative to adaptive paging:
+admit into the gang rotation only jobs whose memory fits alongside the
+already-admitted ones, so paging never happens — at the cost of delayed
+job execution ("gives overall improvement in performance while
+suffering from delayed job execution", §5).
+
+:class:`AdmissionGangScheduler` extends the gang scheduler with an FCFS
+admission queue: a job joins the rotation only when the sum of admitted
+per-node footprints fits below the reclaim watermark on every node it
+uses.  Jobs are (re-)considered in arrival order whenever an admitted
+job completes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gang.job import Job
+from repro.gang.scheduler import GangScheduler
+from repro.sim.engine import AnyOf, Environment
+
+
+class AdmissionGangScheduler(GangScheduler):
+    """Gang scheduling restricted to jobs that fit in memory together."""
+
+    def __init__(
+        self,
+        env: Environment,
+        jobs: Sequence[Job],
+        quantum_s: float = 300.0,
+        quantum_overrides=None,
+        on_switch=None,
+        strict_fcfs: bool = True,
+    ) -> None:
+        super().__init__(env, jobs, quantum_s, quantum_overrides, on_switch)
+        #: with strict FCFS a large waiting job blocks later small ones
+        #: (no backfilling) — the behaviour ref. [15] analyses
+        self.strict_fcfs = strict_fcfs
+        self._admitted: list[Job] = []
+        #: admission timestamps by job name (for queueing-delay metrics)
+        self.admitted_at: dict[str, float] = {}
+        self._refresh_admissions()
+
+    # -- admission logic -----------------------------------------------------
+    @staticmethod
+    def _footprint_on(job: Job, node) -> int:
+        return job.process_on(node).workload.footprint_pages
+
+    @staticmethod
+    def _capacity(node) -> int:
+        params = node.vmm.params
+        return params.total_frames - params.freepages_high
+
+    def _fits(self, job: Job) -> bool:
+        for node in job.nodes:
+            used = sum(
+                self._footprint_on(other, node)
+                for other in self._admitted
+                if not other.finished and node in other.nodes
+            )
+            if used + self._footprint_on(job, node) > self._capacity(node):
+                return False
+        return True
+
+    def _refresh_admissions(self) -> None:
+        for job in self.jobs:
+            if job in self._admitted or job.finished:
+                continue
+            if self._fits(job):
+                self._admitted.append(job)
+                self.admitted_at[job.name] = self.env.now
+            elif self.strict_fcfs:
+                break  # FCFS head-of-line blocking
+
+    # -- control loop (same protocol, admission-filtered rotation) -----------
+    def _run(self):
+        env = self.env
+        current: Optional[Job] = None
+        while True:
+            self._refresh_admissions()
+            pending = [
+                j for j in self._admitted if not j.finished
+            ]
+            if not pending:
+                if all(j.finished for j in self.jobs):
+                    return
+                # waiting jobs exist but nothing is admitted: this can
+                # only mean a job larger than a node — admit it alone
+                waiting = [j for j in self.jobs if not j.finished]
+                self._admitted.append(waiting[0])
+                self.admitted_at[waiting[0].name] = env.now
+                continue
+            nxt = self._next_job_admitted(current, pending)
+            if nxt is not current:
+                if self._switch_proc is not None and self._switch_proc.is_alive:
+                    yield self._switch_proc
+                self._switch_proc = env.process(self._switch(current, nxt))
+                current = nxt
+            self._gen += 1
+            self._arm_bgwrite(current, self._gen)
+            yield AnyOf(env, [env.timeout(self.quantum_for(current)),
+                              current.done])
+            for node in current.nodes:
+                node.adaptive.stop_bgwrite()
+
+    def _next_job_admitted(self, current: Optional[Job],
+                           pending: list[Job]) -> Job:
+        if current is None or current not in self._admitted:
+            return pending[0]
+        i = self._admitted.index(current)
+        order = self._admitted[i + 1:] + self._admitted[: i + 1]
+        for job in order:
+            if not job.finished:
+                return job
+        return current
+
+    def queueing_delay(self, job: Job) -> float:
+        """How long ``job`` waited in the admission queue."""
+        return self.admitted_at.get(job.name, float("inf"))
+
+
+__all__ = ["AdmissionGangScheduler"]

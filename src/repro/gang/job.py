@@ -1,0 +1,144 @@
+"""Parallel jobs and their per-node processes.
+
+A :class:`Job` is one application instance: one :class:`JobProcess` per
+node (SPMD), coupled by a barrier for parallel runs.  Each process
+executes its workload's phase list against its node's VMM: fault the
+phase's pages in, burn CPU (interruptible by the gang scheduler), and
+synchronise at barrier phases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.mpi import Barrier
+from repro.cluster.network import NetworkParams
+from repro.cluster.node import Node
+from repro.gang.signals import ProcessControl
+from repro.sim.engine import Environment, Event
+from repro.sim.rng import RngStreams
+from repro.workloads.base import Workload, expand_phase
+
+
+class JobProcess:
+    """One rank of a job, pinned to one node."""
+
+    def __init__(
+        self,
+        job: "Job",
+        rank: int,
+        node: Node,
+        workload: Workload,
+        rng: np.random.Generator,
+    ) -> None:
+        self.job = job
+        self.rank = rank
+        self.node = node
+        self.workload = workload
+        self.rng = rng
+        self.pid = job.jid
+        self.control = ProcessControl(node.env, start_stopped=True)
+        self.finished_at: Optional[float] = None
+        node.vmm.register_process(self.pid, workload.footprint_pages)
+        self.proc = node.env.process(self._run())
+        self.control.bind(self.proc)
+
+    def _run(self):
+        env = self.node.env
+        vmm = self.node.vmm
+        barrier = self.job.barrier
+        for phase in self.workload.phases(self.rng):
+            yield from self.control.wait_runnable()
+            pages, dirty = expand_phase(phase)
+            if pages.size:
+                yield from vmm.touch(self.pid, pages, dirty)
+            if phase.cpu_s > 0:
+                yield from self.control.cpu(phase.cpu_s)
+            if phase.barrier and barrier is not None:
+                yield from barrier.wait(self.rank, payload_s=phase.comm_s)
+        self.finished_at = env.now
+        # process exit: free memory and swap, drop estimator state
+        vmm.unregister_process(self.pid)
+        ap = self.node.adaptive
+        ap.ws.forget(self.pid)
+        if ap.recorder is not None:
+            ap.recorder.clear(self.pid)
+        self.job._rank_done(self)
+
+
+class Job:
+    """A gang-scheduled application: one process per node."""
+
+    _next_jid = 1
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[Node],
+        workloads: Sequence[Workload],
+        rngs: RngStreams,
+        network: Optional[NetworkParams] = None,
+        jid: Optional[int] = None,
+    ) -> None:
+        if len(nodes) != len(workloads):
+            raise ValueError("need exactly one workload per node")
+        if not nodes:
+            raise ValueError("job needs at least one node")
+        envs = {n.env for n in nodes}
+        if len(envs) != 1:
+            raise ValueError("all nodes must share one environment")
+        self.env: Environment = nodes[0].env
+        self.name = name
+        if jid is None:
+            jid = Job._next_jid
+            Job._next_jid += 1
+        self.jid = jid
+        self.nodes = list(nodes)
+        self.barrier = (
+            Barrier(self.env, len(nodes), network, name=f"{name}.barrier")
+            if len(nodes) > 1
+            else None
+        )
+        self.done: Event = self.env.event()
+        self.completed_at: Optional[float] = None
+        self._remaining = len(nodes)
+        self.processes = [
+            JobProcess(self, rank, node, wl, rngs.stream(f"{name}.r{rank}"))
+            for rank, (node, wl) in enumerate(zip(nodes, workloads))
+        ]
+
+    # -- gang control ------------------------------------------------------
+    def stop(self) -> None:
+        """SIGSTOP every rank."""
+        for p in self.processes:
+            p.control.stop()
+
+    def cont(self) -> None:
+        """SIGCONT every rank."""
+        for p in self.processes:
+            p.control.cont()
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    def process_on(self, node: Node) -> JobProcess:
+        """The rank of this job running on ``node``."""
+        for p in self.processes:
+            if p.node is node:
+                return p
+        raise KeyError(f"{self.name} has no process on {node.name}")
+
+    def _rank_done(self, proc: JobProcess) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.completed_at = self.env.now
+            self.done.succeed(self.completed_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Job({self.name}, jid={self.jid}, nodes={len(self.nodes)})"
+
+
+__all__ = ["Job", "JobProcess"]

@@ -1,0 +1,284 @@
+"""Ousterhout-style scheduling matrix and the general gang scheduler.
+
+The two-job round-robin of :class:`~repro.gang.scheduler.GangScheduler`
+is what the paper's experiments need, but a production gang scheduler
+keeps a *scheduling matrix*: rows are time slots, columns are nodes, and
+a cell names the job whose process runs on that node during that row's
+quantum (paper Fig. 5's "scheduling table"; Feitelson & Rudolph [2]).
+Several jobs occupying disjoint node subsets can share a row.
+
+:class:`ScheduleMatrix` is the data structure (placement, removal, row
+compaction); :class:`MatrixGangScheduler` rotates rows, driving the
+same per-node adaptive-paging switch protocol as the two-job scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gang.job import Job
+from repro.sim.engine import AnyOf, Environment, Process
+
+
+class ScheduleMatrix:
+    """Rows × nodes placement of gang-scheduled jobs.
+
+    Nodes are identified by index 0..ncols-1; each row maps node index
+    to the job running there (or None).
+    """
+
+    def __init__(self, ncols: int) -> None:
+        if ncols < 1:
+            raise ValueError("matrix needs at least one column")
+        self.ncols = ncols
+        self._rows: list[list[Optional[Job]]] = []
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return len(self._rows)
+
+    def row_jobs(self, r: int) -> list[Job]:
+        """Distinct jobs in row ``r`` (left-to-right order)."""
+        seen: list[Job] = []
+        for cell in self._rows[r]:
+            if cell is not None and cell not in seen:
+                seen.append(cell)
+        return seen
+
+    def job_at(self, r: int, col: int) -> Optional[Job]:
+        """The job occupying cell (row, column), if any."""
+        return self._rows[r][col]
+
+    def row_of(self, job: Job) -> Optional[int]:
+        """The row hosting ``job``, or None if not placed."""
+        for r, row in enumerate(self._rows):
+            if job in row:
+                return r
+        return None
+
+    def utilization(self) -> float:
+        """Fraction of matrix cells occupied (1.0 = perfectly packed)."""
+        if not self._rows:
+            return 0.0
+        filled = sum(
+            1 for row in self._rows for cell in row if cell is not None
+        )
+        return filled / (self.nrows * self.ncols)
+
+    # -- placement -----------------------------------------------------------
+    def place(self, job: Job, columns: Sequence[int]) -> int:
+        """Place ``job`` on ``columns`` in the first row where they are
+        all free (first-fit); opens a new row if none fits.  Returns the
+        row index."""
+        cols = sorted(set(columns))
+        if not cols:
+            raise ValueError("job needs at least one column")
+        if cols[0] < 0 or cols[-1] >= self.ncols:
+            raise ValueError("column out of range")
+        if self.row_of(job) is not None:
+            raise ValueError(f"{job.name} already placed")
+        for r, row in enumerate(self._rows):
+            if all(row[c] is None for c in cols):
+                for c in cols:
+                    row[c] = job
+                return r
+        self._rows.append([None] * self.ncols)
+        for c in cols:
+            self._rows[-1][c] = job
+        return self.nrows - 1
+
+    def remove(self, job: Job) -> None:
+        """Remove ``job``; drops rows that become empty."""
+        r = self.row_of(job)
+        if r is None:
+            raise KeyError(f"{job.name} not in matrix")
+        row = self._rows[r]
+        for c in range(self.ncols):
+            if row[c] is job:
+                row[c] = None
+        if all(cell is None for cell in row):
+            del self._rows[r]
+
+    def compact(self) -> int:
+        """Greedy row compaction: try to merge each row's jobs down into
+        earlier rows (alternate scheduling [2] simplified).  Returns the
+        number of rows eliminated."""
+        eliminated = 0
+        r = 1
+        while r < self.nrows:
+            row = self._rows[r]
+            moved_all = True
+            for job in self.row_jobs(r):
+                cols = [c for c in range(self.ncols) if row[c] is job]
+                target = None
+                for r2 in range(r):
+                    if all(self._rows[r2][c] is None for c in cols):
+                        target = r2
+                        break
+                if target is None:
+                    moved_all = False
+                    continue
+                for c in cols:
+                    self._rows[target][c] = job
+                    row[c] = None
+            if moved_all and all(cell is None for cell in row):
+                del self._rows[r]
+                eliminated += 1
+            else:
+                r += 1
+        return eliminated
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lines = []
+        for row in self._rows:
+            lines.append(
+                " | ".join(
+                    (cell.name[:8] if cell else "-").ljust(8) for cell in row
+                )
+            )
+        return "\n".join(lines) or "<empty matrix>"
+
+
+class MatrixGangScheduler:
+    """Rotates the rows of a :class:`ScheduleMatrix` every quantum.
+
+    Each row switch runs the per-node adaptive-paging protocol for every
+    (outgoing job, incoming job) pair on each node, then resumes all of
+    the incoming row's jobs together.  A job's completion removes it
+    from the matrix; empty rows disappear and the matrix is re-compacted
+    so the machine never idles on a hole.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence,
+        matrix: ScheduleMatrix,
+        quantum_s: float = 300.0,
+        on_switch=None,
+        accept_arrivals: bool = False,
+    ) -> None:
+        if quantum_s <= 0:
+            raise ValueError("quantum_s must be positive")
+        if matrix.ncols != len(nodes):
+            raise ValueError("matrix width must match node count")
+        self.env = env
+        self.nodes = list(nodes)
+        self.matrix = matrix
+        self.quantum_s = quantum_s
+        self.on_switch = on_switch
+        self.rotations = 0
+        self.proc: Optional[Process] = None
+        #: open-system mode: an empty matrix waits for submissions
+        #: (close() ends the run) instead of terminating immediately
+        self._accepting = accept_arrivals
+        self._arrival_event = env.event()
+
+    def start(self) -> Process:
+        """Launch the rotation loop."""
+        if self.proc is not None:
+            raise RuntimeError("scheduler already started")
+        self.proc = self.env.process(self._run())
+        return self.proc
+
+    # -- open-system submission ------------------------------------------------
+    def submit(self, job: Job, columns: Sequence[int]) -> int:
+        """Place a newly arrived job and wake the scheduler if idle."""
+        row = self.matrix.place(job, columns)
+        ev, self._arrival_event = self._arrival_event, self.env.event()
+        if not ev.triggered:
+            ev.succeed()
+        return row
+
+    def close(self) -> None:
+        """No further submissions: the run ends when the matrix drains."""
+        self._accepting = False
+        ev, self._arrival_event = self._arrival_event, self.env.event()
+        if not ev.triggered:
+            ev.succeed()
+
+    # -- control loop --------------------------------------------------------
+    def _run(self):
+        env = self.env
+        current_row_jobs: list[Job] = []
+        r = 0
+        while self.matrix.nrows > 0 or self._accepting:
+            if self.matrix.nrows == 0:
+                # idle open system: park until a submission (or close)
+                yield self._arrival_event
+                continue
+            self.matrix.compact()
+            if self.matrix.nrows == 0:
+                break
+            r = r % self.matrix.nrows
+            incoming = self.matrix.row_jobs(r)
+            if set(incoming) != set(current_row_jobs):
+                yield from self._switch(current_row_jobs, incoming, r)
+                current_row_jobs = incoming
+            self.rotations += 1
+            waits = [env.timeout(self.quantum_s)]
+            waits += [job.done for job in incoming if not job.finished]
+            yield AnyOf(env, waits)
+            for job in list(incoming):
+                if job.finished and self.matrix.row_of(job) is not None:
+                    self.matrix.remove(job)
+            current_row_jobs = [j for j in current_row_jobs if not j.finished]
+            r += 1
+
+    def _switch(self, out_jobs: list[Job], in_jobs: list[Job], row: int):
+        env = self.env
+        # stop every job leaving the machine
+        for job in out_jobs:
+            if job not in in_jobs and not job.finished:
+                job.stop()
+                for proc in job.processes:
+                    proc.node.adaptive.stop_bgwrite()
+                    if proc.pid in proc.node.vmm.tables:
+                        proc.node.adaptive.notify_descheduled(proc.pid)
+        # per-node paging fragments for every incoming job
+        fragments = []
+        for job in in_jobs:
+            if job in out_jobs or job.finished:
+                continue
+            for proc in job.processes:
+                node = proc.node
+                col = self.nodes.index(node)
+                out_job = self._outgoing_on(out_jobs, node)
+                out_pid = -1
+                if out_job is not None and not out_job.finished:
+                    try:
+                        out_pid = out_job.process_on(node).pid
+                    except KeyError:
+                        out_pid = -1
+                fragments.append(
+                    env.process(
+                        self._switch_node(node, proc.pid, out_pid)
+                    )
+                )
+        if fragments:
+            yield env.all_of(fragments)
+        for job in in_jobs:
+            if job not in out_jobs and not job.finished:
+                for proc in job.processes:
+                    proc.node.adaptive.notify_scheduled(proc.pid)
+                job.cont()
+        if self.on_switch is not None:
+            self.on_switch(row, [j.name for j in in_jobs])
+
+    @staticmethod
+    def _outgoing_on(out_jobs: list[Job], node) -> Optional[Job]:
+        for job in out_jobs:
+            for proc in job.processes:
+                if proc.node is node:
+                    return job
+        return None
+
+    def _switch_node(self, node, in_pid: int, out_pid: int):
+        ap = node.adaptive
+        ws = ap.working_set_estimate(in_pid)
+        yield from ap.adaptive_page_out(in_pid, out_pid, ws)
+        yield from ap.adaptive_page_in(in_pid, out_pid, ws)
+
+
+__all__ = ["MatrixGangScheduler", "ScheduleMatrix"]

@@ -1,0 +1,194 @@
+"""The user-level gang scheduler (and the batch baseline).
+
+Round-robin over jobs with a fixed time quantum (the paper uses five
+minutes; SP on four nodes needs seven, §4.2).  At each quantum boundary
+the scheduler stops the outgoing job on every node, drives the
+adaptive-paging API (page-out side, then page-in side, per node in
+parallel), and resumes the incoming job once every node is ready —
+the coordinated context switch of Fig. 5.
+
+With the ``bg`` mechanism active, a timer arms the background writer on
+every node for the last ``bg_fraction`` of each quantum and the switch
+path stops it (§3.4).
+
+:class:`BatchScheduler` runs the same jobs strictly one after another —
+the paper's ``batch`` bars, which define zero switching overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.gang.job import Job
+from repro.sim.engine import AnyOf, Environment, Process
+
+
+@dataclass
+class SwitchRecord:
+    """One coordinated context switch, for the metrics layer."""
+
+    started_at: float
+    paging_done_at: float
+    in_job: str
+    out_job: Optional[str]
+
+
+class GangScheduler:
+    """Coordinated time-sharing of ``jobs`` across their nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        jobs: Sequence[Job],
+        quantum_s: float = 300.0,
+        quantum_overrides: Optional[dict[str, float]] = None,
+        on_switch=None,
+    ) -> None:
+        if quantum_s <= 0:
+            raise ValueError("quantum_s must be positive")
+        if not jobs:
+            raise ValueError("need at least one job")
+        self.env = env
+        self.jobs = list(jobs)
+        self.quantum_s = quantum_s
+        self.quantum_overrides = dict(quantum_overrides or {})
+        self.on_switch = on_switch
+        self.switches: list[SwitchRecord] = []
+        self._gen = 0
+        self._switch_proc: Optional[Process] = None
+        self.proc: Optional[Process] = None
+
+    # -- public ------------------------------------------------------------
+    def start(self) -> Process:
+        """Launch the scheduler's control loop."""
+        if self.proc is not None:
+            raise RuntimeError("scheduler already started")
+        self.proc = self.env.process(self._run())
+        return self.proc
+
+    def quantum_for(self, job: Job) -> float:
+        """The quantum this job runs for (honours overrides)."""
+        return self.quantum_overrides.get(job.name, self.quantum_s)
+
+    # -- control loop --------------------------------------------------------
+    def _run(self):
+        env = self.env
+        current: Optional[Job] = None
+        while True:
+            pending = [j for j in self.jobs if not j.finished]
+            if not pending:
+                return
+            nxt = self._next_job(current, pending)
+            if nxt is not current:
+                # A still-running previous switch must finish first (the
+                # "continuous thrashing" regime of §4.2).
+                if self._switch_proc is not None and self._switch_proc.is_alive:
+                    yield self._switch_proc
+                self._switch_proc = env.process(self._switch(current, nxt))
+                current = nxt
+            self._gen += 1
+            self._arm_bgwrite(current, self._gen)
+            yield AnyOf(env, [env.timeout(self.quantum_for(current)),
+                              current.done])
+            for node in current.nodes:
+                node.adaptive.stop_bgwrite()
+
+    def _next_job(self, current: Optional[Job], pending: list[Job]) -> Job:
+        """Round-robin: the first unfinished job after ``current``."""
+        if current is None or current not in self.jobs:
+            return pending[0]
+        i = self.jobs.index(current)
+        order = self.jobs[i + 1 :] + self.jobs[: i + 1]
+        for job in order:
+            if not job.finished:
+                return job
+        return current  # unreachable while pending is non-empty
+
+    # -- the coordinated switch ---------------------------------------------
+    def _switch(self, out_job: Optional[Job], in_job: Job):
+        env = self.env
+        t0 = env.now
+        if out_job is not None and not out_job.finished:
+            out_job.stop()
+        fragments = [
+            env.process(self._switch_node(node, out_job, in_job))
+            for node in in_job.nodes
+        ]
+        if fragments:
+            yield env.all_of(fragments)
+        in_job.cont()
+        rec = SwitchRecord(
+            started_at=t0,
+            paging_done_at=env.now,
+            in_job=in_job.name,
+            out_job=out_job.name if out_job is not None else None,
+        )
+        self.switches.append(rec)
+        if self.on_switch is not None:
+            self.on_switch(rec)
+
+    def _switch_node(self, node, out_job: Optional[Job], in_job: Job):
+        ap = node.adaptive
+        ap.stop_bgwrite()
+        out_pid = -1
+        if out_job is not None and not out_job.finished:
+            try:
+                proc = out_job.process_on(node)
+            except KeyError:
+                proc = None
+            if proc is not None and proc.pid in node.vmm.tables:
+                out_pid = proc.pid
+                ap.notify_descheduled(out_pid)
+        in_pid = in_job.process_on(node).pid
+        ws = ap.working_set_estimate(in_pid)
+        yield from ap.adaptive_page_out(in_pid, out_pid, ws)
+        yield from ap.adaptive_page_in(in_pid, out_pid, ws)
+        ap.notify_scheduled(in_pid)
+
+    # -- background-writing timer ---------------------------------------------
+    def _arm_bgwrite(self, job: Job, gen: int) -> None:
+        # bg_fraction comes from the node policies (identical across a
+        # cluster in every experiment).
+        nodes = [n for n in job.nodes if n.adaptive.policy.bg]
+        if not nodes:
+            return
+        frac = nodes[0].adaptive.policy.bg_fraction
+        delay = self.quantum_for(job) * (1.0 - frac)
+        self.env.process(self._bg_timer(job, gen, delay))
+
+    def _bg_timer(self, job: Job, gen: int, delay: float):
+        yield self.env.timeout(delay)
+        if self._gen != gen or job.finished:
+            return
+        for proc in job.processes:
+            if proc.pid in proc.node.vmm.tables:
+                proc.node.adaptive.start_bgwrite(proc.pid)
+
+
+class BatchScheduler:
+    """Run jobs strictly one after another (no time-sharing)."""
+
+    def __init__(self, env: Environment, jobs: Sequence[Job]) -> None:
+        if not jobs:
+            raise ValueError("need at least one job")
+        self.env = env
+        self.jobs = list(jobs)
+        self.proc: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Launch the sequential run-to-completion loop."""
+        if self.proc is not None:
+            raise RuntimeError("scheduler already started")
+        self.proc = self.env.process(self._run())
+        return self.proc
+
+    def _run(self):
+        for job in self.jobs:
+            for node in job.nodes:
+                node.adaptive.notify_scheduled(job.process_on(node).pid)
+            job.cont()
+            yield job.done
+
+
+__all__ = ["BatchScheduler", "GangScheduler", "SwitchRecord"]

@@ -1,0 +1,103 @@
+"""SIGSTOP/SIGCONT-style process control.
+
+The paper's scheduler controls applications with signals: SIGSTOP for
+the outgoing job's processes, SIGCONT for the incoming job's (§3.5).
+:class:`ProcessControl` reproduces those semantics for a simulation
+process:
+
+* ``stop()`` halts CPU consumption immediately (an in-progress compute
+  burst is interrupted and its remaining time preserved);
+* in-flight kernel work — a page fault being serviced — completes, just
+  as a signalled Linux process finishes its kernel business before the
+  stop takes effect;
+* ``cont()`` resumes the process where it left off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Environment, Event, Interrupt, Process
+
+
+class ProcessControl:
+    """Stop/continue gate plus interruptible CPU bursts for one process."""
+
+    def __init__(self, env: Environment, start_stopped: bool = True) -> None:
+        self.env = env
+        self._stopped = start_stopped
+        self._resume: Event = env.event()
+        self._proc: Optional[Process] = None
+        self._in_cpu = False
+        #: cumulative CPU seconds actually consumed
+        self.cpu_consumed_s = 0.0
+        #: cumulative time spent stopped while wanting to run
+        self.stopped_waiting_s = 0.0
+        #: (time, "stopped"|"running") transition log for Gantt views
+        self.transitions: list[tuple[float, str]] = [
+            (env.now, "stopped" if start_stopped else "running")
+        ]
+
+    # -- wiring ----------------------------------------------------------
+    def bind(self, proc: Process) -> None:
+        """Attach the simulation process this control governs."""
+        self._proc = proc
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    # -- scheduler side ----------------------------------------------------
+    def stop(self) -> None:
+        """SIGSTOP: no further CPU will be consumed until :meth:`cont`.
+
+        If the process is inside a compute burst the burst is
+        interrupted; fault servicing in progress completes on its own.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.transitions.append((self.env.now, "stopped"))
+        if self._in_cpu and self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("sigstop")
+
+    def cont(self) -> None:
+        """SIGCONT: release the gate (idempotent)."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        self.transitions.append((self.env.now, "running"))
+        resume, self._resume = self._resume, self.env.event()
+        resume.succeed()
+
+    # -- process side ------------------------------------------------------
+    def wait_runnable(self):
+        """Process fragment: block while stopped."""
+        while self._stopped:
+            t0 = self.env.now
+            yield self._resume
+            self.stopped_waiting_s += self.env.now - t0
+
+    def cpu(self, duration: float):
+        """Process fragment: consume ``duration`` CPU seconds, pausing
+        across any stop/cont cycles."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        remaining = duration
+        while remaining > 0:
+            yield from self.wait_runnable()
+            start = self.env.now
+            self._in_cpu = True
+            try:
+                yield self.env.timeout(remaining)
+                self.cpu_consumed_s += remaining
+                remaining = 0.0
+            except Interrupt:
+                used = self.env.now - start
+                self.cpu_consumed_s += used
+                remaining -= used
+            finally:
+                self._in_cpu = False
+
+
+__all__ = ["ProcessControl"]

@@ -1,0 +1,82 @@
+"""ASCII diagnostics of memory and swap state.
+
+Renders per-process residency maps (which parts of an address space are
+in memory, on swap, dirty, or untouched) and a node-level summary —
+useful when studying why a policy evicted what it did.
+
+Glyphs: ``█`` resident dirty, ``▓`` resident clean, ``s`` swapped out,
+``·`` never touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.page_table import PageTable
+from repro.mem.vmm import VirtualMemoryManager
+from repro.metrics.report import format_table
+
+#: state codes in display precedence order
+_GLYPHS = {0: "·", 1: "s", 2: "▓", 3: "█"}
+
+
+def residency_codes(table: PageTable) -> np.ndarray:
+    """Per-page state code: 0 untouched, 1 swapped, 2 clean, 3 dirty."""
+    codes = np.zeros(table.num_pages, dtype=np.int8)
+    swapped = ~table.present & (table.swap_slot >= 0)
+    codes[swapped] = 1
+    codes[table.present] = 2
+    codes[table.present & table.dirty] = 3
+    return codes
+
+
+def render_residency(table: PageTable, width: int = 64) -> str:
+    """One line: the address space squeezed into ``width`` cells.
+
+    Each cell shows the *most interesting* state within its page bucket
+    (dirty > clean > swapped > untouched).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    codes = residency_codes(table)
+    edges = np.linspace(0, codes.size, width + 1).astype(int)
+    cells = []
+    for a, b in zip(edges, edges[1:]):
+        cells.append(_GLYPHS[int(codes[a:b].max(initial=0))])
+    return f"pid {table.pid:<4}|" + "".join(cells) + "|"
+
+
+def render_node(vmm: VirtualMemoryManager, width: int = 64) -> str:
+    """Residency maps for every process plus frame/swap accounting."""
+    lines = [
+        f"node {vmm.name}: frames {vmm.frames.used}/{vmm.frames.total} used, "
+        f"swap {vmm.swap.used_slots}/{vmm.swap.num_slots} slots, "
+        f"fragmentation {vmm.swap.fragmentation():.2f}",
+        "legend: █ dirty  ▓ clean  s swapped  · untouched",
+    ]
+    rows = []
+    for pid in sorted(vmm.tables):
+        table = vmm.tables[pid]
+        lines.append(render_residency(table, width))
+        codes = residency_codes(table)
+        rows.append(
+            (
+                pid,
+                table.num_pages,
+                int((codes >= 2).sum()),
+                int((codes == 3).sum()),
+                int((codes == 1).sum()),
+                int((codes == 0).sum()),
+            )
+        )
+    lines.append("")
+    lines.append(
+        format_table(
+            ("pid", "pages", "resident", "dirty", "swapped", "untouched"),
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["render_node", "render_residency", "residency_codes"]

@@ -1,0 +1,76 @@
+"""Physical frame accounting with reclaim watermarks.
+
+Frames are fungible in this model — what matters to every policy is the
+*count* of free frames relative to the ``freepages.min`` / ``.high``
+watermarks (paper §2), not which frame holds which page.
+"""
+
+from __future__ import annotations
+
+
+class OutOfFramesError(Exception):
+    """Raised when an allocation would exceed physical memory.
+
+    The VMM is expected to reclaim before allocating; reaching this
+    error indicates a policy bug, so it is loud rather than silent.
+    """
+
+
+class FramePool:
+    """Counts free/used physical frames and exposes watermark tests."""
+
+    def __init__(self, total: int, freepages_min: int, freepages_high: int) -> None:
+        if total <= 0:
+            raise ValueError("total frames must be positive")
+        if not (0 <= freepages_min <= freepages_high <= total):
+            raise ValueError("invalid watermarks")
+        self.total = total
+        self.freepages_min = freepages_min
+        self.freepages_high = freepages_high
+        self._free = total
+
+    @property
+    def free(self) -> int:
+        """Currently free frames."""
+        return self._free
+
+    @property
+    def used(self) -> int:
+        return self.total - self._free
+
+    def allocate(self, n: int) -> None:
+        """Take ``n`` frames; raises :class:`OutOfFramesError` if short."""
+        if n < 0:
+            raise ValueError("cannot allocate a negative frame count")
+        if n > self._free:
+            raise OutOfFramesError(
+                f"requested {n} frames with only {self._free} free"
+            )
+        self._free -= n
+
+    def release(self, n: int) -> None:
+        """Return ``n`` frames to the pool."""
+        if n < 0:
+            raise ValueError("cannot release a negative frame count")
+        if self._free + n > self.total:
+            raise ValueError(
+                f"releasing {n} frames would exceed total {self.total}"
+            )
+        self._free += n
+
+    # -- watermark tests ---------------------------------------------------
+    def below_min(self, incoming: int = 0) -> bool:
+        """Would free frames drop below ``freepages.min`` after taking
+        ``incoming`` more frames?"""
+        return self._free - incoming < self.freepages_min
+
+    def deficit_to_high(self, incoming: int = 0) -> int:
+        """Frames that must be reclaimed to reach ``freepages.high``
+        after also allocating ``incoming`` frames."""
+        return max(0, self.freepages_high + incoming - self._free)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FramePool(free={self._free}/{self.total})"
+
+
+__all__ = ["FramePool", "OutOfFramesError"]

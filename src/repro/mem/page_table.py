@@ -1,0 +1,187 @@
+"""Per-process page table with vectorised state.
+
+Page state (numpy arrays indexed by virtual page number):
+
+``present``     resident in physical memory
+``dirty``       modified since the swap copy was last written
+``referenced``  clock/LRU reference bit (cleared by sweeps)
+``last_ref``    virtual time of the most recent reference (-inf if never)
+``swap_slot``   slot holding the page's swap copy, or -1
+
+Swap-cache semantics (matching Linux 2.2 closely enough for the paper's
+mechanisms): a page keeps its swap slot across a page-in, so a *clean*
+resident page with a slot can later be discarded without disk I/O —
+this is exactly what the §3.4 background writer buys at switch time.
+Dirtying a page invalidates (but keeps) the slot; the next page-out
+rewrites it in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PageTable:
+    """State of one process's virtual address space.
+
+    Parameters
+    ----------
+    pid:
+        Process id (node-local).
+    num_pages:
+        Size of the address space in pages; page numbers are
+        ``0..num_pages-1``.
+    """
+
+    def __init__(self, pid: int, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        self.pid = pid
+        self.num_pages = int(num_pages)
+        self.present = np.zeros(self.num_pages, dtype=bool)
+        self.dirty = np.zeros(self.num_pages, dtype=bool)
+        self.referenced = np.zeros(self.num_pages, dtype=bool)
+        self.last_ref = np.full(self.num_pages, -np.inf, dtype=np.float64)
+        self.swap_slot = np.full(self.num_pages, -1, dtype=np.int64)
+        #: per-process clock hand for sweep-style replacement
+        self.clock_hand = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def resident_count(self) -> int:
+        """Resident set size in pages."""
+        return int(np.count_nonzero(self.present))
+
+    def resident_pages(self) -> np.ndarray:
+        """Page numbers currently resident, ascending."""
+        return np.flatnonzero(self.present)
+
+    def swapped_pages(self) -> np.ndarray:
+        """Pages that are out of memory but have a swap copy."""
+        return np.flatnonzero(~self.present & (self.swap_slot >= 0))
+
+    def touched_pages(self) -> np.ndarray:
+        """Pages the process has ever referenced."""
+        return np.flatnonzero(self.last_ref > -np.inf)
+
+    def absent(self, pages: np.ndarray) -> np.ndarray:
+        """Subset of ``pages`` (order preserved) that are not resident."""
+        pages = np.asarray(pages, dtype=np.int64)
+        return pages[~self.present[pages]]
+
+    def oldest_resident(self, n: int) -> np.ndarray:
+        """Up to ``n`` resident pages with the smallest ``last_ref``."""
+        res = self.resident_pages()
+        if res.size <= n:
+            return res
+        ages = self.last_ref[res]
+        idx = np.argpartition(ages, n - 1)[:n]
+        return res[np.sort(idx)]
+
+    def dirty_resident_pages(self) -> np.ndarray:
+        """Resident pages whose swap copy is missing or stale."""
+        return np.flatnonzero(self.present & (self.dirty | (self.swap_slot < 0)))
+
+    def clean_resident_pages(self) -> np.ndarray:
+        """Resident pages discardable without I/O (valid swap copy)."""
+        return np.flatnonzero(self.present & ~self.dirty & (self.swap_slot >= 0))
+
+    # -- mutations ---------------------------------------------------------
+    def record_access(self, pages: np.ndarray, now: float,
+                      dirty: bool | np.ndarray = False) -> None:
+        """Mark ``pages`` referenced at ``now``; optionally dirtied.
+
+        ``dirty`` may be a scalar or a boolean mask aligned with
+        ``pages``.  All pages must already be resident.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return
+        if not self.present[pages].all():
+            raise ValueError("record_access on non-resident page")
+        self.referenced[pages] = True
+        self.last_ref[pages] = now
+        if np.isscalar(dirty) or isinstance(dirty, bool):
+            if dirty:
+                self.dirty[pages] = True
+        else:
+            mask = np.asarray(dirty, dtype=bool)
+            if mask.shape != pages.shape:
+                raise ValueError("dirty mask shape mismatch")
+            self.dirty[pages[mask]] = True
+
+    def make_resident(self, pages: np.ndarray) -> None:
+        """Flip ``pages`` to present (frames must already be accounted).
+
+        Freshly paged-in or zero-filled pages are clean and referenced.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return
+        if self.present[pages].any():
+            raise ValueError("make_resident on already-resident page")
+        self.present[pages] = True
+        self.dirty[pages] = False
+        self.referenced[pages] = True
+
+    def evict(self, pages: np.ndarray) -> None:
+        """Flip ``pages`` to non-present (slots must be assigned for any
+        page that needs a swap copy *before* calling this)."""
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return
+        if not self.present[pages].all():
+            raise ValueError("evict of non-resident page")
+        self.present[pages] = False
+        self.referenced[pages] = False
+        self.dirty[pages] = False
+
+    def assign_slots(self, pages: np.ndarray, slots: np.ndarray) -> None:
+        """Record swap copies for ``pages`` living in ``slots``."""
+        pages = np.asarray(pages, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        if pages.shape != slots.shape:
+            raise ValueError("pages/slots shape mismatch")
+        self.swap_slot[pages] = slots
+
+    def release_slots(self, pages: np.ndarray) -> np.ndarray:
+        """Forget swap copies for ``pages``; returns the freed slot ids."""
+        pages = np.asarray(pages, dtype=np.int64)
+        slots = self.swap_slot[pages]
+        if np.any(slots < 0):
+            raise ValueError("release_slots on page without a slot")
+        self.swap_slot[pages] = -1
+        return slots
+
+    def clear_referenced(self, pages: np.ndarray | None = None) -> None:
+        """Clear reference bits (a clock sweep step)."""
+        if pages is None:
+            self.referenced[:] = False
+        else:
+            self.referenced[np.asarray(pages, dtype=np.int64)] = False
+
+    # -- invariants (used by property tests and debug assertions) ----------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal state is inconsistent."""
+        # dirty or referenced implies present
+        assert not np.any(self.dirty & ~self.present), "dirty non-resident page"
+        assert not np.any(self.referenced & ~self.present), (
+            "referenced non-resident page"
+        )
+        # a non-resident touched page must have a swap copy
+        touched = self.last_ref > -np.inf
+        assert not np.any(touched & ~self.present & (self.swap_slot < 0)), (
+            "touched page neither resident nor on swap"
+        )
+        # slots are unique where assigned
+        slots = self.swap_slot[self.swap_slot >= 0]
+        assert len(np.unique(slots)) == slots.size, "duplicate swap slot"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PageTable(pid={self.pid}, pages={self.num_pages}, "
+            f"resident={self.resident_count})"
+        )
+
+
+__all__ = ["PageTable"]

@@ -1,0 +1,83 @@
+"""Tunable parameters of the virtual-memory model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: bytes per page throughout the library (Linux default, paper §3.3)
+PAGE_BYTES = 4096
+
+
+def mb_to_pages(mb: float) -> int:
+    """Convert megabytes to a whole number of 4 KiB pages."""
+    return int(round(mb * 1024 * 1024 / PAGE_BYTES))
+
+
+def pages_to_mb(pages: int) -> float:
+    """Convert a page count to megabytes."""
+    return pages * PAGE_BYTES / (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Configuration of one node's memory subsystem.
+
+    The watermark mechanism follows the paper's description of Linux 2.2
+    (§2): reclaim starts when free frames drop below ``freepages.min``
+    and continues until ``freepages.high``.
+    """
+
+    #: physical memory available for paging, in 4 KiB pages.  The paper
+    #: reduces a 1 GB machine to 350 MB of usable memory with mlock();
+    #: experiments here set this directly.
+    total_frames: int
+    #: reclaim trigger watermark (pages); default 2 % of memory
+    freepages_min: int = -1
+    #: reclaim target watermark (pages); default 4 % of memory
+    freepages_high: int = -1
+    #: pages written per reclaim batch (Linux swap cluster)
+    swap_cluster: int = 32
+    #: swap-in read-ahead window in pages (Linux 2.2 default, paper §3.3)
+    readahead_pages: int = 16
+    #: swap area size in pages; default 4x physical memory
+    swap_slots: int = -1
+    #: CPU cost of a minor (zero-fill) fault, seconds/page
+    minor_fault_s: float = 2e-6
+    #: CPU overhead of a major fault beyond the disk time, seconds/page
+    major_fault_cpu_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.total_frames <= 0:
+            raise ValueError("total_frames must be positive")
+        object.__setattr__(
+            self,
+            "freepages_min",
+            self.freepages_min if self.freepages_min >= 0
+            else max(1, self.total_frames // 50),
+        )
+        object.__setattr__(
+            self,
+            "freepages_high",
+            self.freepages_high if self.freepages_high >= 0
+            else max(2, self.total_frames // 25),
+        )
+        object.__setattr__(
+            self,
+            "swap_slots",
+            self.swap_slots if self.swap_slots > 0 else self.total_frames * 4,
+        )
+        if not (0 <= self.freepages_min <= self.freepages_high <= self.total_frames):
+            raise ValueError(
+                "need 0 <= freepages_min <= freepages_high <= total_frames"
+            )
+        if self.swap_cluster <= 0 or self.readahead_pages <= 0:
+            raise ValueError("swap_cluster and readahead_pages must be positive")
+
+    @classmethod
+    def from_mb(cls, memory_mb: float, **kw) -> "MemoryParams":
+        """Build params for a node with ``memory_mb`` of pageable RAM."""
+        return cls(total_frames=mb_to_pages(memory_mb), **kw)
+
+
+__all__ = ["MemoryParams", "PAGE_BYTES", "mb_to_pages", "pages_to_mb"]

@@ -1,0 +1,457 @@
+"""The per-node virtual memory manager.
+
+Ties the frame pool, page tables, replacement policy, swap allocator
+and disk together, and exposes the three hook points the adaptive
+mechanisms of :mod:`repro.core` use:
+
+``victim_selector``
+    Replaces baseline victim selection during a job switch (selective
+    page-out, §3.1).
+``on_flush``
+    Observes every page-out, in flush order (the adaptive page-in
+    recorder, §3.3).
+``evict_batch`` / ``reclaim``
+    Called directly by aggressive page-out (§3.2) and the background
+    writer (§3.4) to force page-outs outside the fault path.
+
+All methods that perform disk I/O are generator *process fragments* to
+be driven with ``yield from`` inside a simulation process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.disk.device import Disk, PRIO_FOREGROUND
+from repro.disk.swap import SwapAllocator
+from repro.mem.frames import FramePool, OutOfFramesError
+from repro.mem.page_table import PageTable
+from repro.mem.params import MemoryParams
+from repro.mem.readahead import dedupe_preserve_order, plan_swapins
+from repro.mem.replacement import (
+    GlobalLruPolicy,
+    ReplacementPolicy,
+    VictimBatch,
+)
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+@dataclass
+class FaultStats:
+    """Cumulative paging statistics for one node."""
+
+    minor_faults: int = 0          # zero-fill pages
+    major_faults: int = 0          # fault events serviced from swap
+    pages_swapped_in: int = 0      # pages read (incl. read-ahead)
+    pages_swapped_out: int = 0     # pages written
+    pages_discarded: int = 0       # clean evictions (no I/O)
+    evictions: int = 0             # pages removed from memory (total)
+    refaults: int = 0              # pages swapped in soon after eviction
+    reclaim_episodes: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
+
+class VirtualMemoryManager:
+    """Demand-paged virtual memory for one node.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    params:
+        Memory configuration (frames, watermarks, read-ahead, ...).
+    disk:
+        The node's paging device.
+    policy:
+        Baseline replacement policy (default: global LRU approximation).
+    refault_window_s:
+        A page swapped back in within this many seconds of its eviction
+        counts as a *refault* — the observable symptom of the paper's
+        §3.1 false eviction.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: MemoryParams,
+        disk: Disk,
+        policy: Optional[ReplacementPolicy] = None,
+        refault_window_s: float = 300.0,
+        name: str = "vmm0",
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.disk = disk
+        self.name = name
+        self.policy = policy or GlobalLruPolicy()
+        self.refault_window_s = refault_window_s
+        self.frames = FramePool(
+            params.total_frames, params.freepages_min, params.freepages_high
+        )
+        self.swap = SwapAllocator(params.swap_slots)
+        self.tables: dict[int, PageTable] = {}
+        self.stats = FaultStats()
+        # eviction timestamps per pid for refault detection
+        self._evicted_at: dict[int, np.ndarray] = {}
+        # demand sets of in-flight fault services; pages here must never
+        # be selected as victims (several touches can be in flight when
+        # a stopped process is still finishing kernel-side fault work)
+        self._active_demands: list[tuple[int, np.ndarray]] = []
+        # serialises evictions (the kernel's reclaim path holds a lock);
+        # victims are re-validated after the wait
+        self._evict_lock = Resource(env, capacity=1)
+        # whether the most recent reclaim round found any candidates
+        # (distinguishes "nothing evictable" from "victims went stale")
+        self._reclaim_saw_candidates = False
+
+        # -- adaptive-mechanism hook points --------------------------------
+        #: when set, replaces baseline victim selection; same signature
+        #: as ReplacementPolicy.select_victims
+        self.victim_selector: Optional[
+            Callable[[Mapping[int, PageTable], int, int,
+                      Optional[Mapping[int, np.ndarray]]], list[VictimBatch]]
+        ] = None
+        #: observer called as on_flush(pid, pages) for every page-out,
+        #: in flush order
+        self.on_flush: Optional[Callable[[int, np.ndarray], None]] = None
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+    def register_process(self, pid: int, num_pages: int) -> PageTable:
+        """Create the page table for a new process."""
+        if pid in self.tables:
+            raise ValueError(f"pid {pid} already registered")
+        table = PageTable(pid, num_pages)
+        self.tables[pid] = table
+        self._evicted_at[pid] = np.full(num_pages, -np.inf)
+        return table
+
+    def unregister_process(self, pid: int) -> None:
+        """Tear down an exited process, releasing frames and swap."""
+        table = self.tables.pop(pid)
+        self._evicted_at.pop(pid)
+        self.frames.release(table.resident_count)
+        slots = table.swap_slot[table.swap_slot >= 0]
+        if slots.size:
+            self.swap.free(slots)
+
+    def resident_pages_total(self) -> int:
+        """Total resident pages across every registered process."""
+        return sum(t.resident_count for t in self.tables.values())
+
+    # ------------------------------------------------------------------
+    # the demand-paging fault path
+    # ------------------------------------------------------------------
+    def touch(self, pid: int, pages: np.ndarray,
+              dirty: bool | np.ndarray = False):
+        """Process fragment: make ``pages`` resident and reference them.
+
+        ``pages`` is in touch order; ``dirty`` is a scalar or per-page
+        mask.  Yields on disk I/O for page-ins and any reclaim writes.
+        The demand set is protected from eviction while being serviced,
+        so a single call must not demand more pages than physical memory
+        minus the high watermark (workload phases are chunked to ensure
+        this).
+        """
+        table = self.tables[pid]
+        pages = dedupe_preserve_order(pages)
+        if pages.size > self.params.total_frames - self.params.freepages_high:
+            raise ValueError(
+                f"phase demands {pages.size} pages; node has only "
+                f"{self.params.total_frames} frames (chunk the phase)"
+            )
+        entry = (pid, pages)
+        self._active_demands.append(entry)
+        try:
+            # Loop: a page resident when first checked can be evicted by
+            # an in-flight write that had already selected it; re-check
+            # until the whole demand set is resident.
+            while True:
+                absent = pages[~table.present[pages]]
+                if absent.size == 0:
+                    break
+                for group in plan_swapins(
+                    table, absent, self.params.readahead_pages
+                ):
+                    # a group page may have been brought in meanwhile
+                    mask = ~table.present[group.pages]
+                    gpages = group.pages[mask]
+                    if gpages.size == 0:
+                        continue
+                    gslots = group.slots[mask] if group.slots is not None \
+                        else None
+                    yield from self._ensure_frames(gpages.size)
+                    self.frames.allocate(gpages.size)
+                    if gslots is None:
+                        self.stats.minor_faults += gpages.size
+                        delay = gpages.size * self.params.minor_fault_s
+                        if delay > 0:
+                            yield self.env.timeout(delay)
+                    else:
+                        req = self.disk.submit(
+                            gslots, "read", PRIO_FOREGROUND, pid=pid
+                        )
+                        yield req
+                        self.stats.major_faults += 1
+                        self.stats.pages_swapped_in += gpages.size
+                        self._count_refaults(pid, gpages)
+                        cpu = gpages.size * self.params.major_fault_cpu_s
+                        if cpu > 0:
+                            yield self.env.timeout(cpu)
+                    table.make_resident(gpages)
+                    # the fault itself is a reference (protects freshly
+                    # faulted pages from instant LRU re-eviction)
+                    table.last_ref[gpages] = self.env.now
+        finally:
+            self._remove_demand(entry)
+        table.record_access(pages, self.env.now, dirty)
+
+    def swap_in_block(self, pid: int, groups):
+        """Process fragment: service pre-planned block swap-ins.
+
+        Used by adaptive page-in (§3.3): ``groups`` comes from
+        :func:`repro.mem.readahead.plan_block_reads`.  The paper induces
+        *faults* for the recorded pages, so each page counts as
+        referenced at page-in time (otherwise an LRU baseline would
+        treat the prefetched pages as the oldest in memory and evict
+        them right back out).
+        """
+        table = self.tables[pid]
+        for group in groups:
+            # Skip pages that became resident since planning.
+            mask = ~table.present[group.pages]
+            pages = group.pages[mask]
+            if pages.size == 0:
+                continue
+            slots = group.slots[mask]
+            entry = (pid, pages)
+            self._active_demands.append(entry)
+            try:
+                yield from self._ensure_frames(pages.size)
+                self.frames.allocate(pages.size)
+                req = self.disk.submit(slots, "read", PRIO_FOREGROUND, pid=pid)
+                yield req
+            finally:
+                self._remove_demand(entry)
+            self.stats.major_faults += 1
+            self.stats.pages_swapped_in += pages.size
+            self._count_refaults(pid, pages)
+            table.make_resident(pages)
+            table.last_ref[pages] = self.env.now
+
+    # ------------------------------------------------------------------
+    # reclaim / page-out
+    # ------------------------------------------------------------------
+    def _remove_demand(self, entry) -> None:
+        """Remove ``entry`` from the in-flight demand list by identity
+        (tuple equality would compare numpy arrays elementwise)."""
+        for i, e in enumerate(self._active_demands):
+            if e is entry:
+                del self._active_demands[i]
+                return
+        raise ValueError("demand entry not registered")
+
+    def _active_protect(
+        self, extra: Optional[Mapping[int, np.ndarray]] = None
+    ) -> dict[int, np.ndarray]:
+        """Union of all in-flight demand sets (plus ``extra``), by pid."""
+        merged: dict[int, list[np.ndarray]] = {}
+        for pid, pages in self._active_demands:
+            merged.setdefault(pid, []).append(pages)
+        if extra:
+            for pid, pages in extra.items():
+                merged.setdefault(pid, []).append(
+                    np.asarray(pages, dtype=np.int64)
+                )
+        return {
+            pid: arrs[0] if len(arrs) == 1 else np.concatenate(arrs)
+            for pid, arrs in merged.items()
+        }
+
+    def _ensure_frames(self, incoming: int):
+        """Process fragment: reclaim until ``incoming`` frames can be
+        allocated without breaching the ``freepages.min`` watermark.
+
+        Loops because a concurrent fault may consume frames we just
+        freed while we waited on the eviction lock, and because another
+        reclaimer may steal our selected victims (stale batches) — in
+        that case the world is still making progress, so back off for
+        one disk-positioning time and retry rather than giving up.
+        """
+        stale_retries = 0
+        while True:
+            if (self.frames.free >= incoming
+                    and not self.frames.below_min(incoming)):
+                return
+            deficit = self.frames.deficit_to_high(incoming)
+            progress = yield from self.reclaim(deficit)
+            if progress > 0:
+                stale_retries = 0
+                continue
+            if self.frames.free >= incoming:
+                return  # cannot reach the watermark, but we fit
+            if self._reclaim_saw_candidates:
+                stale_retries += 1
+                if stale_retries > 100_000:
+                    raise OutOfFramesError(
+                        f"livelock: need {incoming} frames, "
+                        f"{self.frames.free} free after "
+                        f"{stale_retries} stale reclaim rounds"
+                    )
+                yield self.env.timeout(self.disk.params.positioning_s)
+                continue
+            raise OutOfFramesError(
+                f"need {incoming} frames, {self.frames.free} free, "
+                "and nothing is evictable"
+            )
+
+    def reclaim(self, count: int,
+                protect: Optional[Mapping[int, np.ndarray]] = None,
+                priority: int = PRIO_FOREGROUND):
+        """Process fragment: evict ~``count`` pages via the active policy.
+
+        Pages belonging to any in-flight fault service are always
+        protected, in addition to the caller-supplied ``protect`` map.
+        Returns the number of pages evicted.
+        """
+        if count <= 0:
+            return 0
+        self.stats.reclaim_episodes += 1
+        remaining = count
+        total = 0
+        self._reclaim_saw_candidates = False
+        while remaining > 0:
+            selector = self.victim_selector or self.policy.select_victims
+            batches = selector(
+                self.tables, remaining, self.params.swap_cluster,
+                self._active_protect(protect),
+            )
+            if not batches:
+                break  # nothing evictable (all resident pages protected)
+            self._reclaim_saw_candidates = True
+            progress = 0
+            for batch in batches:
+                progress += yield from self.evict_batch(batch, priority)
+            if progress == 0:
+                # victims went stale (a concurrent reclaim consumed
+                # them first); the caller decides whether to retry
+                break
+            remaining -= progress
+            total += progress
+        return total
+
+    def evict_batch(self, batch: VictimBatch,
+                    priority: int = PRIO_FOREGROUND,
+                    keep_resident: bool = False):
+        """Process fragment: write out / discard one victim batch.
+
+        Dirty pages (or pages with no swap copy yet) are written in a
+        single disk request; clean pages with valid swap copies are
+        discarded free of I/O.  With ``keep_resident=True`` the pages
+        stay in memory and only the dirty ones are cleaned — this is the
+        §3.4 background-writing mode.
+
+        Evictions are serialised VMM-wide; victims selected before the
+        lock wait are re-validated afterwards.  Returns the number of
+        pages actually evicted (0 in keep-resident mode).
+        """
+        lock = self._evict_lock.request()
+        yield lock
+        try:
+            table = self.tables.get(batch.pid)
+            if table is None:
+                return 0  # process exited while we waited
+            # Re-validate: drop victims that were evicted, exited or are
+            # now part of an in-flight fault's demand set.
+            pages = batch.pages[table.present[batch.pages]]
+            active = self._active_protect().get(batch.pid)
+            if active is not None and pages.size:
+                pages = pages[~np.isin(pages, active)]
+            if pages.size == 0:
+                return 0
+
+            needs_write = table.dirty[pages] | (table.swap_slot[pages] < 0)
+            to_write = pages[needs_write]
+            if to_write.size:
+                no_slot = to_write[table.swap_slot[to_write] < 0]
+                if no_slot.size:
+                    new_slots = self.swap.allocate(no_slot.size)
+                    table.assign_slots(no_slot, new_slots)
+                slots = table.swap_slot[to_write]
+                req = self.disk.submit(slots, "write", priority, pid=batch.pid)
+                yield req
+                if batch.pid not in self.tables:
+                    return 0  # process exited during the write
+                self.stats.pages_swapped_out += to_write.size
+                table.dirty[to_write] = False
+                # A fault service may have started demanding some of
+                # these pages while the write was in flight; they were
+                # written (wasted I/O) but must stay resident.
+                active = self._active_protect().get(batch.pid)
+                if active is not None:
+                    pages = pages[~np.isin(pages, active)]
+                    to_write = to_write[~np.isin(to_write, active)]
+                    if pages.size == 0:
+                        return 0
+
+            if keep_resident:
+                # Background cleaning (§3.4): pages stay in memory, so
+                # this is not a flush and must not reach the recorder.
+                return 0
+
+            self.stats.pages_discarded += pages.size - to_write.size
+            self.stats.evictions += pages.size
+            if self.on_flush is not None:
+                self.on_flush(batch.pid, pages)
+            self._evicted_at[batch.pid][pages] = self.env.now
+            table.evict(pages)
+            self.frames.release(pages.size)
+            return int(pages.size)
+        finally:
+            self._evict_lock.release(lock)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _count_refaults(self, pid: int, pages: np.ndarray) -> None:
+        evicted = self._evicted_at[pid][pages]
+        recent = self.env.now - evicted < self.refault_window_s
+        self.stats.refaults += int(np.count_nonzero(recent))
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency checks (used by property tests)."""
+        resident = self.resident_pages_total()
+        assert resident == self.frames.used, (
+            f"frame accounting drift: tables={resident} pool={self.frames.used}"
+        )
+        all_slots = []
+        for table in self.tables.values():
+            table.check_invariants()
+            s = table.swap_slot[table.swap_slot >= 0]
+            all_slots.append(s)
+        if all_slots:
+            merged = np.concatenate(all_slots)
+            assert len(np.unique(merged)) == merged.size, (
+                "swap slot shared between processes"
+            )
+            assert merged.size == self.swap.used_slots, (
+                f"swap accounting drift: tables={merged.size} "
+                f"allocator={self.swap.used_slots}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VMM({self.name}, procs={len(self.tables)}, "
+            f"free={self.frames.free}/{self.frames.total})"
+        )
+
+
+__all__ = ["FaultStats", "VirtualMemoryManager"]

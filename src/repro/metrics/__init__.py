@@ -1,0 +1,40 @@
+"""Measurement layer: paging traces, completion metrics, reports.
+
+:class:`MetricsCollector` hooks every node's disk to record paging
+events (the Figure 6 activity traces) and the scheduler's switches.
+:mod:`repro.metrics.analysis` computes the paper's derived quantities —
+switching overhead against the batch baseline (§4.1 Fig. 7b) and paging
+reduction relative to the original LRU (§4.1 Fig. 7c).
+:mod:`repro.metrics.report` renders ASCII tables and time series for
+the experiment harnesses.
+"""
+
+from repro.metrics.analysis import (
+    overhead_fraction,
+    overhead_seconds,
+    paging_reduction,
+)
+from repro.metrics.collector import MetricsCollector, PagingEvent
+from repro.metrics.report import ascii_series, format_table
+from repro.metrics.timeline import (
+    JobBreakdown,
+    NodeUtilization,
+    job_breakdown,
+    node_utilization,
+    render_breakdown,
+)
+
+__all__ = [
+    "JobBreakdown",
+    "MetricsCollector",
+    "NodeUtilization",
+    "PagingEvent",
+    "ascii_series",
+    "format_table",
+    "job_breakdown",
+    "node_utilization",
+    "overhead_fraction",
+    "overhead_seconds",
+    "paging_reduction",
+    "render_breakdown",
+]

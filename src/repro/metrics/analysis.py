@@ -1,0 +1,55 @@
+"""Derived metrics matching the paper's definitions.
+
+The paper compares three execution modes of the same two-instance
+workload:
+
+``batch``   the two instances run one after the other — no switches, so
+            its makespan is the zero-overhead reference (§4.1);
+``lru``     gang-scheduled under the unmodified paging policy;
+``policy``  gang-scheduled under an adaptive-mechanism combination.
+
+From these:
+
+* **switching overhead** (Fig. 7b/8b/9b): the fraction of the gang
+  makespan attributable to job switching,
+  ``(T_gang - T_batch) / T_gang``;
+* **paging reduction** (Fig. 7c/8c/9c): how much of the original
+  policy's switching overhead the adaptive policy removes,
+  ``1 - (T_policy - T_batch) / (T_lru - T_batch)``.
+"""
+
+from __future__ import annotations
+
+
+def overhead_seconds(gang_makespan: float, batch_makespan: float) -> float:
+    """Absolute job-switching overhead in seconds (clamped at 0)."""
+    return max(0.0, gang_makespan - batch_makespan)
+
+
+def overhead_fraction(gang_makespan: float, batch_makespan: float) -> float:
+    """Fraction of the gang makespan spent on job switching."""
+    if gang_makespan <= 0:
+        raise ValueError("gang makespan must be positive")
+    return overhead_seconds(gang_makespan, batch_makespan) / gang_makespan
+
+
+def paging_reduction(
+    lru_makespan: float,
+    policy_makespan: float,
+    batch_makespan: float,
+) -> float:
+    """Reduction of switching overhead relative to the original policy.
+
+    1.0 means the adaptive policy eliminated all overhead; 0.0 means it
+    matched plain LRU; negative values mean it was worse.  When the
+    baseline itself has (near-)zero overhead the reduction is defined
+    as 0 (nothing to reduce) — the CG-on-4-nodes case of §4.2.
+    """
+    base = overhead_seconds(lru_makespan, batch_makespan)
+    if base <= 1e-9:
+        return 0.0
+    mine = overhead_seconds(policy_makespan, batch_makespan)
+    return 1.0 - mine / base
+
+
+__all__ = ["overhead_fraction", "overhead_seconds", "paging_reduction"]

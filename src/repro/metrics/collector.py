@@ -1,0 +1,113 @@
+"""Event collection for paging traces and switch records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PagingEvent:
+    """One completed disk transfer (a page-in or page-out burst)."""
+
+    node: str
+    op: str          # "read" (page-in) or "write" (page-out)
+    pages: int
+    start: float
+    end: float
+    pid: Optional[int]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class MetricsCollector:
+    """Records paging events and switches across a whole cluster."""
+
+    def __init__(self) -> None:
+        self.paging: list[PagingEvent] = []
+        self.switches: list = []
+
+    # -- wiring ----------------------------------------------------------
+    def attach_node(self, node) -> None:
+        """Hook a node's disk completions (call before running)."""
+        name = node.name
+
+        def hook(req, start, end, _name=name):
+            self.paging.append(
+                PagingEvent(_name, req.op, req.npages, start, end, req.pid)
+            )
+
+        node.disk.on_complete = hook
+
+    def on_switch(self, record) -> None:
+        """Scheduler switch callback (pass as ``on_switch=``)."""
+        self.switches.append(record)
+
+    # -- analysis ----------------------------------------------------------
+    def pages_moved(self, op: Optional[str] = None,
+                    node: Optional[str] = None) -> int:
+        """Total pages transferred, optionally filtered by op/node."""
+        return sum(
+            e.pages
+            for e in self.paging
+            if (op is None or e.op == op) and (node is None or e.node == node)
+        )
+
+    def io_busy_seconds(self, node: Optional[str] = None) -> float:
+        """Total disk-busy time spent on paging."""
+        return sum(
+            e.duration for e in self.paging
+            if node is None or e.node == node
+        )
+
+    def paging_series(
+        self,
+        bin_s: float,
+        t_end: Optional[float] = None,
+        node: Optional[str] = None,
+    ) -> dict[str, np.ndarray]:
+        """Bin paging activity over time — the Figure 6 traces.
+
+        Returns ``{"t": bin_starts, "read": pages/bin, "write": pages/bin}``.
+        A transfer's pages land in the bin of its completion time.
+        """
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        events = [e for e in self.paging if node is None or e.node == node]
+        horizon = t_end if t_end is not None else (
+            max((e.end for e in events), default=0.0)
+        )
+        nbins = max(1, int(np.ceil(horizon / bin_s)))
+        t = np.arange(nbins) * bin_s
+        series = {
+            "t": t,
+            "read": np.zeros(nbins),
+            "write": np.zeros(nbins),
+        }
+        for e in events:
+            idx = min(nbins - 1, int(e.end / bin_s))
+            series[e.op][idx] += e.pages
+        return series
+
+    def switch_paging_windows(self, window_s: float) -> list[tuple[float, int]]:
+        """Pages moved within ``window_s`` after each switch start."""
+        out = []
+        for rec in self.switches:
+            t0 = rec.started_at
+            pages = sum(
+                e.pages for e in self.paging if t0 <= e.end < t0 + window_s
+            )
+            out.append((t0, pages))
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events and switches."""
+        self.paging.clear()
+        self.switches.clear()
+
+
+__all__ = ["MetricsCollector", "PagingEvent"]

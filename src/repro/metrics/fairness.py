@@ -1,0 +1,62 @@
+"""Fairness metrics for gang schedules.
+
+Gang scheduling's promise (paper §1) is *fair* time-sharing: every job
+makes progress each rotation.  These helpers quantify it:
+
+* :func:`cpu_shares` — each job's consumed CPU as a share of the total;
+* :func:`jains_index` — Jain's fairness index over those shares
+  (1.0 = perfectly equal, 1/n = one job got everything);
+* :func:`progress_ratios` — consumed CPU over demanded CPU per job, a
+  completion-progress view usable mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.gang.job import Job
+
+
+def cpu_shares(jobs: Iterable[Job]) -> dict[str, float]:
+    """Fraction of all consumed CPU seconds received by each job."""
+    consumed = {
+        job.name: sum(p.control.cpu_consumed_s for p in job.processes)
+        for job in jobs
+    }
+    total = sum(consumed.values())
+    if total <= 0:
+        return {name: 0.0 for name in consumed}
+    return {name: c / total for name, c in consumed.items()}
+
+
+def jains_index(values: Sequence[float] | Mapping[str, float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``."""
+    if isinstance(values, Mapping):
+        values = list(values.values())
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if np.any(arr < 0):
+        raise ValueError("shares must be non-negative")
+    denom = arr.size * float((arr ** 2).sum())
+    if denom == 0:
+        return 1.0  # all zero: trivially equal
+    return float(arr.sum()) ** 2 / denom
+
+
+def progress_ratios(jobs: Iterable[Job],
+                    demands_s: Mapping[str, float]) -> dict[str, float]:
+    """Consumed CPU over total demand per job (1.0 = finished compute)."""
+    out = {}
+    for job in jobs:
+        demand = demands_s.get(job.name)
+        if demand is None or demand <= 0:
+            raise ValueError(f"no positive demand for {job.name}")
+        consumed = sum(p.control.cpu_consumed_s for p in job.processes)
+        out[job.name] = consumed / demand
+    return out
+
+
+__all__ = ["cpu_shares", "jains_index", "progress_ratios"]

@@ -1,0 +1,117 @@
+"""ASCII Gantt charts of gang schedules.
+
+Renders which job held each node over time — the visual proof of
+coordinated context switching.  Sources the scheduled/stopped
+transitions each :class:`~repro.gang.signals.ProcessControl` logs.
+
+Glyphs: each job gets a letter; ``·`` marks idle (no job scheduled).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gang.job import Job
+
+
+def scheduled_intervals(job: Job, node) -> list[tuple[float, float]]:
+    """[(start, stop)] intervals during which ``job`` was runnable on
+    ``node`` (stop = completion time for the final open interval)."""
+    proc = job.process_on(node)
+    out = []
+    open_at = None
+    for t, state in proc.control.transitions:
+        if state == "running" and open_at is None:
+            open_at = t
+        elif state == "stopped" and open_at is not None:
+            out.append((open_at, t))
+            open_at = None
+    if open_at is not None:
+        end = proc.finished_at if proc.finished_at is not None else open_at
+        out.append((open_at, end))
+    return out
+
+
+def render_gantt(
+    jobs: Sequence[Job],
+    nodes: Iterable,
+    width: int = 72,
+    t_end: float | None = None,
+) -> str:
+    """One row per node; columns are time buckets; letters are jobs."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    jobs = list(jobs)
+    if not jobs:
+        raise ValueError("no jobs")
+    horizon = t_end if t_end is not None else max(
+        j.completed_at or 0.0 for j in jobs
+    )
+    if horizon <= 0:
+        raise ValueError("nothing to render (horizon 0)")
+    letters = {}
+    pool = string.ascii_uppercase + string.ascii_lowercase + string.digits
+    for i, job in enumerate(jobs):
+        letters[job.name] = pool[i % len(pool)]
+
+    lines = []
+    edges = np.linspace(0.0, horizon, width + 1)
+    for node in nodes:
+        cells = ["·"] * width
+        for job in jobs:
+            try:
+                intervals = scheduled_intervals(job, node)
+            except KeyError:
+                continue  # job has no rank on this node
+            glyph = letters[job.name]
+            for start, stop in intervals:
+                a = int(np.searchsorted(edges, start, side="right")) - 1
+                b = int(np.searchsorted(edges, min(stop, horizon),
+                                        side="left"))
+                for c in range(max(0, a), min(width, b)):
+                    cells[c] = glyph
+        name = getattr(node, "name", str(node))
+        lines.append(f"{name:<8}|{''.join(cells)}|")
+
+    legend = "  ".join(
+        f"{letters[j.name]}={j.name}" for j in jobs
+    )
+    header = (
+        f"gantt 0..{horizon:.0f}s  ({horizon / width:.1f}s per column)"
+    )
+    return "\n".join([header, *lines, f"legend: {legend}  ·=idle"])
+
+
+def coordination_score(jobs: Sequence[Job]) -> float:
+    """How gang-coordinated the schedule was: mean over jobs of the
+    overlap between rank schedules (1.0 = all ranks always switched
+    together; meaningful for multi-node jobs)."""
+    scores = []
+    for job in jobs:
+        if len(job.nodes) < 2:
+            continue
+        per_node = [
+            scheduled_intervals(job, node) for node in job.nodes
+        ]
+        total = sum(stop - start for start, stop in per_node[0])
+        if total <= 0:
+            continue
+        # overlap of every node's schedule with node 0's
+        ref = per_node[0]
+        overlaps = []
+        for intervals in per_node[1:]:
+            ov = 0.0
+            for a0, a1 in ref:
+                for b0, b1 in intervals:
+                    ov += max(0.0, min(a1, b1) - max(a0, b0))
+            overlaps.append(ov / total)
+        scores.append(min(overlaps))
+    if not scores:
+        return 1.0
+    return float(np.mean(scores))
+
+
+__all__ = ["coordination_score", "render_gantt", "scheduled_intervals"]

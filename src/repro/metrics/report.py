@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and time series.
+
+The experiment harnesses print the same rows/series the paper's figures
+show; everything renders in a terminal with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: eight-level block characters for ASCII time series
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), len(sep)))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3g}" if abs(cell) < 10 else f"{cell:.1f}"
+    return str(cell)
+
+
+def ascii_series(
+    values: np.ndarray | Sequence[float],
+    width: int = 80,
+    label: str = "",
+    vmax: float | None = None,
+) -> str:
+    """Render a series as one line of block characters.
+
+    Values are re-binned to ``width`` columns (sum within each column)
+    and scaled to ``vmax`` (default: the series maximum).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{label:<12}|{' ' * width}|"
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # re-bin by summing
+    edges = np.linspace(0, arr.size, width + 1).astype(int)
+    binned = np.array(
+        [arr[a:b].sum() if b > a else 0.0 for a, b in zip(edges, edges[1:])]
+    )
+    top = vmax if vmax is not None else binned.max()
+    if top <= 0:
+        body = " " * width
+    else:
+        idx = np.clip(
+            np.ceil(binned / top * (len(_BLOCKS) - 1)), 0, len(_BLOCKS) - 1
+        ).astype(int)
+        body = "".join(_BLOCKS[i] for i in idx)
+    return f"{label:<12}|{body}|"
+
+
+def percent(x: float) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{100.0 * x:.0f}%"
+
+
+__all__ = ["ascii_series", "format_table", "percent"]

@@ -1,0 +1,156 @@
+"""Per-job time breakdowns and node utilisation summaries.
+
+Answers "where did the time go?" for a finished run:
+
+* :func:`job_breakdown` — per job: CPU actually consumed, time stopped
+  by the gang scheduler, and the remainder (paging waits + barrier
+  synchronisation), from the process controls' accounting;
+* :func:`node_utilization` — per node: disk-busy share of the makespan
+  and the paging read/write split, from the metrics collector;
+* :func:`render_breakdown` — the stacked ASCII view of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.gang.job import Job
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class JobBreakdown:
+    """Where one job's wall-clock time went (per slowest rank)."""
+
+    name: str
+    completion_s: float
+    cpu_s: float
+    stopped_s: float
+    #: completion - cpu - stopped: paging waits + barrier sync + switch
+    other_s: float
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.cpu_s / self.completion_s if self.completion_s else 0.0
+
+
+def job_breakdown(jobs: Iterable[Job]) -> list[JobBreakdown]:
+    """Compute per-job breakdowns (jobs must be finished)."""
+    out = []
+    for job in jobs:
+        if not job.finished:
+            raise ValueError(f"{job.name} has not finished")
+        # the slowest rank determines the job's completion; average the
+        # rank accounting (ranks are symmetric under gang scheduling)
+        n = len(job.processes)
+        cpu = sum(p.control.cpu_consumed_s for p in job.processes) / n
+        stopped = sum(p.control.stopped_waiting_s for p in job.processes) / n
+        other = max(0.0, job.completed_at - cpu - stopped)
+        out.append(
+            JobBreakdown(job.name, job.completed_at, cpu, stopped, other)
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One node's disk activity over a run."""
+
+    node: str
+    disk_busy_s: float
+    pages_read: int
+    pages_written: int
+
+    def busy_fraction(self, makespan_s: float) -> float:
+        """Disk-busy share of the run's makespan."""
+        return self.disk_busy_s / makespan_s if makespan_s else 0.0
+
+
+def node_utilization(collector: MetricsCollector) -> list[NodeUtilization]:
+    """Aggregate the collector's paging events per node."""
+    nodes = sorted({e.node for e in collector.paging})
+    return [
+        NodeUtilization(
+            node,
+            collector.io_busy_seconds(node=node),
+            collector.pages_moved(op="read", node=node),
+            collector.pages_moved(op="write", node=node),
+        )
+        for node in nodes
+    ]
+
+
+def _bar(fractions: Sequence[tuple[str, float]], width: int = 40) -> str:
+    """Stacked bar: one glyph per segment kind, proportional widths."""
+    glyphs = {"cpu": "█", "stopped": "░", "other": "▒"}
+    cells = []
+    for kind, frac in fractions:
+        cells.append(glyphs.get(kind, "?") * max(0, round(frac * width)))
+    return "|" + "".join(cells)[:width].ljust(width) + "|"
+
+
+def render_breakdown(
+    jobs: Iterable[Job],
+    collector: MetricsCollector | None = None,
+    makespan_s: float | None = None,
+    width: int = 40,
+) -> str:
+    """Tables + stacked bars for jobs (and nodes, if a collector given)."""
+    downs = job_breakdown(jobs)
+    rows = []
+    for d in downs:
+        total = d.completion_s or 1.0
+        bar = _bar(
+            [
+                ("cpu", d.cpu_s / total),
+                ("stopped", d.stopped_s / total),
+                ("other", d.other_s / total),
+            ],
+            width,
+        )
+        rows.append(
+            (
+                d.name,
+                f"{d.completion_s:.0f}",
+                f"{d.cpu_s:.0f}",
+                f"{d.stopped_s:.0f}",
+                f"{d.other_s:.0f}",
+                bar,
+            )
+        )
+    out = format_table(
+        ("job", "done [s]", "cpu [s]", "stopped [s]", "paging+sync [s]",
+         "█ cpu ░ stopped ▒ other"),
+        rows,
+        title="Per-job time breakdown",
+    )
+    if collector is not None:
+        utils = node_utilization(collector)
+        mk = makespan_s or max((d.completion_s for d in downs), default=0.0)
+        nrows = [
+            (
+                u.node,
+                f"{u.disk_busy_s:.0f}",
+                f"{u.busy_fraction(mk):.0%}",
+                u.pages_read,
+                u.pages_written,
+            )
+            for u in utils
+        ]
+        out += "\n\n" + format_table(
+            ("node", "disk busy [s]", "busy share", "pages in", "pages out"),
+            nrows,
+            title="Per-node paging utilisation",
+        )
+    return out
+
+
+__all__ = [
+    "JobBreakdown",
+    "NodeUtilization",
+    "job_breakdown",
+    "node_utilization",
+    "render_breakdown",
+]

@@ -1,0 +1,453 @@
+"""Event loop, events, timeouts and coroutine processes.
+
+The engine keeps a priority queue of ``(time, priority, sequence, event)``
+entries.  :meth:`Environment.step` pops the earliest entry, advances the
+virtual clock and runs the event's callbacks.  A :class:`Process` wraps a
+generator; every value the generator yields must be an :class:`Event`,
+and the process resumes when that event fires.
+
+Determinism: ties in time are broken first by scheduling priority (so
+``URGENT`` interrupts beat normal events), then by insertion order, so a
+simulation with a fixed seed always replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+# Scheduling priorities: URGENT entries at the same timestamp run before
+# NORMAL ones.  Used for interrupts so they preempt ordinary resumptions.
+URGENT = 0
+NORMAL = 1
+
+#: Sentinel stored in Event._value while the event has not yet fired.
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. yielding a
+    non-event, re-triggering a fired event, or running a dead engine)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened; exposed
+        via :attr:`cause`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value
+    (or failure) and scheduled, and *processed* once its callbacks ran.
+    Callbacks are ``f(event)`` callables appended to :attr:`callbacks`.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: set True when a failure value has been retrieved or defused,
+        #: so unhandled failures can be detected.
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters see ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not escalate."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time after creation.
+
+    A *daemon* timeout does not keep :meth:`Environment.run` alive: when
+    only daemon events remain, an unbounded run terminates.  Background
+    observers (e.g. :class:`repro.sim.monitor.PeriodicSampler`) use this
+    so they never stall a simulation that is otherwise finished.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 daemon: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay, daemon=daemon)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class _InterruptEvent(Event):
+    """Internal: scheduled throw of :class:`Interrupt` into a process."""
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """Drives a generator; is itself an event that fires on termination.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each fires.  If the awaited event *fails* the
+    exception is thrown into the generator (catchable there).  When the
+    generator returns, the process event succeeds with the return value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: event this process is currently waiting on (None when running
+        #: or terminated).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the wrapped generator has terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not be interrupting itself.
+        The event it was waiting on remains valid and may be re-awaited.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} already terminated")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- engine internals --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s value."""
+        if not self.is_alive:
+            # The process terminated in the same timestep an interrupt was
+            # scheduled; the interrupt is moot.
+            return
+        env = self.env
+        env._active_process = self
+        while True:
+            if event is not None and not event._ok and not isinstance(
+                event, _InterruptEvent
+            ):
+                # Awaited event failed: throw into the generator.
+                event._defused = True
+                exc = event._value
+                advance = lambda: self._generator.throw(exc)  # noqa: E731
+            elif isinstance(event, _InterruptEvent):
+                # Only deliver the interrupt if we are genuinely waiting;
+                # a process that terminated in the same timestep is a
+                # kernel bug (interrupt() guards the user-facing case).
+                exc = event._value
+                advance = lambda: self._generator.throw(exc)  # noqa: E731
+            else:
+                value = None if event is None else event._value
+                advance = lambda: self._generator.send(value)  # noqa: E731
+
+            # Detach from the event we were waiting on (we may have been
+            # resumed by an interrupt rather than by the target itself).
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+
+            try:
+                target = advance()
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, NORMAL)
+                return
+            except BaseException as exc:  # generator died with an error
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process yielded non-event {target!r}; yield Timeout/"
+                    "Event/Process instances"
+                )
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL)
+                return
+            if target.env is not env:
+                raise SimulationError("yielded event belongs to another environment")
+
+            if target.callbacks is None:
+                # Already processed: continue immediately with its value.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            env._active_process = None
+            return
+
+
+class _ConditionBase(Event):
+    """Common machinery for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("all condition events must share one env")
+        self._done = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev.triggered}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Fires once every constituent event has fired.
+
+    Value is a dict mapping each event to its value.  Fails fast if any
+    constituent fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_ConditionBase):
+    """Fires as soon as any constituent event fires (or fails)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Virtual time at which the clock starts (seconds by convention
+        throughout this library).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event, bool]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        #: scheduled entries that are NOT daemons (keep run() alive)
+        self._live = 0
+        #: total events processed by step() — a wall-clock-free measure
+        #: of how much simulation work a run performed
+        self.events_processed = 0
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None,
+                daemon: bool = False) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value, daemon=daemon)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new coroutine process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing once every constituent fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing on the first constituent."""
+        return AnyOf(self, events)
+
+    # -- scheduling / execution ------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0, daemon: bool = False) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), event, daemon),
+        )
+        if not daemon:
+            self._live += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event, daemon = heapq.heappop(self._queue)
+        if not daemon:
+            self._live -= 1
+        self._now = when
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event fires, returning its
+          value (and raising its exception if it failed).
+        """
+        if until is None:
+            # daemon events do not keep the simulation alive
+            while self._live > 0:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if self._live == 0:
+                    raise SimulationError(
+                        "event queue drained before `until` event fired"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel._value
+            sentinel._defused = True
+            raise sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run backwards to {horizon!r}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

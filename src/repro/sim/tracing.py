@@ -1,0 +1,115 @@
+"""Structured tracing of discrete-event execution.
+
+A debugging aid: :class:`EventTracer` wraps an environment's ``step``
+to record every processed event — time, event type, whether it
+succeeded — into a bounded ring buffer, with optional predicate
+filtering.  When a simulation misbehaves ("why did this process resume
+at t=412?"), the tail of the trace usually answers it.
+
+Zero-cost when not installed; install/uninstall at any point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Environment, Event
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed event."""
+
+    time: float
+    kind: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        flag = "" if self.ok else " FAILED"
+        return f"[{self.time:12.6f}] {self.kind}{flag} {self.detail}".rstrip()
+
+
+class EventTracer:
+    """Ring-buffer tracer hooked into ``Environment.step``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int = 1000,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.predicate = predicate
+        self.entries: deque[TraceEntry] = deque(maxlen=capacity)
+        self.total_seen = 0
+        self._orig_step: Optional[Callable[[], None]] = None
+
+    # -- install / remove ----------------------------------------------------
+    @property
+    def installed(self) -> bool:
+        return self._orig_step is not None
+
+    def install(self) -> "EventTracer":
+        """Hook the environment's step(); returns self for chaining."""
+        if self.installed:
+            raise RuntimeError("tracer already installed")
+        orig = self.env.step
+
+        def traced_step() -> None:
+            queue = self.env._queue
+            nxt = queue[0][3] if queue else None
+            orig()
+            if nxt is not None:
+                self._record(nxt)
+
+        self._orig_step = orig
+        self.env.step = traced_step  # type: ignore[method-assign]
+        return self
+
+    def remove(self) -> None:
+        """Unhook from the environment (idempotent)."""
+        if self.installed:
+            self.env.step = self._orig_step  # type: ignore[method-assign]
+            self._orig_step = None
+
+    def __enter__(self) -> "EventTracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.remove()
+
+    # -- recording ---------------------------------------------------------
+    def _record(self, event: Event) -> None:
+        if self.predicate is not None and not self.predicate(event):
+            return
+        self.total_seen += 1
+        ok = bool(event._ok)
+        value = event._value
+        detail = ""
+        if not ok and isinstance(value, BaseException):
+            detail = f"{type(value).__name__}: {value}"
+        self.entries.append(
+            TraceEntry(self.env.now, type(event).__name__, ok, detail)
+        )
+
+    # -- inspection -----------------------------------------------------------
+    def tail(self, n: int = 20) -> list[TraceEntry]:
+        """The most recent ``n`` entries."""
+        return list(self.entries)[-n:]
+
+    def failures(self) -> list[TraceEntry]:
+        """All retained failed events."""
+        return [e for e in self.entries if not e.ok]
+
+    def render(self, n: int = 20) -> str:
+        """The last ``n`` entries, one per line."""
+        lines = [str(e) for e in self.tail(n)]
+        return "\n".join(lines) if lines else "<no events traced>"
+
+
+__all__ = ["EventTracer", "TraceEntry"]

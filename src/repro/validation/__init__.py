@@ -1,0 +1,24 @@
+"""Analytic validation of the simulation models.
+
+Closed-form expectations for the disk and paging models, used by the
+test suite to verify that the simulator's arithmetic matches the
+stated model exactly (transfer times) or within modelling tolerance
+(whole switch bursts).  Keeping these as a public module also documents
+the cost model a downstream user is simulating under.
+"""
+
+from repro.validation.analytic import (
+    amortization_ratio,
+    expected_block_pagein_s,
+    expected_demand_pagein_s,
+    expected_switch_paging_s,
+    expected_transfer_s,
+)
+
+__all__ = [
+    "amortization_ratio",
+    "expected_block_pagein_s",
+    "expected_demand_pagein_s",
+    "expected_switch_paging_s",
+    "expected_transfer_s",
+]

@@ -1,0 +1,126 @@
+"""Closed-form cost expectations for the disk/paging models.
+
+Each function mirrors one documented behaviour:
+
+* :func:`expected_transfer_s` — the §1 disk model: one positioning per
+  discontiguous run plus streaming transfer;
+* :func:`expected_demand_pagein_s` — a demand-paged working set read
+  with the kernel's read-ahead window (one I/O per window);
+* :func:`expected_block_pagein_s` — the same pages read by adaptive
+  page-in's large batches;
+* :func:`expected_switch_paging_s` — a whole coordinated switch: writes
+  for the outgoing dirty set plus reads for the incoming set, under
+  either the original or the adaptive policy;
+* :func:`amortization_ratio` — the per-page cost advantage of block
+  transfers, the single number the paper's whole design leans on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.disk.device import DiskParams
+
+
+def expected_transfer_s(params: DiskParams, npages: int, nruns: int,
+                        continues: bool = False) -> float:
+    """Service time of one request: ``nruns`` discontiguous runs of
+    ``npages`` total pages (``continues``: first run follows the head)."""
+    if npages <= 0 or nruns <= 0 or nruns > npages:
+        raise ValueError("need 0 < nruns <= npages")
+    seeks = nruns - (1 if continues else 0)
+    return (
+        params.overhead_s
+        + seeks * params.positioning_s
+        + npages * params.page_transfer_s
+    )
+
+
+def expected_demand_pagein_s(params: DiskParams, npages: int,
+                             readahead: int,
+                             sequential: bool = False) -> float:
+    """Reading ``npages`` via demand faults with a read-ahead window.
+
+    ``sequential=False`` (the general case): every fault's window lands
+    somewhere else on the swap area, so each I/O pays a positioning.
+    ``sequential=True``: the swap layout is contiguous and the access
+    order matches it (an undisturbed sweep re-read), so consecutive
+    windows stream and only the first I/O positions the head.
+    """
+    if readahead <= 0:
+        raise ValueError("readahead must be positive")
+    nio = math.ceil(npages / readahead)
+    positionings = 1 if sequential else nio
+    return (
+        nio * params.overhead_s
+        + positionings * params.positioning_s
+        + npages * params.page_transfer_s
+    )
+
+
+def expected_block_pagein_s(params: DiskParams, npages: int,
+                            batch: int, sequential: bool = False) -> float:
+    """Reading ``npages`` in adaptive page-in batches of ``batch``.
+
+    ``sequential`` as in :func:`expected_demand_pagein_s` — adaptive
+    page-in reads in slot order, so its batches stream whenever the
+    flush laid the pages out contiguously (the aggressive page-out
+    case).
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    nio = math.ceil(npages / batch)
+    positionings = 1 if sequential else nio
+    return (
+        nio * params.overhead_s
+        + positionings * params.positioning_s
+        + npages * params.page_transfer_s
+    )
+
+
+def expected_switch_paging_s(
+    params: DiskParams,
+    ws_in_pages: int,
+    out_dirty_pages: int,
+    adaptive: bool,
+    readahead: int = 16,
+    batch: int = 256,
+    cluster: int = 32,
+    interleave_penalty: float = 1.0,
+) -> float:
+    """One coordinated switch's paging time.
+
+    Original policy: the outgoing dirty set leaves in ``cluster``-page
+    writes interleaved with ``readahead``-page reads — every I/O pays a
+    positioning, scaled by ``interleave_penalty`` (>1 when read/write
+    alternation destroys locality).  Adaptive: one block write stream
+    plus one block read stream of ``batch`` pages per I/O.
+    """
+    if adaptive:
+        writes = expected_block_pagein_s(params, out_dirty_pages, batch) \
+            if out_dirty_pages else 0.0
+        reads = expected_block_pagein_s(params, ws_in_pages, batch) \
+            if ws_in_pages else 0.0
+        return writes + reads
+    w = expected_block_pagein_s(params, out_dirty_pages, cluster) \
+        if out_dirty_pages else 0.0
+    r = expected_demand_pagein_s(params, ws_in_pages, readahead) \
+        if ws_in_pages else 0.0
+    return interleave_penalty * (w + r)
+
+
+def amortization_ratio(params: DiskParams, batch: int,
+                       scattered: int = 1) -> float:
+    """Per-page cost of ``scattered``-page I/Os over ``batch``-page I/Os."""
+    small = expected_transfer_s(params, scattered, 1) / scattered
+    big = expected_transfer_s(params, batch, 1) / batch
+    return small / big
+
+
+__all__ = [
+    "amortization_ratio",
+    "expected_block_pagein_s",
+    "expected_demand_pagein_s",
+    "expected_switch_paging_s",
+    "expected_transfer_s",
+]

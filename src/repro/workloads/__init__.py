@@ -1,0 +1,48 @@
+"""Workload substrate: phase-based memory reference traces.
+
+The paper evaluates with NAS NPB2 programs (LU, SP, CG, IS, MG).  Real
+NPB binaries cannot run here, so :mod:`repro.workloads.npb` provides
+synthetic generators parameterised by the four properties that drive
+paging behaviour: footprint, per-iteration access shape (sequential
+sweeps, irregular sparse access, random scatter, multigrid levels),
+dirty ratio, and compute density.  :mod:`repro.workloads.synthetic`
+offers generic building blocks used by the examples and tests.
+
+A workload is a sequence of :class:`Phase` objects; each phase touches
+a set of page ranges (some dirtying), burns CPU, and optionally ends at
+a synchronisation barrier (for the parallel MPI-style runs).
+"""
+
+from repro.workloads.base import (
+    Phase,
+    PageRange,
+    Workload,
+    chunk_ranges,
+    expand_phase,
+)
+from repro.workloads.npb import (
+    NPB_BENCHMARKS,
+    NpbBenchmark,
+    make_npb,
+)
+from repro.workloads.synthetic import (
+    PointerChaseWorkload,
+    RandomAccessWorkload,
+    SequentialSweepWorkload,
+    StridedWorkload,
+)
+
+__all__ = [
+    "NPB_BENCHMARKS",
+    "NpbBenchmark",
+    "PageRange",
+    "Phase",
+    "PointerChaseWorkload",
+    "RandomAccessWorkload",
+    "SequentialSweepWorkload",
+    "StridedWorkload",
+    "Workload",
+    "chunk_ranges",
+    "expand_phase",
+    "make_npb",
+]

@@ -1,0 +1,118 @@
+"""Workload characterisation: the numbers that predict paging behaviour.
+
+Given a workload (or recorded trace), computes the properties DESIGN.md
+§2 says drive everything: footprint, touches per page, dirty ratio, and
+a *phase-level reuse profile* — for each phase, how many of its pages
+were last touched 1, 2, 3... phases ago.  The reuse profile is the
+phase-granular analogue of a reuse-distance histogram and explains why
+a pattern pages badly (long distances = little residual reuse within a
+quantum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.workloads.base import Workload, expand_phase
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one workload realisation."""
+
+    name: str
+    footprint_pages: int
+    nphases: int
+    total_touches: int
+    dirty_touches: int
+    total_cpu_s: float
+    #: histogram over phase-reuse distance d>=1: touches whose previous
+    #: touch was d phases earlier (first touches excluded)
+    reuse_hist: dict[int, int]
+    #: mean pages per phase
+    mean_phase_pages: float
+
+    @property
+    def dirty_ratio(self) -> float:
+        return self.dirty_touches / self.total_touches \
+            if self.total_touches else 0.0
+
+    @property
+    def touches_per_page(self) -> float:
+        return self.total_touches / self.footprint_pages \
+            if self.footprint_pages else 0.0
+
+    @property
+    def mean_reuse_distance(self) -> float:
+        """Mean phase-distance between successive touches of a page."""
+        total = sum(self.reuse_hist.values())
+        if total == 0:
+            return float("inf")
+        return sum(d * c for d, c in self.reuse_hist.items()) / total
+
+    @property
+    def cpu_per_touch_s(self) -> float:
+        return self.total_cpu_s / self.total_touches \
+            if self.total_touches else 0.0
+
+
+def profile_workload(
+    workload: Workload, rng: np.random.Generator
+) -> WorkloadProfile:
+    """Run through the workload's phases and characterise them."""
+    last_touch = np.full(workload.footprint_pages, -1, dtype=np.int64)
+    reuse: dict[int, int] = {}
+    total = dirty = 0
+    cpu = 0.0
+    nphases = 0
+    for idx, phase in enumerate(workload.phases(rng)):
+        nphases += 1
+        cpu += phase.cpu_s
+        pages, dmask = expand_phase(phase)
+        total += pages.size
+        dirty += int(dmask.sum())
+        prev = last_touch[pages]
+        seen = prev >= 0
+        if seen.any():
+            dists, counts = np.unique(idx - prev[seen], return_counts=True)
+            for d, c in zip(dists, counts):
+                reuse[int(d)] = reuse.get(int(d), 0) + int(c)
+        last_touch[pages] = idx
+    return WorkloadProfile(
+        name=workload.name,
+        footprint_pages=workload.footprint_pages,
+        nphases=nphases,
+        total_touches=total,
+        dirty_touches=dirty,
+        total_cpu_s=cpu,
+        reuse_hist=reuse,
+        mean_phase_pages=total / nphases if nphases else 0.0,
+    )
+
+
+def render_profiles(profiles: list[WorkloadProfile]) -> str:
+    """Comparison table across workloads."""
+    rows = [
+        (
+            p.name,
+            p.footprint_pages,
+            p.nphases,
+            f"{p.touches_per_page:.1f}",
+            f"{p.dirty_ratio:.2f}",
+            f"{p.mean_reuse_distance:.1f}",
+            f"{p.total_cpu_s:.0f}",
+        )
+        for p in profiles
+    ]
+    return format_table(
+        ("workload", "pages", "phases", "touches/page", "dirty ratio",
+         "mean reuse dist", "cpu [s]"),
+        rows,
+        title="Workload characterisation",
+    )
+
+
+__all__ = ["WorkloadProfile", "profile_workload", "render_profiles"]

@@ -1,0 +1,213 @@
+"""Phase-based memory reference traces.
+
+Simulating minutes of execution at per-reference granularity is
+infeasible in Python; instead a process executes *phases*.  Each phase
+names the page ranges it touches (with a dirty flag per range), the CPU
+time it burns, and whether it ends at a barrier.  The VMM resolves a
+phase's faults with vectorised set operations, so simulated time stays
+decoupled from wall-clock cost.
+
+Phases must be small enough to fit in memory alongside the reclaim
+watermarks (the VMM enforces this); :func:`chunk_ranges` splits long
+sweeps accordingly while preserving touch order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PageRange:
+    """A half-open page interval ``[start, stop)`` with a dirty flag."""
+
+    start: int
+    stop: int
+    dirty: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid range [{self.start}, {self.stop})")
+
+    @property
+    def npages(self) -> int:
+        return self.stop - self.start
+
+    def pages(self) -> np.ndarray:
+        """Expand the range into its page numbers."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One unit of execution: touch ranges, compute, maybe synchronise."""
+
+    ranges: tuple[PageRange, ...]
+    cpu_s: float
+    #: ends at an MPI-style barrier shared by all ranks of the job
+    barrier: bool = False
+    #: per-rank communication time paid at the barrier (network model)
+    comm_s: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_s < 0 or self.comm_s < 0:
+            raise ValueError("cpu_s and comm_s must be non-negative")
+
+    @property
+    def npages(self) -> int:
+        return sum(r.npages for r in self.ranges)
+
+
+def expand_phase(phase: Phase) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a phase into ``(pages, dirty_mask)`` in touch order.
+
+    A page appearing in several ranges is touched once (first
+    occurrence); it is dirty if *any* containing range dirties it.
+    """
+    if not phase.ranges:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    pages = np.concatenate([r.pages() for r in phase.ranges])
+    dirty = np.concatenate(
+        [np.full(r.npages, r.dirty, dtype=bool) for r in phase.ranges]
+    )
+    uniq, first = np.unique(pages, return_index=True)
+    if uniq.size == pages.size:
+        return pages, dirty
+    # de-duplicate, keeping touch order and OR-ing dirty flags
+    order = np.sort(first)
+    out_pages = pages[order]
+    # map each occurrence to its first occurrence and OR the dirty bits
+    inv = np.searchsorted(uniq, pages)
+    dirty_by_uniq = np.zeros(uniq.size, dtype=bool)
+    np.logical_or.at(dirty_by_uniq, inv, dirty)
+    out_dirty = dirty_by_uniq[np.searchsorted(uniq, out_pages)]
+    return out_pages, out_dirty
+
+
+def chunk_ranges(
+    ranges: Sequence[PageRange],
+    max_pages: int,
+    cpu_s: float,
+    barrier: bool = False,
+    comm_s: float = 0.0,
+    label: str = "",
+) -> list[Phase]:
+    """Split ``ranges`` into phases touching at most ``max_pages`` each.
+
+    ``cpu_s`` is distributed across chunks proportionally to page count.
+    Only the final chunk carries the barrier/comm cost.
+    """
+    if max_pages <= 0:
+        raise ValueError("max_pages must be positive")
+    # flatten into (start, stop, dirty) pieces no larger than max_pages
+    pieces: list[PageRange] = []
+    for r in ranges:
+        for s in range(r.start, r.stop, max_pages):
+            pieces.append(PageRange(s, min(r.stop, s + max_pages), r.dirty))
+
+    total = sum(p.npages for p in pieces)
+    phases: list[Phase] = []
+    acc: list[PageRange] = []
+    acc_pages = 0
+
+    def flush(last: bool) -> None:
+        nonlocal acc, acc_pages
+        if not acc:
+            return
+        share = cpu_s * (acc_pages / total) if total else 0.0
+        phases.append(
+            Phase(
+                tuple(acc),
+                cpu_s=share,
+                barrier=barrier and last,
+                comm_s=comm_s if last else 0.0,
+                label=label,
+            )
+        )
+        acc, acc_pages = [], 0
+
+    for i, piece in enumerate(pieces):
+        if acc_pages + piece.npages > max_pages:
+            flush(last=False)
+        acc.append(piece)
+        acc_pages += piece.npages
+    flush(last=True)
+    return phases
+
+
+class Workload:
+    """Base class: a named, finite sequence of phases.
+
+    Subclasses implement :meth:`iteration_phases`; the full program is
+    that iteration repeated ``iterations`` times (plus an optional
+    initialisation touch of the whole footprint).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        footprint_pages: int,
+        iterations: int,
+        max_phase_pages: int = 8192,
+        init_touch: bool = True,
+    ) -> None:
+        if footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.name = name
+        self.footprint_pages = int(footprint_pages)
+        self.iterations = int(iterations)
+        self.max_phase_pages = int(max_phase_pages)
+        self.init_touch = init_touch
+
+    def iteration_phases(self, it: int,
+                         rng: np.random.Generator) -> Iterable[Phase]:
+        """Phases of one iteration (subclass responsibility)."""
+        raise NotImplementedError
+
+    def phases(self, rng: np.random.Generator) -> Iterator[Phase]:
+        """The whole program's phases, chunked and in order."""
+        if self.init_touch:
+            # initial data placement: touch (and dirty) the footprint
+            yield from chunk_ranges(
+                [PageRange(0, self.footprint_pages, dirty=True)],
+                self.max_phase_pages,
+                cpu_s=1e-6 * self.footprint_pages,
+                label=f"{self.name}:init",
+            )
+        for it in range(self.iterations):
+            yield from self.iteration_phases(it, rng)
+
+    def total_phases(self, rng: np.random.Generator) -> int:
+        """Count phases (consumes a fresh iterator)."""
+        return sum(1 for _ in self.phases(rng))
+
+    def scale_in_place(self, factor: float, min_pages: int = 64) -> "Workload":
+        """Proportionally shrink/grow this workload (footprint and any
+        absolute CPU demand) for fast runs.  Subclasses with absolute
+        per-iteration CPU override :meth:`_scale_cpu`.  Returns self.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.footprint_pages = max(min_pages,
+                                   int(self.footprint_pages * factor))
+        self._scale_cpu(factor)
+        return self
+
+    def _scale_cpu(self, factor: float) -> None:
+        """Hook: scale absolute CPU demands.  Workloads whose CPU is
+        per-page need no change (it follows the footprint)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"pages={self.footprint_pages}, iters={self.iterations})"
+        )
+
+
+__all__ = ["PageRange", "Phase", "Workload", "chunk_ranges", "expand_phase"]

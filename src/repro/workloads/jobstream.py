@@ -1,0 +1,98 @@
+"""Open-system job streams: random arrivals of random-sized jobs.
+
+The gang-scheduling literature the paper builds on (refs. [2, 4, 5])
+evaluates schedulers against *streams* of arriving jobs, not fixed
+pairs.  :func:`generate_stream` draws a reproducible stream with
+Poisson arrivals, log-normal memory footprints and log-uniform compute
+demands — the standard parallel-workload shape — for the open-system
+extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem.params import mb_to_pages
+
+
+@dataclass(frozen=True)
+class StreamJobSpec:
+    """One job of an arrival stream."""
+
+    name: str
+    arrival_s: float
+    footprint_pages: int
+    compute_s: float
+    dirty_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0 or self.compute_s <= 0:
+            raise ValueError("invalid job timing")
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint must be positive")
+        if not 0 <= self.dirty_fraction <= 1:
+            raise ValueError("dirty_fraction out of range")
+
+
+def generate_stream(
+    rng: np.random.Generator,
+    njobs: int,
+    mean_interarrival_s: float,
+    mem_mb_median: float = 180.0,
+    mem_mb_sigma: float = 0.35,
+    mem_mb_max: float = 330.0,
+    compute_s_range: tuple[float, float] = (180.0, 900.0),
+    dirty_range: tuple[float, float] = (0.4, 0.9),
+) -> list[StreamJobSpec]:
+    """Draw ``njobs`` arrivals.
+
+    * inter-arrival times: exponential with the given mean (Poisson
+      process);
+    * footprints: log-normal around ``mem_mb_median`` (clipped to
+      ``mem_mb_max`` so a single job always fits one node);
+    * compute demand: log-uniform over ``compute_s_range``;
+    * dirty fraction: uniform over ``dirty_range``.
+    """
+    if njobs <= 0:
+        raise ValueError("njobs must be positive")
+    if mean_interarrival_s <= 0:
+        raise ValueError("mean_interarrival_s must be positive")
+    lo, hi = compute_s_range
+    if not 0 < lo <= hi:
+        raise ValueError("invalid compute range")
+
+    arrivals = np.cumsum(rng.exponential(mean_interarrival_s, njobs))
+    mem = np.minimum(
+        mem_mb_max,
+        mem_mb_median * np.exp(rng.normal(0.0, mem_mb_sigma, njobs)),
+    )
+    compute = np.exp(rng.uniform(np.log(lo), np.log(hi), njobs))
+    dirty = rng.uniform(dirty_range[0], dirty_range[1], njobs)
+    return [
+        StreamJobSpec(
+            name=f"job{i:03d}",
+            arrival_s=float(arrivals[i]),
+            footprint_pages=max(64, mb_to_pages(float(mem[i]))),
+            compute_s=float(compute[i]),
+            dirty_fraction=float(dirty[i]),
+        )
+        for i in range(njobs)
+    ]
+
+
+def offered_load(
+    stream: list[StreamJobSpec], capacity_jobs: float = 1.0
+) -> float:
+    """Offered CPU load of the stream: compute demand per wall second."""
+    if not stream:
+        return 0.0
+    horizon = max(s.arrival_s for s in stream)
+    if horizon <= 0:
+        return float("inf")
+    total = sum(s.compute_s for s in stream)
+    return total / (horizon * capacity_jobs)
+
+
+__all__ = ["StreamJobSpec", "generate_stream", "offered_load"]

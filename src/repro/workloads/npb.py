@@ -1,0 +1,406 @@
+"""Synthetic NAS NPB2 benchmark models (LU, SP, CG, IS, MG).
+
+The real NPB2 binaries cannot run in this environment, so each
+benchmark is modelled by the four properties that determine its paging
+behaviour under gang scheduling:
+
+* **footprint** per data class (A/B/C), scaled to per-process size for
+  parallel runs as ``serial_mb * n^(-gamma) + repl_mb`` (divide the
+  grid, replicate halos/buffers);
+* **access shape** per iteration:
+
+  - ``LU``  — two wavefront sweeps (lower/upper SSOR) over the array,
+  - ``SP``  — three directional line-solve passes,
+  - ``CG``  — sparse matrix read in irregular (shuffled) chunk order
+    plus a dirty vector segment,
+  - ``IS``  — sequential key scan plus random-order bucket scatter,
+  - ``MG``  — multigrid V-cycle: a fine-grid sweep plus geometrically
+    shrinking coarse levels;
+
+* **dirty ratio** (how much of the footprint each iteration writes);
+* **compute density** (CPU seconds per iteration, divided across
+  processes in parallel runs).
+
+Footprints follow the published NPB2 class sizes where the paper
+anchors them (e.g. LU class C is ~188 MB per node on 4 machines, §4)
+and the paper's constraint that class B programs need 188–400 MB
+(§4.1, footnote 3).  They are calibration constants of the simulation,
+not measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.mem.params import mb_to_pages
+from repro.workloads.base import PageRange, Phase, Workload, chunk_ranges
+
+
+@dataclass(frozen=True)
+class NpbBenchmark:
+    """Static description of one NPB2 program."""
+
+    name: str
+    #: serial footprint in MB per data class
+    class_mb: dict[str, float]
+    #: footprint scaling exponent with process count
+    gamma: float
+    #: replicated per-process overhead (halos, buffers), MB
+    repl_mb: float
+    #: fraction of the footprint dirtied per iteration
+    dirty_fraction: float
+    #: iterations per data class
+    iterations: dict[str, int]
+    #: total CPU seconds per iteration (serial) per data class
+    cpu_iter_s: dict[str, float]
+    #: access-shape id: sweep2 | sweep3 | cg | is | mg
+    pattern: str
+    #: per-barrier communication payload time (grows log2(n))
+    comm_base_s: float
+    #: valid process counts (e.g. SP needs a square number)
+    valid_nprocs: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+    def footprint_mb(self, klass: str, nprocs: int) -> float:
+        """Per-process footprint for ``nprocs`` ranks."""
+        serial = self.class_mb[klass]
+        if nprocs == 1:
+            return serial
+        return serial * nprocs ** (-self.gamma) + self.repl_mb
+
+
+#: The five programs the paper evaluates.  SP does not compile for 2
+#: processes (§4.2) — it requires a square process count.
+NPB_BENCHMARKS: dict[str, NpbBenchmark] = {
+    "LU": NpbBenchmark(
+        name="LU",
+        class_mb={"A": 45.0, "B": 190.0, "C": 580.0},
+        gamma=1.0,
+        repl_mb=43.0,
+        dirty_fraction=0.6,
+        iterations={"A": 12, "B": 20, "C": 24},
+        cpu_iter_s={"A": 15.0, "B": 45.0, "C": 110.0},
+        pattern="sweep2",
+        comm_base_s=0.4,
+    ),
+    "SP": NpbBenchmark(
+        name="SP",
+        class_mb={"A": 50.0, "B": 310.0, "C": 1100.0},
+        gamma=1.0,
+        repl_mb=30.0,
+        dirty_fraction=0.8,
+        iterations={"A": 10, "B": 16, "C": 36},
+        cpu_iter_s={"A": 20.0, "B": 60.0, "C": 130.0},
+        pattern="sweep3",
+        comm_base_s=0.5,
+        valid_nprocs=(1, 4, 9, 16),
+    ),
+    "CG": NpbBenchmark(
+        name="CG",
+        class_mb={"A": 55.0, "B": 300.0, "C": 580.0},
+        gamma=1.0,
+        repl_mb=20.0,
+        dirty_fraction=0.3,
+        iterations={"A": 15, "B": 30, "C": 36},
+        cpu_iter_s={"A": 10.0, "B": 25.0, "C": 60.0},
+        pattern="cg",
+        comm_base_s=0.3,
+    ),
+    "IS": NpbBenchmark(
+        name="IS",
+        class_mb={"A": 80.0, "B": 185.0, "C": 600.0},
+        gamma=0.85,
+        repl_mb=0.0,
+        dirty_fraction=0.8,
+        iterations={"A": 8, "B": 10, "C": 12},
+        cpu_iter_s={"A": 15.0, "B": 35.0, "C": 120.0},
+        pattern="is",
+        comm_base_s=1.0,
+    ),
+    "MG": NpbBenchmark(
+        name="MG",
+        class_mb={"A": 60.0, "B": 330.0, "C": 620.0},
+        gamma=1.0,
+        repl_mb=0.0,
+        dirty_fraction=0.5,
+        iterations={"A": 8, "B": 12, "C": 16},
+        cpu_iter_s={"A": 25.0, "B": 60.0, "C": 90.0},
+        pattern="mg",
+        comm_base_s=0.4,
+    ),
+    # The paper evaluates the five programs above; FT and EP complete the
+    # NPB2 kernel set and are provided as extensions (EP is the
+    # no-memory-pressure control, FT the worst-case strided sweep).
+    "FT": NpbBenchmark(
+        name="FT",
+        class_mb={"A": 110.0, "B": 340.0, "C": 1300.0},
+        gamma=1.0,
+        repl_mb=10.0,
+        dirty_fraction=0.9,
+        iterations={"A": 6, "B": 10, "C": 14},
+        cpu_iter_s={"A": 30.0, "B": 70.0, "C": 150.0},
+        pattern="ft",
+        comm_base_s=1.2,  # all-to-all transpose
+    ),
+    "EP": NpbBenchmark(
+        name="EP",
+        class_mb={"A": 8.0, "B": 12.0, "C": 20.0},
+        gamma=0.3,  # footprint barely shrinks: it is all replicated state
+        repl_mb=0.0,
+        dirty_fraction=0.9,
+        iterations={"A": 8, "B": 12, "C": 16},
+        cpu_iter_s={"A": 30.0, "B": 90.0, "C": 200.0},
+        pattern="sweep2",
+        comm_base_s=0.05,  # a single reduction per iteration
+    ),
+}
+
+
+class NpbWorkload(Workload):
+    """Per-process phase generator for one NPB program instance."""
+
+    def __init__(
+        self,
+        bench: NpbBenchmark,
+        klass: str,
+        nprocs: int = 1,
+        max_phase_pages: int = 8192,
+    ) -> None:
+        if klass not in bench.class_mb:
+            raise ValueError(f"{bench.name} has no class {klass!r}")
+        if nprocs not in bench.valid_nprocs:
+            raise ValueError(
+                f"{bench.name} does not run on {nprocs} processes "
+                f"(valid: {bench.valid_nprocs})"
+            )
+        footprint = mb_to_pages(bench.footprint_mb(klass, nprocs))
+        super().__init__(
+            name=f"{bench.name}.{klass}.{nprocs}",
+            footprint_pages=footprint,
+            iterations=bench.iterations[klass],
+            max_phase_pages=max_phase_pages,
+        )
+        self.bench = bench
+        self.klass = klass
+        self.nprocs = nprocs
+        #: CPU per iteration per process
+        self.cpu_it_s = bench.cpu_iter_s[klass] / nprocs
+        #: communication payload per barrier (0 when serial)
+        self.comm_s = (
+            bench.comm_base_s * float(np.log2(nprocs)) if nprocs > 1 else 0.0
+        )
+        self.parallel = nprocs > 1
+
+    def _scale_cpu(self, factor: float) -> None:
+        # per-iteration CPU is absolute, so it scales with the footprint
+        self.cpu_it_s *= factor
+
+    # -- per-pattern iteration shapes -----------------------------------
+    def iteration_phases(self, it: int, rng: np.random.Generator):
+        pattern = self.bench.pattern
+        if pattern == "sweep2":
+            yield from self._sweeps(it, nsweeps=2)
+        elif pattern == "sweep3":
+            yield from self._sweeps(it, nsweeps=3)
+        elif pattern == "cg":
+            yield from self._cg(it, rng)
+        elif pattern == "is":
+            yield from self._is(it, rng)
+        elif pattern == "mg":
+            yield from self._mg(it)
+        elif pattern == "ft":
+            yield from self._ft(it)
+        else:  # pragma: no cover - guarded by the benchmark table
+            raise ValueError(f"unknown pattern {pattern!r}")
+
+    def _sweeps(self, it: int, nsweeps: int) -> Iterable[Phase]:
+        """LU/SP: full-footprint directional sweeps; the leading
+        ``dirty_fraction`` of the footprint is written each sweep."""
+        n = self.footprint_pages
+        split = int(n * self.bench.dirty_fraction)
+        cpu = self.cpu_it_s / nsweeps
+        for s in range(nsweeps):
+            ranges = []
+            if split:
+                ranges.append(PageRange(0, split, dirty=True))
+            if split < n:
+                ranges.append(PageRange(split, n, dirty=False))
+            yield from chunk_ranges(
+                ranges,
+                self.max_phase_pages,
+                cpu_s=cpu,
+                barrier=self.parallel,
+                comm_s=self.comm_s,
+                label=f"{self.name}:it{it}s{s}",
+            )
+
+    def _cg(self, it: int, rng: np.random.Generator) -> Iterable[Phase]:
+        """CG: read the sparse matrix in irregular chunk order, then
+        update the vector segment; two barrier points (matvec +
+        allreduce)."""
+        n = self.footprint_pages
+        mat_end = int(n * 0.7)
+        chunk = 256
+        starts = np.arange(0, mat_end, chunk)
+        rng.shuffle(starts)
+        cpu_mat = self.cpu_it_s * 0.7
+        cpu_chunk = cpu_mat / max(1, starts.size)
+        acc: list[PageRange] = []
+        acc_pages = 0
+        for i, s in enumerate(starts):
+            stop = min(int(s) + chunk, mat_end)
+            acc.append(PageRange(int(s), stop, dirty=False))
+            acc_pages += stop - int(s)
+            last = i == starts.size - 1
+            if acc_pages >= self.max_phase_pages or last:
+                yield Phase(
+                    tuple(acc),
+                    cpu_s=cpu_chunk * len(acc),
+                    barrier=self.parallel and last,
+                    comm_s=self.comm_s if last else 0.0,
+                    label=f"{self.name}:it{it}mat",
+                )
+                acc, acc_pages = [], 0
+        # vector update (dirty, sequential)
+        yield from chunk_ranges(
+            [PageRange(mat_end, n, dirty=True)],
+            self.max_phase_pages,
+            cpu_s=self.cpu_it_s * 0.3,
+            barrier=self.parallel,
+            comm_s=self.comm_s,
+            label=f"{self.name}:it{it}vec",
+        )
+
+    def _is(self, it: int, rng: np.random.Generator) -> Iterable[Phase]:
+        """IS: sequential key scan, then random-order bucket scatter
+        (dirty), ending in a heavy all-to-all barrier."""
+        n = self.footprint_pages
+        keys_end = int(n * 0.4)
+        # key scan
+        yield from chunk_ranges(
+            [PageRange(0, keys_end, dirty=False)],
+            self.max_phase_pages,
+            cpu_s=self.cpu_it_s * 0.3,
+            label=f"{self.name}:it{it}keys",
+        )
+        # bucket scatter in random chunk order
+        chunk = 64
+        starts = np.arange(keys_end, n, chunk)
+        rng.shuffle(starts)
+        cpu_chunk = self.cpu_it_s * 0.7 / max(1, starts.size)
+        acc: list[PageRange] = []
+        acc_pages = 0
+        for i, s in enumerate(starts):
+            stop = min(int(s) + chunk, n)
+            acc.append(PageRange(int(s), stop, dirty=True))
+            acc_pages += stop - int(s)
+            last = i == starts.size - 1
+            if acc_pages >= self.max_phase_pages or last:
+                yield Phase(
+                    tuple(acc),
+                    cpu_s=cpu_chunk * len(acc),
+                    barrier=self.parallel and last,
+                    comm_s=self.comm_s * 2 if last else 0.0,  # all-to-all
+                    label=f"{self.name}:it{it}buckets",
+                )
+                acc, acc_pages = [], 0
+
+    def _mg(self, it: int) -> Iterable[Phase]:
+        """MG: V-cycle — fine-grid relaxation sweep plus geometrically
+        shrinking coarse levels (each ~1/8 of the previous)."""
+        n = self.footprint_pages
+        fine_end = int(n * 0.75)
+        # fine grid (dirty per dirty_fraction)
+        split = int(fine_end * self.bench.dirty_fraction)
+        yield from chunk_ranges(
+            [PageRange(0, split, dirty=True), PageRange(split, fine_end, dirty=False)],
+            self.max_phase_pages,
+            cpu_s=self.cpu_it_s * 0.75,
+            barrier=self.parallel,
+            comm_s=self.comm_s,
+            label=f"{self.name}:it{it}fine",
+        )
+        # coarse levels
+        start = fine_end
+        size = max(1, (n - fine_end) // 2)
+        level = 0
+        cpu_rest = self.cpu_it_s * 0.25
+        while start < n and size >= 1:
+            stop = min(n, start + size)
+            yield from chunk_ranges(
+                [PageRange(start, stop, dirty=True)],
+                self.max_phase_pages,
+                cpu_s=cpu_rest / 2 ** (level + 1),
+                barrier=self.parallel,
+                comm_s=self.comm_s,
+                label=f"{self.name}:it{it}lvl{level}",
+            )
+            start = stop
+            size = max(1, size // 8)
+            level += 1
+            if level > 6:
+                break
+        # remaining tail of the footprint counts as the coarsest level
+        if start < n:
+            yield from chunk_ranges(
+                [PageRange(start, n, dirty=True)],
+                self.max_phase_pages,
+                cpu_s=cpu_rest / 2 ** (level + 1),
+                label=f"{self.name}:it{it}tail",
+            )
+
+
+    def _ft(self, it: int) -> Iterable[Phase]:
+        """FT (extension): two contiguous FFT sweeps plus a strided
+        transpose pass that visits every 8th chunk first — the paging
+        worst case for read-ahead."""
+        n = self.footprint_pages
+        # contiguous passes (forward FFT + inverse FFT), dirty
+        for s in range(2):
+            yield from chunk_ranges(
+                [PageRange(0, n, dirty=True)],
+                self.max_phase_pages,
+                cpu_s=self.cpu_it_s * 0.35,
+                barrier=self.parallel,
+                comm_s=self.comm_s,
+                label=f"{self.name}:it{it}fft{s}",
+            )
+        # transpose: strided chunk order
+        stride = 8
+        chunk = 64
+        starts = np.arange(0, n, chunk)
+        order = np.concatenate([starts[k::stride] for k in range(stride)])
+        acc: list[PageRange] = []
+        acc_pages = 0
+        cpu_chunk = self.cpu_it_s * 0.3 / max(1, order.size)
+        for i, s in enumerate(order):
+            stop = min(int(s) + chunk, n)
+            acc.append(PageRange(int(s), stop, dirty=True))
+            acc_pages += stop - int(s)
+            last = i == order.size - 1
+            if acc_pages >= self.max_phase_pages or last:
+                yield Phase(
+                    tuple(acc),
+                    cpu_s=cpu_chunk * len(acc),
+                    barrier=self.parallel and last,
+                    comm_s=self.comm_s * 2 if last else 0.0,
+                    label=f"{self.name}:it{it}transpose",
+                )
+                acc, acc_pages = [], 0
+
+
+def make_npb(
+    name: str, klass: str, nprocs: int = 1, **kw
+) -> NpbWorkload:
+    """Factory: ``make_npb("LU", "B")`` or ``make_npb("CG", "C", 4)``."""
+    bench = NPB_BENCHMARKS.get(name.upper())
+    if bench is None:
+        raise ValueError(
+            f"unknown NPB benchmark {name!r}; have {sorted(NPB_BENCHMARKS)}"
+        )
+    return NpbWorkload(bench, klass.upper(), nprocs, **kw)
+
+
+__all__ = ["NPB_BENCHMARKS", "NpbBenchmark", "NpbWorkload", "make_npb"]

@@ -1,0 +1,221 @@
+"""Generic synthetic access patterns.
+
+Building blocks for examples, tests and calibration: a sequential
+sweep (LU/SP-like), a random chunk shuffle (IS-like) and a strided
+pass (cache-unfriendly numeric kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.workloads.base import PageRange, Phase, Workload, chunk_ranges
+
+
+class SequentialSweepWorkload(Workload):
+    """Each iteration sweeps the whole footprint front to back.
+
+    Parameters
+    ----------
+    dirty_fraction:
+        Leading fraction of the footprint that is written each sweep.
+    cpu_per_page_s:
+        Compute time charged per touched page.
+    barrier_per_iteration:
+        Emit a barrier at the end of every iteration (parallel runs).
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        iterations: int,
+        dirty_fraction: float = 0.5,
+        cpu_per_page_s: float = 2e-5,
+        barrier_per_iteration: bool = False,
+        comm_s: float = 0.0,
+        name: str = "sweep",
+        **kw,
+    ) -> None:
+        super().__init__(name, footprint_pages, iterations, **kw)
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in [0, 1]")
+        self.dirty_fraction = dirty_fraction
+        self.cpu_per_page_s = cpu_per_page_s
+        self.barrier_per_iteration = barrier_per_iteration
+        self.comm_s = comm_s
+
+    def iteration_phases(self, it: int, rng: np.random.Generator):
+        split = int(self.footprint_pages * self.dirty_fraction)
+        ranges = []
+        if split > 0:
+            ranges.append(PageRange(0, split, dirty=True))
+        if split < self.footprint_pages:
+            ranges.append(PageRange(split, self.footprint_pages, dirty=False))
+        yield from chunk_ranges(
+            ranges,
+            self.max_phase_pages,
+            cpu_s=self.cpu_per_page_s * self.footprint_pages,
+            barrier=self.barrier_per_iteration,
+            comm_s=self.comm_s,
+            label=f"{self.name}:sweep{it}",
+        )
+
+
+class RandomAccessWorkload(Workload):
+    """Each iteration touches the footprint in shuffled chunks.
+
+    Models bucketed/scattered access (IS-like): the *order* of chunks is
+    random each iteration, so demand page-in order never matches swap
+    layout.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        iterations: int,
+        chunk_pages: int = 64,
+        dirty_fraction: float = 0.8,
+        cpu_per_page_s: float = 5e-6,
+        barrier_per_iteration: bool = False,
+        comm_s: float = 0.0,
+        name: str = "random",
+        **kw,
+    ) -> None:
+        super().__init__(name, footprint_pages, iterations, **kw)
+        if chunk_pages <= 0:
+            raise ValueError("chunk_pages must be positive")
+        self.chunk_pages = chunk_pages
+        self.dirty_fraction = dirty_fraction
+        self.cpu_per_page_s = cpu_per_page_s
+        self.barrier_per_iteration = barrier_per_iteration
+        self.comm_s = comm_s
+
+    def iteration_phases(self, it: int, rng: np.random.Generator):
+        starts = np.arange(0, self.footprint_pages, self.chunk_pages)
+        rng.shuffle(starts)
+        cpu_per_chunk = (
+            self.cpu_per_page_s * self.footprint_pages / max(1, starts.size)
+        )
+        n_dirty = int(starts.size * self.dirty_fraction)
+        acc: list[PageRange] = []
+        acc_pages = 0
+        for i, s in enumerate(starts):
+            stop = min(int(s) + self.chunk_pages, self.footprint_pages)
+            acc.append(PageRange(int(s), stop, dirty=i < n_dirty))
+            acc_pages += stop - int(s)
+            if acc_pages >= self.max_phase_pages or i == starts.size - 1:
+                last = i == starts.size - 1
+                yield Phase(
+                    tuple(acc),
+                    cpu_s=cpu_per_chunk * len(acc),
+                    barrier=self.barrier_per_iteration and last,
+                    comm_s=self.comm_s if last else 0.0,
+                    label=f"{self.name}:scatter{it}",
+                )
+                acc, acc_pages = [], 0
+
+
+class StridedWorkload(Workload):
+    """Each iteration touches every ``stride``-th chunk, then the rest.
+
+    A deterministic non-sequential pattern useful for exercising the
+    read-ahead planner without randomness.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        iterations: int,
+        stride: int = 4,
+        chunk_pages: int = 16,
+        dirty: bool = True,
+        cpu_per_page_s: float = 1e-5,
+        name: str = "strided",
+        **kw,
+    ) -> None:
+        super().__init__(name, footprint_pages, iterations, **kw)
+        if stride <= 1:
+            raise ValueError("stride must be > 1")
+        self.stride = stride
+        self.chunk_pages = chunk_pages
+        self.dirty = dirty
+        self.cpu_per_page_s = cpu_per_page_s
+
+    def iteration_phases(self, it: int, rng: np.random.Generator):
+        starts = np.arange(0, self.footprint_pages, self.chunk_pages)
+        order = np.concatenate(
+            [starts[k :: self.stride] for k in range(self.stride)]
+        )
+        acc: list[PageRange] = []
+        acc_pages = 0
+        cpu_chunk = self.cpu_per_page_s * self.chunk_pages
+        for i, s in enumerate(order):
+            stop = min(int(s) + self.chunk_pages, self.footprint_pages)
+            acc.append(PageRange(int(s), stop, dirty=self.dirty))
+            acc_pages += stop - int(s)
+            if acc_pages >= self.max_phase_pages or i == order.size - 1:
+                yield Phase(
+                    tuple(acc),
+                    cpu_s=cpu_chunk * len(acc),
+                    label=f"{self.name}:stride{it}",
+                )
+                acc, acc_pages = [], 0
+
+
+class PointerChaseWorkload(Workload):
+    """Single-page random access — the paging worst case.
+
+    Each iteration touches every page exactly once in a fully random
+    per-page order (a pointer chase over the whole footprint), so
+    neither the kernel's slot read-ahead nor spatial locality helps the
+    baseline at all.  Useful as the adversarial bound in policy
+    comparisons: adaptive page-in still wins because the *recorded*
+    flush list is read in slot order regardless of access order.
+    """
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        iterations: int,
+        dirty_fraction: float = 0.5,
+        cpu_per_page_s: float = 1e-5,
+        pages_per_phase: int = 512,
+        name: str = "chase",
+        **kw,
+    ) -> None:
+        super().__init__(name, footprint_pages, iterations, **kw)
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in [0, 1]")
+        if pages_per_phase <= 0:
+            raise ValueError("pages_per_phase must be positive")
+        self.dirty_fraction = dirty_fraction
+        self.cpu_per_page_s = cpu_per_page_s
+        self.pages_per_phase = min(pages_per_phase, self.max_phase_pages)
+
+    def iteration_phases(self, it: int, rng: np.random.Generator):
+        order = rng.permutation(self.footprint_pages)
+        n_dirty = int(self.footprint_pages * self.dirty_fraction)
+        dirty_set = np.zeros(self.footprint_pages, dtype=bool)
+        dirty_set[order[:n_dirty]] = True  # random dirty subset
+        for lo in range(0, order.size, self.pages_per_phase):
+            chunk = order[lo : lo + self.pages_per_phase]
+            # single-page ranges: no spatial locality whatsoever
+            ranges = tuple(
+                PageRange(int(p), int(p) + 1, bool(dirty_set[p]))
+                for p in chunk
+            )
+            yield Phase(
+                ranges,
+                cpu_s=self.cpu_per_page_s * chunk.size,
+                label=f"{self.name}:chase{it}",
+            )
+
+
+__all__ = [
+    "PointerChaseWorkload",
+    "RandomAccessWorkload",
+    "SequentialSweepWorkload",
+    "StridedWorkload",
+]

@@ -1,0 +1,140 @@
+"""Workload trace recording and replay.
+
+A :class:`Trace` is a fully materialised phase list — every range,
+CPU charge, barrier flag and communication payload — detached from the
+generator that produced it.  Uses:
+
+* **freezing randomness**: CG/IS shuffle their access order per seed;
+  recording once and replaying the *same* trace under different paging
+  policies removes workload variance from a comparison entirely;
+* **portability**: traces save to ``.npz`` and reload without the
+  generator, so measured traces from elsewhere can drive the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.workloads.base import PageRange, Phase, Workload
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, materialised workload trace."""
+
+    name: str
+    footprint_pages: int
+    phases: tuple[Phase, ...]
+
+    @property
+    def nphases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_cpu_s(self) -> float:
+        return sum(p.cpu_s for p in self.phases)
+
+    @property
+    def total_pages_touched(self) -> int:
+        return sum(p.npages for p in self.phases)
+
+    # -- recording ---------------------------------------------------------
+    @classmethod
+    def record(cls, workload: Workload, rng: np.random.Generator) -> "Trace":
+        """Materialise ``workload``'s full phase list."""
+        return cls(
+            name=workload.name,
+            footprint_pages=workload.footprint_pages,
+            phases=tuple(workload.phases(rng)),
+        )
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise to ``.npz`` (flat arrays; no pickling)."""
+        starts, stops, dirties, phase_idx = [], [], [], []
+        cpu, barrier, comm, labels = [], [], [], []
+        for i, phase in enumerate(self.phases):
+            cpu.append(phase.cpu_s)
+            barrier.append(phase.barrier)
+            comm.append(phase.comm_s)
+            labels.append(phase.label)
+            for r in phase.ranges:
+                starts.append(r.start)
+                stops.append(r.stop)
+                dirties.append(r.dirty)
+                phase_idx.append(i)
+        np.savez_compressed(
+            Path(path),
+            name=np.array(self.name),
+            footprint_pages=np.array(self.footprint_pages),
+            range_start=np.asarray(starts, dtype=np.int64),
+            range_stop=np.asarray(stops, dtype=np.int64),
+            range_dirty=np.asarray(dirties, dtype=bool),
+            range_phase=np.asarray(phase_idx, dtype=np.int64),
+            phase_cpu=np.asarray(cpu, dtype=np.float64),
+            phase_barrier=np.asarray(barrier, dtype=bool),
+            phase_comm=np.asarray(comm, dtype=np.float64),
+            phase_label=np.asarray(labels, dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Load a trace saved by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=True) as data:
+            nphases = data["phase_cpu"].size
+            ranges_by_phase: list[list[PageRange]] = [
+                [] for _ in range(nphases)
+            ]
+            for start, stop, dirty, idx in zip(
+                data["range_start"], data["range_stop"],
+                data["range_dirty"], data["range_phase"],
+            ):
+                ranges_by_phase[int(idx)].append(
+                    PageRange(int(start), int(stop), bool(dirty))
+                )
+            phases = tuple(
+                Phase(
+                    tuple(ranges_by_phase[i]),
+                    cpu_s=float(data["phase_cpu"][i]),
+                    barrier=bool(data["phase_barrier"][i]),
+                    comm_s=float(data["phase_comm"][i]),
+                    label=str(data["phase_label"][i]),
+                )
+                for i in range(nphases)
+            )
+            return cls(
+                name=str(data["name"]),
+                footprint_pages=int(data["footprint_pages"]),
+                phases=phases,
+            )
+
+
+class TraceWorkload(Workload):
+    """A workload replaying a recorded :class:`Trace` verbatim.
+
+    The trace already contains any randomness, so the ``rng`` passed to
+    :meth:`phases` is ignored — two replays are always identical.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        super().__init__(
+            name=f"{trace.name}:replay",
+            footprint_pages=trace.footprint_pages,
+            iterations=1,
+            init_touch=False,
+        )
+        self.trace = trace
+
+    def phases(self, rng: np.random.Generator) -> Iterator[Phase]:
+        return iter(self.trace.phases)
+
+    def iteration_phases(self, it: int, rng) -> Iterable[Phase]:
+        # unused: phases() is overridden wholesale
+        return self.trace.phases
+
+
+__all__ = ["Trace", "TraceWorkload"]

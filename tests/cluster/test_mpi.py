@@ -1,0 +1,133 @@
+"""Unit tests for the MPI-style barrier."""
+
+import pytest
+
+from repro.cluster import Barrier, NetworkParams
+from repro.sim import Environment
+
+
+def net(lat=0.001):
+    return NetworkParams(latency_s=lat, overhead_s=0.0)
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Barrier(env, 0)
+
+
+def test_all_ranks_released_together():
+    env = Environment()
+    b = Barrier(env, 3, net())
+    release_times = {}
+
+    def rank(env, b, r, arrive_delay):
+        yield env.timeout(arrive_delay)
+        yield from b.wait(r)
+        release_times[r] = env.now
+
+    for r, d in enumerate([1.0, 2.0, 5.0]):
+        env.process(rank(env, b, r, d))
+    env.run()
+    # everyone leaves when the slowest arrived plus barrier cost
+    expected = 5.0 + net().barrier_s(3)
+    assert all(t == pytest.approx(expected) for t in release_times.values())
+    assert b.rounds_completed == 1
+
+
+def test_barrier_is_reusable_across_generations():
+    env = Environment()
+    b = Barrier(env, 2, net())
+    log = []
+
+    def rank(env, b, r, delays):
+        for d in delays:
+            yield env.timeout(d)
+            yield from b.wait(r)
+            log.append((r, round(env.now, 6)))
+
+    env.process(rank(env, b, 0, [1.0, 1.0]))
+    env.process(rank(env, b, 1, [2.0, 3.0]))
+    env.run()
+    assert b.rounds_completed == 2
+    # round 1 releases at 2.0 + cost; round 2 at 5.0 + 2*cost
+    c = net().barrier_s(2)
+    times = sorted(set(t for _, t in log))
+    assert times[0] == pytest.approx(2.0 + c)
+    assert times[1] == pytest.approx(5.0 + 2 * c, abs=1e-9)
+
+
+def test_payload_delays_release_by_maximum():
+    env = Environment()
+    b = Barrier(env, 2, net(lat=0.0))
+    out = {}
+
+    def rank(env, b, r, payload):
+        yield from b.wait(r, payload_s=payload)
+        out[r] = env.now
+
+    env.process(rank(env, b, 0, 1.0))
+    env.process(rank(env, b, 1, 3.0))
+    env.run()
+    assert out[0] == pytest.approx(3.0)
+    assert out[1] == pytest.approx(3.0)
+
+
+def test_rank_out_of_range():
+    env = Environment()
+    b = Barrier(env, 2)
+
+    def bad(env, b):
+        yield from b.wait(5)
+
+    env.process(bad(env, b))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_double_arrival_same_generation_rejected():
+    env = Environment()
+    b = Barrier(env, 2)
+
+    def bad(env, b):
+        # arrive twice without the other rank ever showing up
+        gen1 = b.wait(0)
+        next(gen1, None)  # first arrival parks on the release event
+        yield from b.wait(0)
+
+    env.process(bad(env, b))
+    with pytest.raises(RuntimeError, match="arrived twice"):
+        env.run()
+
+
+def test_single_rank_barrier_is_instant():
+    env = Environment()
+    b = Barrier(env, 1, net())
+
+    def rank(env, b):
+        yield env.timeout(1.0)
+        yield from b.wait(0)
+        return env.now
+
+    p = env.process(rank(env, b))
+    assert env.run(until=p) == 1.0
+
+
+def test_stalled_rank_blocks_others():
+    """The §4.2 coupling: one slow (e.g. paging) rank holds the gang."""
+    env = Environment()
+    b = Barrier(env, 4, net(lat=0.0))
+    waits = {}
+
+    def rank(env, b, r, delay):
+        t0 = env.now
+        yield env.timeout(delay)
+        yield from b.wait(r)
+        waits[r] = env.now - t0
+
+    for r in range(3):
+        env.process(rank(env, b, r, 0.1))
+    env.process(rank(env, b, 3, 60.0))  # the paging straggler
+    env.run()
+    assert all(w == pytest.approx(60.0) for w in waits.values())
+    assert b.total_sync_s == pytest.approx(3 * 59.9, rel=1e-6)

@@ -1,0 +1,37 @@
+"""Unit tests for the network latency model."""
+
+import pytest
+
+from repro.cluster import NetworkParams
+
+
+def test_defaults_validate():
+    p = NetworkParams()
+    assert p.latency_s > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetworkParams(latency_s=-1)
+    with pytest.raises(ValueError):
+        NetworkParams(bandwidth_bytes_s=0)
+
+
+def test_barrier_single_rank_free():
+    assert NetworkParams().barrier_s(1) == 0.0
+
+
+def test_barrier_grows_logarithmically():
+    p = NetworkParams(latency_s=1e-4, overhead_s=0.0)
+    assert p.barrier_s(2) == pytest.approx(1e-4)
+    assert p.barrier_s(4) == pytest.approx(2e-4)
+    assert p.barrier_s(8) == pytest.approx(3e-4)
+    assert p.barrier_s(5) == pytest.approx(3e-4)  # ceil(log2 5) = 3
+
+
+def test_transfer_time():
+    p = NetworkParams(latency_s=1e-4, bandwidth_bytes_s=1e6)
+    assert p.transfer_s(0) == 0.0
+    assert p.transfer_s(1e6) == pytest.approx(1e-4 + 1.0)
+    with pytest.raises(ValueError):
+        p.transfer_s(-1)

@@ -1,0 +1,87 @@
+"""Tests for the two-level cluster topology."""
+
+import pytest
+
+from repro.cluster import Barrier
+from repro.cluster.topology import TwoLevelTopology
+from repro.sim import Environment
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TwoLevelTopology(0, 4)
+    with pytest.raises(ValueError):
+        TwoLevelTopology(4, 0)
+    with pytest.raises(ValueError):
+        TwoLevelTopology(4, 2, intra_latency_s=1e-3, inter_latency_s=1e-4)
+    with pytest.raises(ValueError):
+        TwoLevelTopology(4, 2, bandwidth_bytes_s=0)
+
+
+def test_rack_assignment():
+    t = TwoLevelTopology(8, rack_size=4)
+    assert t.nracks == 2
+    assert t.rack_of(0) == 0
+    assert t.rack_of(3) == 0
+    assert t.rack_of(4) == 1
+    with pytest.raises(ValueError):
+        t.rack_of(8)
+
+
+def test_pair_latency():
+    t = TwoLevelTopology(8, 4, intra_latency_s=1e-4, inter_latency_s=4e-4)
+    assert t.pair_latency_s(0, 0) == 0.0
+    assert t.pair_latency_s(0, 3) == 1e-4
+    assert t.pair_latency_s(0, 4) == 4e-4
+
+
+def test_barrier_cost_splits_rounds():
+    t = TwoLevelTopology(8, 4, intra_latency_s=1e-4, inter_latency_s=4e-4,
+                         overhead_s=0.0)
+    # 3 rounds: strides 1,2 intra (< rack_size 4), stride 4 crosses
+    assert t.barrier_s(8) == pytest.approx(2 * 1e-4 + 4e-4)
+
+
+def test_single_rack_all_intra():
+    t = TwoLevelTopology(4, 8, intra_latency_s=1e-4, inter_latency_s=4e-4,
+                         overhead_s=0.0)
+    assert t.nracks == 1
+    assert t.barrier_s(4) == pytest.approx(2 * 1e-4)
+    assert t.barrier_s(1) == 0.0
+
+
+def test_transfer_uses_worst_link():
+    flat = TwoLevelTopology(4, 8, intra_latency_s=1e-4,
+                            inter_latency_s=4e-4,
+                            bandwidth_bytes_s=1e6)
+    split = TwoLevelTopology(8, 4, intra_latency_s=1e-4,
+                             inter_latency_s=4e-4,
+                             bandwidth_bytes_s=1e6)
+    assert flat.transfer_s(1e6) == pytest.approx(1e-4 + 1.0)
+    assert split.transfer_s(1e6) == pytest.approx(4e-4 + 1.0)
+    assert split.transfer_s(0) == 0.0
+
+
+def test_topology_drives_a_barrier():
+    """TwoLevelTopology is NetworkParams-compatible for Barrier."""
+    env = Environment()
+    topo = TwoLevelTopology(4, 2, intra_latency_s=1e-3,
+                            inter_latency_s=5e-3, overhead_s=0.0)
+    b = Barrier(env, 4, network=topo)
+    released = []
+
+    def rank(env, r):
+        yield from b.wait(r)
+        released.append(env.now)
+
+    for r in range(4):
+        env.process(rank(env, r))
+    env.run()
+    # 2 rounds: stride 1 intra, stride 2 crosses racks
+    assert released == [pytest.approx(1e-3 + 5e-3)] * 4
+
+
+def test_cross_rack_barrier_costs_more_than_flat():
+    one_rack = TwoLevelTopology(16, 16, overhead_s=0.0)
+    four_racks = TwoLevelTopology(16, 4, overhead_s=0.0)
+    assert four_racks.barrier_s(16) > one_rack.barrier_s(16)

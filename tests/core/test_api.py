@@ -1,0 +1,196 @@
+"""Integration tests for the AdaptivePaging facade (§3.5 API)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptivePaging, PagingPolicy
+from repro.disk import Disk, DiskParams
+from repro.mem import MemoryParams, VirtualMemoryManager
+from repro.sim import Environment
+
+
+def make_node(total_frames=256, policy="so/ao/ai/bg"):
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=total_frames), disk)
+    ap = AdaptivePaging(vmm, policy)
+    return env, disk, vmm, ap
+
+
+def drive(env, gen):
+    def w():
+        yield from gen
+    p = env.process(w())
+    env.run(until=p)
+
+
+def fill(env, vmm, pid, pages, dirty=True):
+    drive(env, vmm.touch(pid, pages, dirty=dirty))
+
+
+def test_policy_string_accepted():
+    env, disk, vmm, ap = make_node(policy="so")
+    assert ap.policy == PagingPolicy.parse("so")
+    assert ap.selective is not None
+    assert ap.aggressive is None
+    assert ap.recorder is None
+    assert ap.bgwriter is None
+
+
+def test_baseline_installs_no_hooks():
+    env, disk, vmm, ap = make_node(policy="lru")
+    assert vmm.victim_selector is None
+    assert vmm.on_flush is None
+
+
+def test_full_policy_installs_all_hooks():
+    env, disk, vmm, ap = make_node(policy="so/ao/ai/bg")
+    assert vmm.victim_selector is ap.selective
+    assert vmm.on_flush is not None
+    assert ap.aggressive is not None
+    assert ap.bgwriter is not None
+
+
+def test_switch_same_pid_is_noop():
+    env, disk, vmm, ap = make_node()
+    vmm.register_process(1, 64)
+    fill(env, vmm, 1, np.arange(10))
+    before = disk.total_requests
+    drive(env, ap.adaptive_page_out(1, 1))
+    assert disk.total_requests == before
+    assert ap.selective.out_pid is None
+
+
+def test_adaptive_page_out_selective_and_aggressive():
+    env, disk, vmm, ap = make_node(total_frames=256, policy="so/ao")
+    vmm.register_process(1, 256)
+    vmm.register_process(2, 256)
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(200))
+    ap.notify_descheduled(1)
+    ap.notify_scheduled(2)
+    # job 2 has an estimated WS of 150 pages (ws_pages given explicitly)
+    drive(env, ap.adaptive_page_out(in_pid=2, out_pid=1, ws_pages=150))
+    assert ap.selective.out_pid == 1
+    assert vmm.frames.free >= 150
+    vmm.check_invariants()
+
+
+def test_working_set_estimate_from_quantum():
+    env, disk, vmm, ap = make_node(policy="so/ao")
+    vmm.register_process(1, 128)
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(37))
+    ap.notify_descheduled(1)
+    assert ap.working_set_estimate(1) == 37
+
+
+def test_recorder_records_only_stopped_processes():
+    env, disk, vmm, ap = make_node(total_frames=128, policy="ai")
+    vmm.register_process(1, 256)
+    vmm.register_process(2, 256)
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(100))
+    ap.notify_descheduled(1)
+    ap.notify_scheduled(2)
+    # pid 2's faulting evicts pid 1's stopped pages -> recorded
+    fill(env, vmm, 2, np.arange(100))
+    assert ap.recorder.recorded_pages(1) > 0
+    assert ap.recorder.recorded_pages(2) == 0
+
+
+def test_adaptive_page_in_replays_record():
+    env, disk, vmm, ap = make_node(total_frames=160, policy="ai")
+    t1 = vmm.register_process(1, 256)
+    vmm.register_process(2, 256)
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(120))
+    ap.notify_descheduled(1)
+    ap.notify_scheduled(2)
+    fill(env, vmm, 2, np.arange(120))
+    ap.notify_descheduled(2)
+    evicted = np.flatnonzero(~t1.present[:120])
+    assert evicted.size > 0
+    recorded_before = ap.recorder.recorded_pages(1)
+    reads_before = disk.total_pages["read"]
+    drive(env, ap.adaptive_page_in(in_pid=1, out_pid=2))
+    assert disk.total_pages["read"] > reads_before
+    # the record was consumed; anything recorded now stems from fresh
+    # evictions performed to make room during the replay itself
+    assert ap.recorder.recorded_pages(1) < recorded_before
+    vmm.check_invariants()
+
+
+def test_adaptive_page_in_noop_without_record():
+    env, disk, vmm, ap = make_node(policy="ai")
+    vmm.register_process(1, 64)
+    before = disk.total_requests
+    drive(env, ap.adaptive_page_in(1, 2))
+    assert disk.total_requests == before
+
+
+def test_adaptive_page_in_caps_at_ws_estimate():
+    env, disk, vmm, ap = make_node(total_frames=200, policy="ai")
+    t1 = vmm.register_process(1, 256)
+    vmm.register_process(2, 256)
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(150))
+    ap.notify_descheduled(1)
+    ap.notify_scheduled(2)
+    fill(env, vmm, 2, np.arange(150))
+    ap.notify_descheduled(2)
+    recorded = ap.recorder.recorded_pages(1)
+    assert recorded > 40
+    drive(env, ap.adaptive_page_in(1, 2, ws_pages=40))
+    # at most 40 pages were prefetched
+    assert disk.total_pages["read"] <= 40
+    vmm.check_invariants()
+
+
+def test_bgwrite_start_stop_via_api():
+    env, disk, vmm, ap = make_node(policy="bg")
+    vmm.register_process(1, 64)
+    fill(env, vmm, 1, np.arange(16))
+    ap.start_bgwrite(1)
+    assert ap.bgwriter.active
+    env.run(until=env.now + 2.0)
+    ap.stop_bgwrite()
+    assert not ap.bgwriter.active
+    # idempotent / safe without bg mechanism
+    env2, disk2, vmm2, ap2 = make_node(policy="lru")
+    ap2.start_bgwrite(1)  # no-op, no error
+    ap2.stop_bgwrite()
+
+
+def test_full_switch_cycle_all_mechanisms():
+    """A miniature gang switch driving all four mechanisms end to end."""
+    env, disk, vmm, ap = make_node(total_frames=192, policy="so/ao/ai/bg")
+    t1 = vmm.register_process(1, 256)
+    t2 = vmm.register_process(2, 256)
+
+    # quantum 1: job 1 runs
+    ap.notify_scheduled(1)
+    fill(env, vmm, 1, np.arange(150))
+    ap.start_bgwrite(1)
+    env.run(until=env.now + 5.0)
+    ap.stop_bgwrite()
+    ap.notify_descheduled(1)
+
+    # switch 1 -> 2
+    drive(env, ap.adaptive_page_out(2, 1, ws_pages=150))
+    drive(env, ap.adaptive_page_in(2, 1))
+    ap.notify_scheduled(2)
+    fill(env, vmm, 2, np.arange(150))
+    ap.notify_descheduled(2)
+
+    # switch 2 -> 1: job 1's flushed pages were recorded, replay them
+    drive(env, ap.adaptive_page_out(1, 2))
+    reads_before = disk.total_pages["read"]
+    drive(env, ap.adaptive_page_in(1, 2))
+    prefetched = disk.total_pages["read"] - reads_before
+    assert prefetched > 0
+    ap.notify_scheduled(1)
+    # job 1 resumes: most of its working set is already in memory
+    resident = int(t1.present[:150].sum())
+    assert resident > 100
+    vmm.check_invariants()

@@ -1,0 +1,67 @@
+"""Unit tests for policy parsing and notation."""
+
+import pytest
+
+from repro.core import PAPER_POLICIES, PagingPolicy
+
+
+def test_lru_aliases():
+    for spec in ("lru", "original", "none", "", "LRU"):
+        p = PagingPolicy.parse(spec)
+        assert p.is_baseline
+        assert p.name == "lru"
+
+
+def test_parse_single_mechanisms():
+    assert PagingPolicy.parse("so").so
+    assert PagingPolicy.parse("ao").ao
+    assert PagingPolicy.parse("ai").ai
+    assert PagingPolicy.parse("bg").bg
+
+
+def test_parse_combination_order_insensitive():
+    a = PagingPolicy.parse("so/ao/ai/bg")
+    b = PagingPolicy.parse("bg/ai/ao/so")
+    assert a == b
+    assert a.name == "so/ao/ai/bg"  # canonical order
+
+
+def test_parse_unknown_mechanism():
+    with pytest.raises(ValueError, match="unknown mechanism"):
+        PagingPolicy.parse("so/xx")
+
+
+def test_parse_repeated_mechanism():
+    with pytest.raises(ValueError, match="repeated"):
+        PagingPolicy.parse("so/so")
+
+
+def test_name_roundtrip():
+    for spec in PAPER_POLICIES:
+        assert PagingPolicy.parse(spec).name == spec
+
+
+def test_tunables_validation():
+    with pytest.raises(ValueError):
+        PagingPolicy(ao_batch=0)
+    with pytest.raises(ValueError):
+        PagingPolicy(bg_fraction=1.5)
+    with pytest.raises(ValueError):
+        PagingPolicy(bg_poll_s=0)
+
+
+def test_with_tunables():
+    p = PagingPolicy.parse("so/ao", ao_batch=128)
+    assert p.ao_batch == 128
+    q = p.with_tunables(bg_fraction=0.2)
+    assert q.bg_fraction == 0.2
+    assert q.so and q.ao
+
+
+def test_str_is_name():
+    assert str(PagingPolicy.parse("so/ai")) == "so/ai"
+
+
+def test_paper_policies_cover_figure9():
+    assert PAPER_POLICIES == ("lru", "ai", "so", "so/ao", "so/ao/bg",
+                              "so/ao/ai/bg")

@@ -1,0 +1,195 @@
+"""Unit + property tests for the swap-slot allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import SwapAllocator, SwapFullError
+
+
+def test_initial_state_all_free():
+    s = SwapAllocator(100)
+    assert s.free_slots == 100
+    assert s.used_slots == 0
+    assert s.free_runs() == [(0, 100)]
+    assert s.largest_free_run() == 100
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        SwapAllocator(0)
+    with pytest.raises(ValueError):
+        SwapAllocator(-5)
+
+
+def test_allocate_contiguous_when_possible():
+    s = SwapAllocator(100)
+    slots = s.allocate(10)
+    assert np.array_equal(slots, np.arange(10))
+    assert s.free_slots == 90
+
+
+def test_allocate_zero_rejected():
+    s = SwapAllocator(10)
+    with pytest.raises(ValueError):
+        s.allocate(0)
+
+
+def test_allocate_beyond_capacity_raises():
+    s = SwapAllocator(10)
+    s.allocate(8)
+    with pytest.raises(SwapFullError):
+        s.allocate(3)
+
+
+def test_first_fit_skips_small_holes():
+    s = SwapAllocator(100)
+    a = s.allocate(10)   # [0,10)
+    b = s.allocate(10)   # [10,20)
+    s.free(a)            # hole of 10 at start
+    big = s.allocate(20) # must come from [20,40), not the small hole
+    assert big[0] == 20
+    assert np.all(np.diff(big) == 1)
+    small = s.allocate(5)  # fits the hole
+    assert small[0] == 0
+
+
+def test_fragmented_allocation_spans_runs():
+    s = SwapAllocator(30)
+    a = s.allocate(10)      # [0,10)
+    b = s.allocate(10)      # [10,20)
+    c = s.allocate(10)      # [20,30)
+    s.free(a)
+    s.free(c)
+    # 20 free but in two runs of 10: allocation must still succeed
+    slots = s.allocate(15)
+    assert slots.size == 15
+    assert s.free_slots == 5
+
+
+def test_free_coalesces_adjacent_runs():
+    s = SwapAllocator(30)
+    a = s.allocate(10)
+    b = s.allocate(10)
+    c = s.allocate(10)
+    s.free(a)
+    s.free(c)
+    assert len(s.free_runs()) == 2
+    s.free(b)  # should merge everything into one run
+    assert s.free_runs() == [(0, 30)]
+
+
+def test_double_free_detected():
+    s = SwapAllocator(10)
+    a = s.allocate(5)
+    s.free(a)
+    with pytest.raises(ValueError):
+        s.free(a)
+
+
+def test_free_out_of_range_rejected():
+    s = SwapAllocator(10)
+    with pytest.raises(ValueError):
+        s.free([100])
+
+
+def test_free_duplicate_slots_rejected():
+    s = SwapAllocator(10)
+    s.allocate(5)
+    with pytest.raises(ValueError):
+        s.free([1, 1])
+
+
+def test_free_empty_is_noop():
+    s = SwapAllocator(10)
+    s.free([])
+    assert s.free_slots == 10
+
+
+def test_allocate_single():
+    s = SwapAllocator(10)
+    assert s.allocate_single() == 0
+    assert s.allocate_single() == 1
+
+
+def test_fragmentation_metric():
+    s = SwapAllocator(40)
+    a = s.allocate(10)
+    b = s.allocate(10)
+    s.free(a)
+    # free: run of 10 at 0 and run of 20 at 20 -> largest 20 of 30 free
+    assert s.fragmentation() == pytest.approx(1.0 - 20 / 30)
+    s.free(b)
+    assert s.fragmentation() == 0.0
+
+
+def test_reuse_after_free_prefers_low_addresses():
+    s = SwapAllocator(20)
+    a = s.allocate(20)
+    s.free(a)
+    b = s.allocate(5)
+    assert b[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocate/free operations."""
+    n_ops = draw(st.integers(1, 40))
+    return [draw(st.integers(1, 16)) for _ in range(n_ops)]
+
+
+@given(alloc_free_script(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_no_overlap(sizes, rnd):
+    """Free + used always equals capacity; live slots never overlap."""
+    s = SwapAllocator(256)
+    live: list[np.ndarray] = []
+    for size in sizes:
+        if live and rnd.random() < 0.4:
+            idx = rnd.randrange(len(live))
+            s.free(live.pop(idx))
+        else:
+            try:
+                slots = s.allocate(size)
+            except SwapFullError:
+                assert s.free_slots < size
+                continue
+            live.append(slots)
+        # invariant 1: conservation
+        held = sum(a.size for a in live)
+        assert s.used_slots == held
+        assert s.free_slots == 256 - held
+        # invariant 2: no slot handed out twice
+        if live:
+            allslots = np.concatenate(live)
+            assert len(np.unique(allslots)) == allslots.size
+        # invariant 3: free runs are disjoint, sorted and within range
+        runs = s.free_runs()
+        prev_end = -1
+        for start, length in runs:
+            assert length > 0
+            assert start > prev_end  # disjoint and non-adjacent (coalesced)
+            prev_end = start + length - 1
+            assert 0 <= start and prev_end < 256
+
+
+@given(st.lists(st.integers(1, 32), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_free_everything_restores_single_run(sizes):
+    """After freeing every allocation the space is one coalesced run."""
+    s = SwapAllocator(1024)
+    allocs = []
+    for size in sizes:
+        try:
+            allocs.append(s.allocate(size))
+        except SwapFullError:
+            break
+    for a in allocs:
+        s.free(a)
+    assert s.free_runs() == [(0, 1024)]
+    assert s.fragmentation() == 0.0

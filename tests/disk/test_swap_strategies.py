@@ -1,0 +1,99 @@
+"""Tests for swap allocation strategies (best-fit / next-fit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import SwapAllocator, SwapFullError
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        SwapAllocator(16, strategy="worst-fit")
+
+
+def carve(s):
+    """Carve the 100-slot space into holes of 10 [0,10), 30 [40,70)."""
+    a = s.allocate(100)
+    s.free(np.arange(0, 10))
+    s.free(np.arange(40, 70))
+    return a
+
+
+def test_first_fit_takes_lowest_hole():
+    s = SwapAllocator(100, strategy="first-fit")
+    carve(s)
+    got = s.allocate(8)
+    assert got[0] == 0
+
+
+def test_best_fit_takes_tightest_hole():
+    s = SwapAllocator(100, strategy="best-fit")
+    carve(s)
+    got = s.allocate(8)
+    assert got[0] == 0      # the 10-hole is the tightest fit for 8
+    got2 = s.allocate(8)
+    assert got2[0] == 40    # only the 30-hole remains
+
+
+def test_best_fit_prefers_exact_over_large():
+    s = SwapAllocator(100, strategy="best-fit")
+    carve(s)
+    got = s.allocate(25)
+    assert got[0] == 40     # 30-hole, the only one that fits
+
+
+def test_next_fit_advances_through_space():
+    s = SwapAllocator(100, strategy="next-fit")
+    a = s.allocate(10)      # [0,10), hint -> 10
+    b = s.allocate(10)      # [10,20), hint -> 20
+    s.free(a)               # hole at 0
+    c = s.allocate(10)      # next-fit starts at hint 20, not the hole
+    assert c[0] == 20
+    assert b[0] == 10
+
+
+def test_next_fit_wraps_around():
+    s = SwapAllocator(30, strategy="next-fit")
+    a = s.allocate(10)
+    b = s.allocate(10)
+    c = s.allocate(10)      # hint -> 30 (end)
+    s.free(a)
+    d = s.allocate(10)      # wraps to the hole at 0
+    assert d[0] == 0
+
+
+def test_all_strategies_satisfy_fragmented_requests():
+    for strategy in SwapAllocator.STRATEGIES:
+        s = SwapAllocator(100, strategy=strategy)
+        carve(s)
+        got = s.allocate(35)  # no single hole: must span runs
+        assert got.size == 35
+        assert s.free_slots == 5
+
+
+@given(st.sampled_from(SwapAllocator.STRATEGIES),
+       st.lists(st.integers(1, 24), min_size=1, max_size=30),
+       st.randoms(use_true_random=False))
+@settings(max_examples=45, deadline=None)
+def test_property_strategies_share_invariants(strategy, sizes, rnd):
+    """Conservation and no-overlap hold for every strategy."""
+    s = SwapAllocator(256, strategy=strategy)
+    live = []
+    for size in sizes:
+        if live and rnd.random() < 0.4:
+            s.free(live.pop(rnd.randrange(len(live))))
+        else:
+            try:
+                live.append(s.allocate(size))
+            except SwapFullError:
+                continue
+        held = sum(a.size for a in live)
+        assert s.used_slots == held
+        if live:
+            merged = np.concatenate(live)
+            assert len(np.unique(merged)) == merged.size
+    for a in live:
+        s.free(a)
+    assert s.free_runs() == [(0, 256)]

@@ -1,0 +1,16 @@
+"""Smoke test for the one-table paper-vs-measured summary."""
+
+from repro.experiments import fig_summary
+
+
+def test_summary_collects_all_headline_rows():
+    rec = fig_summary.run(scale=0.04, quiet=True)
+    names = [r["experiment"] for r in rec["rows"]]
+    # 5 serial + 8 parallel + 3 fig9 rows
+    assert len(names) == 16
+    assert any("Fig7 MG" in n for n in names)
+    assert any("Fig8 CG.C @4" in n for n in names)
+    assert any("Fig9 LU serial" in n for n in names)
+    out = fig_summary.render(rec)
+    assert "measured reduction" in out
+    assert "delta" in out

@@ -1,0 +1,116 @@
+"""Smoke tests for every figure/table harness at tiny scale.
+
+Each experiment module must run end to end, return its structured
+record, and render without error.  The paper-shape assertions (who
+wins, where the crossovers are) run at a modest scale in the benchmark
+suite; here we only assert structure and the most robust directions.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_bgwrite,
+    ablation_false_eviction,
+    ablation_readahead,
+    fig1_compaction,
+    fig6_traces,
+    fig7_serial,
+    fig8_parallel,
+    fig9_lu_detail,
+    motivation_moreira,
+)
+
+SCALE = 0.04
+
+
+def test_fig1_runs_and_adaptive_compacts():
+    rec = fig1_compaction.run(scale=SCALE, quiet=True)
+    assert set(rec) == {"lru", "so/ao/ai/bg"}
+    assert rec["so/ao/ai/bg"]["compaction"] >= rec["lru"]["compaction"]
+    assert rec["so/ao/ai/bg"]["interleave"] <= rec["lru"]["interleave"]
+    assert fig1_compaction.render(rec)
+
+
+def test_fig6_runs_and_renders():
+    rec = fig6_traces.run(scale=0.03, quiet=True)
+    assert set(rec) == set(fig6_traces.POLICIES)
+    for pol, r in rec.items():
+        assert r["series"]["read"].sum() >= 0
+    out = fig6_traces.render(rec)
+    assert "page-in" in out and "page-out" in out
+
+
+def test_fig7_structure_and_direction():
+    rec = fig7_serial.run(scale=SCALE, quiet=True)
+    assert set(rec) == set(fig7_serial.BENCHMARKS)
+    for bench, r in rec.items():
+        assert r["batch_s"] > 0
+        assert r["lru_s"] >= r["batch_s"] * 0.99, bench
+        # the adaptive policy never does worse than the original
+        assert r["adaptive_s"] <= r["lru_s"] * 1.02, bench
+    assert fig7_serial.render(rec)
+
+
+def test_fig8_structure(tiny_cases=(("LU", 2), ("CG", 2))):
+    # run only a subset through the module-level machinery at tiny scale
+    import repro.experiments.fig8_parallel as f8
+
+    orig = f8.CASES
+    f8.CASES = tuple(c for c in orig if (c[0], c[1]) in tiny_cases)
+    try:
+        rec = f8.run(scale=SCALE, quiet=True)
+        assert set(rec) == set(tiny_cases)
+        for r in rec.values():
+            assert r["adaptive_s"] <= r["lru_s"] * 1.05
+        assert f8.render(rec)
+    finally:
+        f8.CASES = orig
+
+
+def test_fig9_structure():
+    import repro.experiments.fig9_lu_detail as f9
+
+    orig = f9.CONFIGS
+    f9.CONFIGS = (("serial", "B", 1, 300.0),)
+    try:
+        rec = f9.run(scale=SCALE, quiet=True)
+        per = rec["serial"]
+        for pol in f9.PAPER_POLICIES:
+            assert "makespan_s" in per[pol]
+        # full combination beats plain lru
+        assert (per["so/ao/ai/bg"]["makespan_s"]
+                <= per["lru"]["makespan_s"] * 1.02)
+        assert f9.render(rec)
+    finally:
+        f9.CONFIGS = orig
+
+
+def test_motivation_less_memory_is_slower():
+    rec = motivation_moreira.run(scale=0.2, quiet=True)
+    assert rec["slowdown_ratio"] > 1.2
+    assert motivation_moreira.render(rec)
+
+
+def test_ablation_bgwrite_runs():
+    rec = ablation_bgwrite.run(scale=SCALE, quiet=True)
+    assert "no-bg" in rec
+    assert any(k.startswith("bg@") for k in rec)
+    for k, r in rec.items():
+        if k.startswith("bg@"):
+            assert r["makespan_s"] > 0
+
+
+def test_ablation_readahead_runs():
+    rec = ablation_readahead.run(scale=SCALE, quiet=True)
+    assert "lru+ra16" in rec and "ai (ra16)" in rec
+    # adaptive page-in is at worst comparable to the default read-ahead
+    # baseline at this tiny scale (direction is asserted at benchmark
+    # scale in benchmarks/test_ablation_readahead.py)
+    assert (rec["ai (ra16)"]["makespan_s"]
+            <= rec["lru+ra16"]["makespan_s"] * 1.10)
+
+
+def test_ablation_false_eviction_selective_cuts_refaults():
+    rec = ablation_false_eviction.run(scale=SCALE, quiet=True)
+    assert rec["so"]["refaults"] < rec["lru"]["refaults"]
+    assert ablation_false_eviction.render(rec)

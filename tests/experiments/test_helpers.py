@@ -1,0 +1,54 @@
+"""Unit tests for experiment-module helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation_wsestimator import _ForcedWs
+from repro.experiments.extension_characterization import _rank_correlation
+
+
+def test_rank_correlation_perfect_and_inverse():
+    assert _rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+    assert _rank_correlation([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_rank_correlation_is_rank_based():
+    # wildly nonlinear but monotone -> still +1
+    xs = [1.0, 2.0, 3.0, 4.0]
+    ys = [1.0, 100.0, 101.0, 1e9]
+    assert _rank_correlation(xs, ys) == pytest.approx(1.0)
+
+
+def test_rank_correlation_degenerate():
+    assert _rank_correlation([1.0], [2.0]) == 0.0
+
+
+def test_forced_ws_patches_and_restores():
+    import repro.core.api as api
+
+    orig = api.AdaptivePaging.working_set_estimate
+    with _ForcedWs("whole-memory"):
+        assert api.AdaptivePaging.working_set_estimate is not orig
+    assert api.AdaptivePaging.working_set_estimate is orig
+    # restores even when the body raises
+    with pytest.raises(RuntimeError):
+        with _ForcedWs("oracle"):
+            raise RuntimeError("boom")
+    assert api.AdaptivePaging.working_set_estimate is orig
+
+
+def test_forced_ws_modes_change_estimates():
+    from repro.cluster import Node
+    from repro.sim import Environment
+
+    env = Environment()
+    node = Node.build(env, "n0", 4.0, "so/ao")
+    node.vmm.register_process(1, 123)
+    ap = node.adaptive
+    with _ForcedWs("oracle"):
+        assert ap.working_set_estimate(1) == 123
+    with _ForcedWs("whole-memory"):
+        assert ap.working_set_estimate(1) == node.vmm.params.total_frames
+    with _ForcedWs("estimator"):
+        # falls through to the real estimator (nothing referenced yet)
+        assert ap.working_set_estimate(1) == 0

@@ -1,0 +1,116 @@
+"""Tests for JSON record persistence and the open-system job stream."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import extension_jobstream
+from repro.experiments.report_io import load_record, save_record
+from repro.workloads.jobstream import (
+    StreamJobSpec,
+    generate_stream,
+    offered_load,
+)
+
+
+# ---------------------------------------------------------------------------
+# report_io
+# ---------------------------------------------------------------------------
+
+def test_save_load_roundtrip_with_numpy(tmp_path):
+    record = {
+        "scalar": np.float64(1.5),
+        "integer": np.int64(7),
+        "flag": np.bool_(True),
+        "array": np.arange(4),
+        "nested": {"x": [np.float32(2.0), "text", None]},
+        42: "int-key",
+    }
+    path = save_record(record, tmp_path / "out" / "r.json")
+    loaded = load_record(path)
+    assert loaded["scalar"] == 1.5
+    assert loaded["integer"] == 7
+    assert loaded["flag"] is True
+    assert loaded["array"] == [0, 1, 2, 3]
+    assert loaded["nested"]["x"] == [2.0, "text", None]
+    assert loaded["42"] == "int-key"
+
+
+def test_unserialisable_leaves_marked(tmp_path):
+    record = {"collector": object()}
+    loaded = load_record(save_record(record, tmp_path / "r.json"))
+    assert loaded["collector"].startswith("<unserialisable:")
+
+
+def test_repro_objects_flattened(tmp_path):
+    from repro.experiments.multi_seed import Summary
+
+    record = {"summary": Summary.of([1.0, 2.0])}
+    loaded = load_record(save_record(record, tmp_path / "r.json"))
+    assert loaded["summary"]["__type__"] == "Summary"
+    assert loaded["summary"]["mean"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# job-stream generator
+# ---------------------------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        StreamJobSpec("x", -1.0, 100, 10.0, 0.5)
+    with pytest.raises(ValueError):
+        StreamJobSpec("x", 0.0, 0, 10.0, 0.5)
+    with pytest.raises(ValueError):
+        StreamJobSpec("x", 0.0, 100, 10.0, 1.5)
+
+
+def test_generate_stream_shapes():
+    rng = np.random.default_rng(3)
+    stream = generate_stream(rng, 20, 300.0)
+    assert len(stream) == 20
+    arrivals = [s.arrival_s for s in stream]
+    assert arrivals == sorted(arrivals)
+    for s in stream:
+        assert s.footprint_pages <= 330 * 256
+        assert 180.0 <= s.compute_s <= 900.0
+        assert 0.4 <= s.dirty_fraction <= 0.9
+
+
+def test_generate_stream_reproducible():
+    a = generate_stream(np.random.default_rng(9), 10, 100.0)
+    b = generate_stream(np.random.default_rng(9), 10, 100.0)
+    assert a == b
+    c = generate_stream(np.random.default_rng(10), 10, 100.0)
+    assert a != c
+
+
+def test_generate_stream_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        generate_stream(rng, 0, 100.0)
+    with pytest.raises(ValueError):
+        generate_stream(rng, 5, 0.0)
+    with pytest.raises(ValueError):
+        generate_stream(rng, 5, 100.0, compute_s_range=(0.0, 1.0))
+
+
+def test_offered_load():
+    stream = [
+        StreamJobSpec("a", 0.0, 100, 50.0, 0.5),
+        StreamJobSpec("b", 100.0, 100, 50.0, 0.5),
+    ]
+    assert offered_load(stream) == pytest.approx(1.0)
+    assert offered_load([]) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# the open-system experiment (tiny scale)
+# ---------------------------------------------------------------------------
+
+def test_jobstream_experiment_runs_and_adaptive_not_worse():
+    rec = extension_jobstream.run(scale=0.05, quiet=True, njobs=6)
+    lru = rec["lru"]
+    full = rec["so/ao/ai/bg"]
+    assert len(lru["slowdowns"]) == 6
+    assert all(s >= 1.0 for s in lru["slowdowns"])
+    assert full["mean_slowdown"] <= lru["mean_slowdown"] * 1.05
+    assert extension_jobstream.render(rec)

@@ -1,0 +1,88 @@
+"""Tests for the experiment runner (small scale)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import GangConfig, RunResult, run_experiment, run_modes
+from repro.metrics import overhead_fraction, paging_reduction
+
+SCALE = 0.04  # ~14 MB of memory, sub-second runs
+
+
+def test_batch_mode_runs_jobs_sequentially():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, mode="batch")
+    res = run_experiment(cfg)
+    assert isinstance(res, RunResult)
+    assert res.switch_count == 0
+    assert len(res.completions) == 2
+    times = sorted(res.completions.values())
+    assert times[1] == res.makespan
+    assert times[1] > times[0]
+
+
+def test_gang_mode_switches():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, policy="lru")
+    res = run_experiment(cfg)
+    assert res.switch_count >= 2
+    assert res.pages_read > 0 and res.pages_written > 0
+
+
+def test_same_seed_reproduces_exactly():
+    cfg = GangConfig("CG", "B", nprocs=1, scale=SCALE, policy="so/ao/ai/bg",
+                     seed=7)
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.makespan == b.makespan
+    assert a.pages_read == b.pages_read
+    assert a.pages_written == b.pages_written
+
+
+def test_different_seed_changes_stochastic_workload():
+    base = GangConfig("CG", "B", nprocs=1, scale=SCALE, policy="lru")
+    a = run_experiment(base)
+    b = run_experiment(replace(base, seed=99))
+    # CG's shuffled access makes paging counts seed-dependent
+    assert (a.makespan, a.pages_read) != (b.makespan, b.pages_read)
+
+
+def test_parallel_run_uses_all_nodes():
+    cfg = GangConfig("LU", "C", nprocs=2, scale=SCALE, policy="lru")
+    res = run_experiment(cfg)
+    assert len(res.vmm_stats) == 2
+    nodes = {e.node for e in res.collector.paging}
+    assert nodes == {"node0", "node1"}
+
+
+def test_run_modes_returns_batch_plus_policies():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE)
+    res = run_modes(cfg, ["lru", "so"])
+    assert set(res) == {"batch", "lru", "so"}
+    assert res["batch"].switch_count == 0
+
+
+def test_adaptive_policy_never_slower_at_small_scale():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE)
+    res = run_modes(cfg, ["lru", "so/ao/ai/bg"])
+    b = res["batch"].makespan
+    assert res["so/ao/ai/bg"].makespan <= res["lru"].makespan
+    red = paging_reduction(res["lru"].makespan,
+                           res["so/ao/ai/bg"].makespan, b)
+    assert red > 0.2
+
+
+def test_invalid_mode_rejected():
+    cfg = GangConfig("LU", "B", scale=SCALE, mode="weird")
+    with pytest.raises(ValueError):
+        run_experiment(cfg)
+
+
+def test_invalid_njobs_rejected():
+    cfg = GangConfig("LU", "B", scale=SCALE, njobs=0)
+    with pytest.raises(ValueError):
+        run_experiment(cfg)
+
+
+def test_label():
+    cfg = GangConfig("LU", "B", nprocs=2, policy="so")
+    assert "LU.B" in cfg.label() and "so" in cfg.label()

@@ -1,0 +1,92 @@
+"""Tests for the memory-aware admission scheduler (ref. [15])."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.gang import AdmissionGangScheduler, Job
+from repro.sim import Environment, RngStreams
+from repro.workloads import SequentialSweepWorkload
+
+
+def make_job(name, nodes, rngs, pages, iters=2, cpu=2e-3):
+    wls = [
+        SequentialSweepWorkload(pages, iters, cpu_per_page_s=cpu,
+                                max_phase_pages=256, name=name)
+        for _ in nodes
+    ]
+    return Job(name, nodes, wls, rngs.spawn(name))
+
+
+def build(memory_mb=8.0, policy="lru"):
+    env = Environment()
+    nodes = [Node.build(env, "n0", memory_mb, policy)]
+    return env, nodes, RngStreams(11)
+
+
+def capacity_pages(node):
+    p = node.vmm.params
+    return p.total_frames - p.freepages_high
+
+
+def test_fitting_jobs_are_admitted_immediately():
+    env, nodes, rngs = build()
+    cap = capacity_pages(nodes[0])
+    a = make_job("a", nodes, rngs, pages=cap // 3)
+    b = make_job("b", nodes, rngs, pages=cap // 3)
+    sched = AdmissionGangScheduler(env, [a, b], quantum_s=2.0)
+    assert sched.queueing_delay(a) == 0.0
+    assert sched.queueing_delay(b) == 0.0
+    sched.start()
+    env.run()
+    assert a.finished and b.finished
+
+
+def test_oversized_pair_serialises():
+    env, nodes, rngs = build()
+    cap = capacity_pages(nodes[0])
+    a = make_job("a", nodes, rngs, pages=int(cap * 0.7))
+    b = make_job("b", nodes, rngs, pages=int(cap * 0.7))
+    sched = AdmissionGangScheduler(env, [a, b], quantum_s=2.0)
+    sched.start()
+    env.run()
+    assert a.finished and b.finished
+    # b waited for a to finish
+    assert sched.queueing_delay(b) >= a.completed_at * 0.99
+    # no paging ever happened: both always fit alone
+    assert nodes[0].disk.total_pages["read"] == 0
+
+
+def test_strict_fcfs_blocks_small_job_behind_large():
+    env, nodes, rngs = build()
+    cap = capacity_pages(nodes[0])
+    a = make_job("a", nodes, rngs, pages=int(cap * 0.7), iters=3)
+    big = make_job("big", nodes, rngs, pages=int(cap * 0.7))
+    tiny = make_job("tiny", nodes, rngs, pages=cap // 10, iters=1)
+    sched = AdmissionGangScheduler(env, [a, big, tiny], quantum_s=2.0)
+    sched.start()
+    env.run()
+    # tiny could have fit next to a, but FCFS held it behind big
+    assert sched.admitted_at["tiny"] >= sched.admitted_at["big"]
+
+
+def test_backfilling_mode_admits_small_job_early():
+    env, nodes, rngs = build()
+    cap = capacity_pages(nodes[0])
+    a = make_job("a", nodes, rngs, pages=int(cap * 0.7), iters=3)
+    big = make_job("big", nodes, rngs, pages=int(cap * 0.7))
+    tiny = make_job("tiny", nodes, rngs, pages=cap // 10, iters=1)
+    sched = AdmissionGangScheduler(env, [a, big, tiny], quantum_s=2.0,
+                                   strict_fcfs=False)
+    sched.start()
+    env.run()
+    assert sched.admitted_at["tiny"] < sched.admitted_at["big"]
+
+
+def test_job_larger_than_memory_still_admitted_alone():
+    env, nodes, rngs = build(memory_mb=4.0)
+    cap = capacity_pages(nodes[0])
+    giant = make_job("giant", nodes, rngs, pages=int(cap * 1.5), iters=1)
+    sched = AdmissionGangScheduler(env, [giant], quantum_s=2.0)
+    sched.start()
+    env.run()
+    assert giant.finished

@@ -1,0 +1,111 @@
+"""Direct tests for the matrix scheduler's open-system primitives."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.gang.job import Job
+from repro.gang.matrix import MatrixGangScheduler, ScheduleMatrix
+from repro.sim import Environment, RngStreams
+from repro.workloads import SequentialSweepWorkload
+
+
+def make_job(name, nodes, rngs, pages=256, iters=2):
+    wls = [
+        SequentialSweepWorkload(pages, iters, cpu_per_page_s=2e-3,
+                                max_phase_pages=128, name=name)
+        for _ in nodes
+    ]
+    return Job(name, nodes, wls, rngs.spawn(name))
+
+
+def test_idle_open_scheduler_waits_for_submission():
+    env = Environment()
+    nodes = [Node.build(env, "n0", 8.0, "lru")]
+    m = ScheduleMatrix(1)
+    sched = MatrixGangScheduler(env, nodes, m, quantum_s=2.0,
+                                accept_arrivals=True)
+    sched.start()
+    rngs = RngStreams(31)
+    holder = {}
+
+    def submitter(env):
+        yield env.timeout(5.0)  # scheduler idles meanwhile
+        job = make_job("late", nodes, rngs)
+        holder["job"] = job
+        sched.submit(job, [0])
+        sched.close()
+
+    env.process(submitter(env))
+    env.run()
+    job = holder["job"]
+    assert job.finished
+    assert job.completed_at > 5.0
+    # no busy-waiting happened while idle: the scheduler parked
+    assert sched.rotations >= 1
+
+
+def test_close_without_jobs_terminates():
+    env = Environment()
+    nodes = [Node.build(env, "n0", 4.0, "lru")]
+    sched = MatrixGangScheduler(env, nodes, ScheduleMatrix(1),
+                                quantum_s=1.0, accept_arrivals=True)
+    p = sched.start()
+
+    def closer(env):
+        yield env.timeout(1.0)
+        sched.close()
+
+    env.process(closer(env))
+    env.run()
+    assert not p.is_alive
+
+
+def test_submission_during_active_rotation_joins_later():
+    env = Environment()
+    nodes = [Node.build(env, "n0", 8.0, "lru")]
+    rngs = RngStreams(32)
+    first = make_job("first", nodes, rngs, iters=4)
+    m = ScheduleMatrix(1)
+    m.place(first, [0])
+    sched = MatrixGangScheduler(env, nodes, m, quantum_s=1.0,
+                                accept_arrivals=True)
+    sched.start()
+    holder = {}
+
+    def submitter(env):
+        yield env.timeout(1.5)
+        job = make_job("second", nodes, rngs, iters=2)
+        holder["job"] = job
+        sched.submit(job, [0])
+        sched.close()
+
+    env.process(submitter(env))
+    env.run()
+    assert first.finished and holder["job"].finished
+    # the late job never ran before its arrival
+    assert all(
+        t >= 1.5 for t, s in holder["job"].processes[0].control.transitions
+        if s == "running"
+    )
+
+
+def test_closed_scheduler_matrix_drains_and_stops():
+    env = Environment()
+    nodes = [Node.build(env, "n0", 8.0, "lru")]
+    rngs = RngStreams(33)
+    job = make_job("only", nodes, rngs)
+    m = ScheduleMatrix(1)
+    m.place(job, [0])
+    sched = MatrixGangScheduler(env, nodes, m, quantum_s=2.0,
+                                accept_arrivals=True)
+    p = sched.start()
+
+    def closer(env):
+        yield env.timeout(0.5)
+        sched.close()
+
+    env.process(closer(env))
+    env.run()
+    assert job.finished
+    assert not p.is_alive
+    assert m.nrows == 0

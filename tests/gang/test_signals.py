@@ -1,0 +1,157 @@
+"""Unit tests for SIGSTOP/SIGCONT process control."""
+
+import pytest
+
+from repro.gang import ProcessControl
+from repro.sim import Environment
+
+
+def test_starts_stopped_by_default():
+    env = Environment()
+    c = ProcessControl(env)
+    assert c.stopped
+
+
+def test_wait_runnable_blocks_until_cont():
+    env = Environment()
+    c = ProcessControl(env)
+    log = []
+
+    def proc(env, c):
+        yield from c.wait_runnable()
+        log.append(env.now)
+
+    def starter(env, c):
+        yield env.timeout(5.0)
+        c.cont()
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    env.process(starter(env, c))
+    env.run()
+    assert log == [5.0]
+    assert c.stopped_waiting_s == pytest.approx(5.0)
+
+
+def test_cpu_burst_runs_to_completion_when_runnable():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+
+    def proc(env, c):
+        yield from c.cpu(3.0)
+        return env.now
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    assert env.run(until=p) == 3.0
+    assert c.cpu_consumed_s == pytest.approx(3.0)
+
+
+def test_stop_interrupts_cpu_and_cont_resumes_remainder():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+    done = []
+
+    def proc(env, c):
+        yield from c.cpu(10.0)
+        done.append(env.now)
+
+    def controller(env, c):
+        yield env.timeout(4.0)
+        c.stop()
+        yield env.timeout(100.0)
+        c.cont()
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    env.process(controller(env, c))
+    env.run()
+    # 4s consumed, stopped for 100s, remaining 6s after cont
+    assert done == [pytest.approx(110.0)]
+    assert c.cpu_consumed_s == pytest.approx(10.0)
+
+
+def test_multiple_stop_cont_cycles():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+    done = []
+
+    def proc(env, c):
+        yield from c.cpu(6.0)
+        done.append(env.now)
+
+    def controller(env, c):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            c.stop()
+            yield env.timeout(10.0)
+            c.cont()
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    env.process(controller(env, c))
+    env.run()
+    # run 0-2, stopped 2-12, run 12-14, stopped 14-24, run 24-26
+    assert done == [pytest.approx(26.0)]
+
+
+def test_stop_and_cont_are_idempotent():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+    c.stop()
+    c.stop()
+    assert c.stopped
+    c.cont()
+    c.cont()
+    assert not c.stopped
+
+
+def test_stop_while_not_in_cpu_does_not_interrupt():
+    """Stopping a process blocked on I/O-like waiting must not blow it
+    up; it pauses at the next runnable check."""
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+    log = []
+
+    def proc(env, c):
+        yield env.timeout(5.0)  # "kernel work" — not interruptible
+        yield from c.wait_runnable()
+        log.append(env.now)
+
+    def controller(env, c):
+        yield env.timeout(1.0)
+        c.stop()
+        yield env.timeout(9.0)
+        c.cont()
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    env.process(controller(env, c))
+    env.run()
+    assert log == [10.0]
+
+
+def test_negative_cpu_rejected():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+
+    def proc(env, c):
+        yield from c.cpu(-1.0)
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_cpu_zero_is_noop():
+    env = Environment()
+    c = ProcessControl(env, start_stopped=False)
+
+    def proc(env, c):
+        yield from c.cpu(0.0)
+        return env.now
+
+    p = env.process(proc(env, c))
+    c.bind(p)
+    assert env.run(until=p) == 0.0

@@ -1,0 +1,138 @@
+"""Cross-module integration tests at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Node
+from repro.core import PAPER_POLICIES
+from repro.gang import BatchScheduler, GangScheduler, Job
+from repro.sim import Environment, RngStreams
+from repro.workloads import make_npb
+
+
+def build(policy="lru", nnodes=1, memory_mb=12.0, seed=3, bench="LU",
+          klass="A", footprint=1400, cpu=2e-3, iters=3):
+    env = Environment()
+    nodes = [Node.build(env, f"n{i}", memory_mb, policy)
+             for i in range(nnodes)]
+    rngs = RngStreams(seed)
+    jobs = []
+    for j in range(2):
+        wls = []
+        for _ in nodes:
+            w = make_npb(bench, klass, nnodes if nnodes > 1 else 1,
+                         max_phase_pages=512)
+            w.footprint_pages = footprint
+            w.cpu_it_s = cpu * footprint
+            w.iterations = iters
+            wls.append(w)
+        jobs.append(Job(f"{bench}#{j}", nodes, wls, rngs.spawn(f"j{j}")))
+    return env, nodes, jobs
+
+
+def test_every_paper_policy_completes_and_conserves_memory():
+    for policy in PAPER_POLICIES:
+        env, nodes, jobs = build(policy)
+        GangScheduler(env, jobs, quantum_s=4.0).start()
+        env.run()
+        for job in jobs:
+            assert job.finished, policy
+        for node in nodes:
+            assert node.vmm.frames.used == 0, policy
+            assert node.vmm.swap.used_slots == 0, policy
+            node.vmm.check_invariants()
+
+
+def test_full_determinism_across_runs():
+    def fingerprint():
+        env, nodes, jobs = build("so/ao/ai/bg")
+        sched = GangScheduler(env, jobs, quantum_s=4.0)
+        sched.start()
+        env.run()
+        return (
+            tuple(j.completed_at for j in jobs),
+            nodes[0].disk.total_requests,
+            nodes[0].disk.total_seeks,
+            tuple(sorted(nodes[0].vmm.stats.snapshot().items())),
+            len(sched.switches),
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+def test_batch_is_lower_bound_for_gang():
+    env_b, _, jobs_b = build("lru")
+    BatchScheduler(env_b, jobs_b).start()
+    env_b.run()
+    batch = max(j.completed_at for j in jobs_b)
+
+    env_g, _, jobs_g = build("lru")
+    GangScheduler(env_g, jobs_g, quantum_s=4.0).start()
+    env_g.run()
+    gang = max(j.completed_at for j in jobs_g)
+    assert gang >= batch * 0.999
+
+
+def test_policy_ladder_improves_under_pressure():
+    """lru -> so -> so/ao/ai/bg should not get worse step to step (small
+    tolerance for scheduling noise)."""
+    results = {}
+    for policy in ("lru", "so", "so/ao/ai/bg"):
+        env, nodes, jobs = build(policy)
+        GangScheduler(env, jobs, quantum_s=4.0).start()
+        env.run()
+        results[policy] = max(j.completed_at for j in jobs)
+    assert results["so"] <= results["lru"] * 1.05
+    assert results["so/ao/ai/bg"] <= results["lru"] * 1.05
+
+
+def test_parallel_ranks_advance_in_lockstep():
+    env, nodes, jobs = build("lru", nnodes=2, memory_mb=12.0)
+    GangScheduler(env, jobs, quantum_s=4.0).start()
+    env.run()
+    for job in jobs:
+        finishes = [p.finished_at for p in job.processes]
+        # barrier coupling keeps ranks within one phase of each other
+        assert max(finishes) - min(finishes) < 4.0
+        assert job.barrier.rounds_completed > 0
+
+
+def test_stopped_job_consumes_no_cpu():
+    env, nodes, jobs = build("lru")
+    sched = GangScheduler(env, jobs, quantum_s=4.0)
+    sched.start()
+    env.run()
+    for job in jobs:
+        for proc in job.processes:
+            # CPU consumed equals the workload's declared compute
+            expected = sum(
+                ph.cpu_s for ph in proc.workload.phases(
+                    np.random.default_rng(0))
+            )
+            assert proc.control.cpu_consumed_s == pytest.approx(
+                expected, rel=1e-6
+            )
+
+
+def test_working_set_estimates_converge_to_footprint():
+    env, nodes, jobs = build("so/ao")
+    sched = GangScheduler(env, jobs, quantum_s=4.0)
+    sched.start()
+    env.run(until=10.0)
+    ap = nodes[0].adaptive
+    for job in jobs:
+        pid = job.processes[0].pid
+        if pid in nodes[0].vmm.tables:
+            est = ap.working_set_estimate(pid)
+            assert est > 0
+
+
+def test_job_exit_mid_schedule_frees_memory_for_survivor():
+    env, nodes, jobs = build("lru", iters=2)
+    # make job 0 much shorter
+    for p in jobs[0].processes:
+        p.workload.iterations = 1
+    GangScheduler(env, jobs, quantum_s=4.0).start()
+    env.run()
+    assert jobs[0].completed_at < jobs[1].completed_at
+    assert nodes[0].vmm.frames.used == 0

@@ -1,0 +1,165 @@
+"""Failure-injection tests: exhaustion, interruption and teardown paths."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Node
+from repro.core import AdaptivePaging, BackgroundWriter
+from repro.disk import Disk, DiskParams, SwapFullError
+from repro.mem import (
+    MemoryParams,
+    OutOfFramesError,
+    VirtualMemoryManager,
+)
+from repro.sim import Environment, Interrupt
+
+
+def drive(env, gen):
+    def w():
+        yield from gen
+    p = env.process(w())
+    env.run(until=p)
+
+
+def test_swap_exhaustion_surfaces_as_swap_full():
+    """An undersized swap area fails loudly, not silently."""
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(
+        env,
+        MemoryParams(total_frames=64, swap_slots=16),
+        disk,
+    )
+    vmm.register_process(1, 256)
+
+    def churn():
+        yield from vmm.touch(1, np.arange(50), dirty=True)
+        yield from vmm.touch(1, np.arange(50, 100), dirty=True)
+        yield from vmm.touch(1, np.arange(100, 150), dirty=True)
+
+    env.process(churn())
+    with pytest.raises(SwapFullError):
+        env.run()
+
+
+def test_out_of_frames_when_everything_protected():
+    """If a demand cannot be satisfied because all resident pages belong
+    to in-flight faults, the VMM raises rather than livelocking."""
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=64), disk)
+    vmm.register_process(1, 128)
+    vmm.register_process(2, 128)
+
+    def p1():
+        # claims nearly all frames and stays in flight via its demand
+        yield from vmm.touch(1, np.arange(58), dirty=True)
+        # hold the pages hot so reclaim cannot take them while p2 runs
+        yield env.timeout(100.0)
+
+    def p2():
+        yield env.timeout(1.0)
+        yield from vmm.touch(2, np.arange(58), dirty=True)
+
+    env.process(p1())
+    env.process(p2())
+    # p2 CAN evict p1's pages (not protected once p1's touch finished),
+    # so this configuration must complete...
+    env.run()
+    vmm.check_invariants()
+
+    # ...but an oversized single demand must be rejected up front
+    vmm2 = VirtualMemoryManager(env, MemoryParams(total_frames=64), disk)
+    vmm2.register_process(1, 256)
+    with pytest.raises(ValueError, match="chunk the phase"):
+        drive(env, vmm2.touch(1, np.arange(80)))
+
+
+def test_bgwriter_interrupted_mid_write_leaves_consistent_state():
+    env = Environment()
+    node = Node.build(env, "n0", 2.0, "lru")
+    vmm = node.vmm
+    vmm.register_process(1, 256)
+    drive(env, vmm.touch(1, np.arange(128), dirty=True))
+    bw = BackgroundWriter(vmm, batch_pages=64, poll_s=0.1)
+    bw.start(1)
+    # stop while the first burst's disk write is still in flight
+    env.run(until=env.now + 0.005)
+    bw.stop()
+    env.run(until=env.now + 1.0)
+    assert not bw.active
+    vmm.check_invariants()
+    # all pages still resident; no frame leaked
+    assert vmm.tables[1].resident_count == 128
+
+
+def test_process_exit_during_pending_bgwrite():
+    env = Environment()
+    node = Node.build(env, "n0", 2.0, "bg")
+    vmm = node.vmm
+    vmm.register_process(1, 256)
+    drive(env, vmm.touch(1, np.arange(128), dirty=True))
+    ap = node.adaptive
+    ap.start_bgwrite(1)
+    env.run(until=env.now + 0.005)
+    vmm.unregister_process(1)  # process exits with writer active
+    env.run(until=env.now + 2.0)  # writer must notice and terminate
+    assert not ap.bgwriter.active or ap.bgwriter.pid != 1
+    assert vmm.frames.used == 0
+
+
+def test_adaptive_api_with_unknown_pids_is_safe():
+    env = Environment()
+    node = Node.build(env, "n0", 2.0, "so/ao/ai/bg")
+    ap = node.adaptive
+
+    def run():
+        yield from ap.adaptive_page_out(in_pid=99, out_pid=98)
+        yield from ap.adaptive_page_in(in_pid=99, out_pid=98)
+
+    drive(env, run())  # no exception
+    ap.stop_bgwrite()  # idempotent without start
+
+
+def test_interrupting_touch_mid_fault_propagates_cleanly():
+    """A touch fragment is kernel work: interrupting the *driving*
+    process mid-fault must release the eviction lock and not corrupt
+    frame accounting."""
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=96), disk)
+    vmm.register_process(1, 256)
+    caught = []
+
+    def victim():
+        try:
+            yield from vmm.touch(1, np.arange(80), dirty=True)
+            yield from vmm.touch(1, np.arange(80, 160), dirty=True)
+        except Interrupt:
+            caught.append(env.now)
+
+    def attacker(p):
+        yield env.timeout(0.02)
+        p.interrupt("sigkill-ish")
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert caught
+    # the eviction lock must not be held forever: a later reclaim works
+    drive(env, vmm.reclaim(8))
+    assert vmm.frames.free >= 8
+
+
+def test_clean_teardown_mid_run_keeps_other_process_usable():
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=128), disk)
+    vmm.register_process(1, 256)
+    vmm.register_process(2, 256)
+    drive(env, vmm.touch(1, np.arange(80), dirty=True))
+    drive(env, vmm.touch(2, np.arange(40), dirty=True))
+    vmm.unregister_process(1)
+    drive(env, vmm.touch(2, np.arange(40, 120), dirty=True))
+    vmm.check_invariants()
+    assert vmm.tables[2].resident_count == 120

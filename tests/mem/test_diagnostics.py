@@ -1,0 +1,63 @@
+"""Tests for the ASCII memory diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.disk import Disk, DiskParams
+from repro.mem import MemoryParams, PageTable, VirtualMemoryManager
+from repro.mem.diagnostics import (
+    render_node,
+    render_residency,
+    residency_codes,
+)
+from repro.sim import Environment
+
+
+def test_residency_codes_cover_all_states():
+    t = PageTable(1, 8)
+    t.make_resident(np.array([0, 1]))
+    t.record_access(np.array([0, 1]), now=1.0)
+    t.record_access(np.array([1]), now=1.0, dirty=True)
+    t.assign_slots(np.array([2]), np.array([50]))
+    codes = residency_codes(t)
+    assert codes[0] == 2   # resident clean
+    assert codes[1] == 3   # resident dirty
+    assert codes[2] == 1   # swapped
+    assert codes[3] == 0   # untouched
+
+
+def test_render_residency_shape_and_glyphs():
+    t = PageTable(7, 128)
+    t.make_resident(np.arange(64))
+    t.record_access(np.arange(64), now=1.0, dirty=True)
+    line = render_residency(t, width=16)
+    assert line.startswith("pid 7")
+    body = line.split("|")[1]
+    assert len(body) == 16
+    assert body[:8] == "█" * 8      # first half dirty
+    assert body[8:] == "·" * 8      # second half untouched
+
+
+def test_render_residency_validation():
+    with pytest.raises(ValueError):
+        render_residency(PageTable(1, 8), width=0)
+
+
+def test_render_node_includes_all_processes():
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=128), disk)
+    vmm.register_process(1, 64)
+    vmm.register_process(2, 64)
+
+    def proc():
+        yield from vmm.touch(1, np.arange(32), dirty=True)
+        yield from vmm.touch(2, np.arange(16))
+
+    p = env.process(proc())
+    env.run(until=p)
+    out = render_node(vmm, width=32)
+    assert "pid 1" in out and "pid 2" in out
+    assert "frames 48/128" in out
+    assert "legend" in out
+    assert "untouched" in out

@@ -1,0 +1,66 @@
+"""Unit tests for the frame pool."""
+
+import pytest
+
+from repro.mem import FramePool, OutOfFramesError
+
+
+def test_initial_all_free():
+    p = FramePool(100, 2, 4)
+    assert p.free == 100
+    assert p.used == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FramePool(0, 0, 0)
+    with pytest.raises(ValueError):
+        FramePool(100, 10, 5)  # min > high
+    with pytest.raises(ValueError):
+        FramePool(100, 2, 200)  # high > total
+
+
+def test_allocate_and_release():
+    p = FramePool(10, 1, 2)
+    p.allocate(4)
+    assert p.free == 6
+    p.release(3)
+    assert p.free == 9
+
+
+def test_over_allocate_raises():
+    p = FramePool(10, 1, 2)
+    with pytest.raises(OutOfFramesError):
+        p.allocate(11)
+
+
+def test_over_release_raises():
+    p = FramePool(10, 1, 2)
+    with pytest.raises(ValueError):
+        p.release(1)
+
+
+def test_negative_amounts_rejected():
+    p = FramePool(10, 1, 2)
+    with pytest.raises(ValueError):
+        p.allocate(-1)
+    with pytest.raises(ValueError):
+        p.release(-1)
+
+
+def test_below_min_watermark():
+    p = FramePool(100, 10, 20)
+    p.allocate(85)  # free = 15
+    assert not p.below_min()
+    assert p.below_min(incoming=6)  # 15 - 6 < 10
+    p.allocate(10)  # free = 5
+    assert p.below_min()
+
+
+def test_deficit_to_high():
+    p = FramePool(100, 10, 20)
+    p.allocate(90)  # free = 10
+    assert p.deficit_to_high() == 10
+    assert p.deficit_to_high(incoming=5) == 15
+    p.release(30)  # free = 40
+    assert p.deficit_to_high() == 0

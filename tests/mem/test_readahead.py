@@ -1,0 +1,154 @@
+"""Unit tests for fault planning / read-ahead."""
+
+import numpy as np
+import pytest
+
+from repro.mem import PageTable
+from repro.mem.readahead import (
+    dedupe_preserve_order,
+    plan_block_reads,
+    plan_swapins,
+)
+
+
+def swapped_table(n=64, pages=(), slots=()):
+    """A table where ``pages`` are swapped out at ``slots``."""
+    t = PageTable(1, n)
+    arr = np.asarray(pages, dtype=np.int64)
+    if arr.size:
+        t.make_resident(arr)
+        t.record_access(arr, now=1.0)
+        t.assign_slots(arr, np.asarray(slots, dtype=np.int64))
+        t.evict(arr)
+    return t
+
+
+def test_dedupe_preserve_order():
+    out = dedupe_preserve_order(np.array([3, 1, 3, 2, 1]))
+    assert list(out) == [3, 1, 2]
+
+
+def test_zero_fill_only():
+    t = PageTable(1, 16)
+    groups = plan_swapins(t, np.array([4, 5, 6]), window=16)
+    assert len(groups) == 1
+    assert groups[0].is_zero_fill
+    assert list(groups[0].pages) == [4, 5, 6]
+
+
+def test_swapin_groups_by_slot_window():
+    # pages 0..7 swapped at contiguous slots 100..107, window 4
+    t = swapped_table(pages=range(8), slots=range(100, 108))
+    groups = plan_swapins(t, np.arange(8), window=4)
+    assert len(groups) == 2
+    assert list(groups[0].pages) == [0, 1, 2, 3]
+    assert list(groups[1].pages) == [4, 5, 6, 7]
+    assert not groups[0].is_zero_fill
+
+
+def test_readahead_pulls_unrequested_pages():
+    """Pages within the slot window come in even if not demanded."""
+    t = swapped_table(pages=[0, 1, 2], slots=[100, 101, 102])
+    groups = plan_swapins(t, np.array([0]), window=16)
+    assert len(groups) == 1
+    assert list(groups[0].pages) == [0, 1, 2]
+
+
+def test_scattered_slots_one_group_each():
+    """Pages whose slots are far apart cannot share a read."""
+    t = swapped_table(pages=[0, 1, 2], slots=[100, 500, 900])
+    groups = plan_swapins(t, np.arange(3), window=16)
+    assert len(groups) == 3
+    assert all(g.count == 1 for g in groups)
+
+
+def test_mixed_zero_and_swap_preserves_touch_order():
+    t = swapped_table(n=32, pages=[10], slots=[200])
+    # touch order: untouched 0, swapped 10, untouched 1
+    groups = plan_swapins(t, np.array([0, 10, 1]), window=8)
+    kinds = [g.is_zero_fill for g in groups]
+    assert kinds == [True, False, True]
+    assert list(groups[0].pages) == [0]
+    assert list(groups[1].pages) == [10]
+    assert list(groups[2].pages) == [1]
+
+
+def test_groups_are_disjoint_and_cover_demand():
+    t = swapped_table(pages=range(20), slots=range(300, 320))
+    demand = np.array([5, 0, 17, 3, 11])
+    groups = plan_swapins(t, demand, window=6)
+    got = np.concatenate([g.pages for g in groups])
+    assert len(np.unique(got)) == got.size  # disjoint
+    assert set(demand).issubset(set(got))   # covered
+
+
+def test_demand_with_duplicates_ok():
+    t = swapped_table(pages=[0], slots=[100])
+    groups = plan_swapins(t, np.array([0, 0, 0]), window=4)
+    assert len(groups) == 1
+
+
+def test_resident_demand_rejected():
+    t = PageTable(1, 8)
+    t.make_resident(np.array([0]))
+    with pytest.raises(ValueError):
+        plan_swapins(t, np.array([0]), window=4)
+
+
+def test_bad_window_rejected():
+    t = PageTable(1, 8)
+    with pytest.raises(ValueError):
+        plan_swapins(t, np.array([0]), window=0)
+
+
+def test_empty_demand():
+    t = PageTable(1, 8)
+    assert plan_swapins(t, np.array([], dtype=np.int64), window=4) == []
+
+
+def test_slots_match_pages_in_groups():
+    t = swapped_table(pages=[4, 5, 6], slots=[100, 101, 102])
+    groups = plan_swapins(t, np.array([4]), window=16)
+    g = groups[0]
+    assert np.array_equal(t.swap_slot[g.pages], g.slots)
+
+
+# ---------------------------------------------------------------------------
+# plan_block_reads (adaptive page-in planning)
+# ---------------------------------------------------------------------------
+
+def test_block_reads_batch_by_slot_order():
+    t = swapped_table(pages=range(10), slots=range(100, 110))
+    groups = plan_block_reads(t, np.arange(10), max_batch=4)
+    assert [g.count for g in groups] == [4, 4, 2]
+    # first batch covers the lowest slots
+    assert list(groups[0].slots) == [100, 101, 102, 103]
+
+
+def test_block_reads_skip_resident_and_unswapped():
+    t = swapped_table(n=32, pages=[0, 1], slots=[100, 101])
+    t.make_resident(np.array([5]))  # resident page in the list
+    groups = plan_block_reads(t, np.array([0, 5, 1, 9]), max_batch=8)
+    got = np.concatenate([g.pages for g in groups])
+    assert set(got) == {0, 1}
+
+
+def test_block_reads_empty():
+    t = PageTable(1, 8)
+    assert plan_block_reads(t, np.array([], dtype=np.int64), 8) == []
+    assert plan_block_reads(t, np.array([3]), 8) == []
+
+
+def test_block_reads_bad_batch():
+    t = PageTable(1, 8)
+    with pytest.raises(ValueError):
+        plan_block_reads(t, np.array([0]), 0)
+
+
+def test_block_reads_slot_order_beats_page_order():
+    """Pages recorded out of address order still produce slot-ordered
+    (contiguous) reads."""
+    t = swapped_table(pages=[7, 3, 5], slots=[102, 100, 101])
+    groups = plan_block_reads(t, np.array([7, 3, 5]), max_batch=8)
+    assert len(groups) == 1
+    assert list(groups[0].slots) == [100, 101, 102]

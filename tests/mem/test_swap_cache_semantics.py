@@ -1,0 +1,107 @@
+"""A focused battery for the swap-cache semantics (DESIGN §5, mem docs).
+
+The model's rules, each pinned by a test:
+
+1. first touch is zero-fill — no slot, no disk read;
+2. page-out of a dirty (or never-written) page allocates/keeps a slot
+   and writes it;
+3. page-in keeps the slot (swap cache), arriving clean;
+4. a clean resident page with a valid slot is discarded without I/O;
+5. re-dirtying invalidates the copy but keeps the slot: the next
+   page-out rewrites *in place* (no new allocation);
+6. process exit frees every slot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.disk import Disk, DiskParams
+from repro.mem import MemoryParams, VirtualMemoryManager
+from repro.mem.replacement import VictimBatch
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def node():
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=256), disk)
+    vmm.register_process(1, 256)
+    return env, disk, vmm
+
+
+def drive(env, gen):
+    def w():
+        yield from gen
+    p = env.process(w())
+    env.run(until=p)
+
+
+def evict(env, vmm, pages):
+    drive(env, vmm.evict_batch(VictimBatch(1, np.asarray(pages))))
+
+
+def test_rule1_first_touch_zero_fill(node):
+    env, disk, vmm = node
+    drive(env, vmm.touch(1, np.arange(16)))
+    assert disk.total_requests == 0
+    assert (vmm.tables[1].swap_slot[:16] == -1).all()
+
+
+def test_rule2_pageout_allocates_and_writes(node):
+    env, disk, vmm = node
+    drive(env, vmm.touch(1, np.arange(16), dirty=True))
+    evict(env, vmm, np.arange(16))
+    assert disk.total_pages["write"] == 16
+    assert (vmm.tables[1].swap_slot[:16] >= 0).all()
+    # even a CLEAN page with no slot yet must be written (no backing)
+    drive(env, vmm.touch(1, np.arange(16, 32), dirty=False))
+    evict(env, vmm, np.arange(16, 32))
+    assert disk.total_pages["write"] == 32
+
+
+def test_rule3_pagein_keeps_slot_and_is_clean(node):
+    env, disk, vmm = node
+    t = vmm.tables[1]
+    drive(env, vmm.touch(1, np.arange(16), dirty=True))
+    evict(env, vmm, np.arange(16))
+    slots = t.swap_slot[:16].copy()
+    drive(env, vmm.touch(1, np.arange(16)))  # read back
+    assert disk.total_pages["read"] == 16
+    assert np.array_equal(t.swap_slot[:16], slots)  # swap cache kept
+    assert not t.dirty[:16].any()
+
+
+def test_rule4_clean_discard_is_free(node):
+    env, disk, vmm = node
+    drive(env, vmm.touch(1, np.arange(16), dirty=True))
+    evict(env, vmm, np.arange(16))
+    drive(env, vmm.touch(1, np.arange(16)))  # back in, clean + cached
+    writes_before = disk.total_pages["write"]
+    evict(env, vmm, np.arange(16))
+    assert disk.total_pages["write"] == writes_before  # no I/O
+    assert vmm.stats.pages_discarded == 16
+
+
+def test_rule5_redirty_rewrites_in_place(node):
+    env, disk, vmm = node
+    t = vmm.tables[1]
+    drive(env, vmm.touch(1, np.arange(16), dirty=True))
+    evict(env, vmm, np.arange(16))
+    slots = t.swap_slot[:16].copy()
+    used = vmm.swap.used_slots
+    drive(env, vmm.touch(1, np.arange(16), dirty=True))  # in + re-dirty
+    assert t.dirty[:16].all()
+    evict(env, vmm, np.arange(16))
+    assert np.array_equal(t.swap_slot[:16], slots)  # same slots
+    assert vmm.swap.used_slots == used               # nothing new allocated
+
+
+def test_rule6_exit_frees_all_slots(node):
+    env, disk, vmm = node
+    drive(env, vmm.touch(1, np.arange(32), dirty=True))
+    evict(env, vmm, np.arange(16))  # half on swap, half resident
+    assert vmm.swap.used_slots == 16
+    vmm.unregister_process(1)
+    assert vmm.swap.used_slots == 0
+    assert vmm.frames.used == 0

@@ -1,0 +1,105 @@
+"""Property-based tests: VMM invariants under random operation streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import Disk, DiskParams
+from repro.mem import (
+    GlobalLruPolicy,
+    LargestProcessClockPolicy,
+    MemoryParams,
+    VirtualMemoryManager,
+)
+from repro.sim import Environment
+
+N_PAGES = 192
+N_FRAMES = 128
+
+
+@st.composite
+def op_stream(draw):
+    """A random sequence of (pid, action, range) operations."""
+    n_ops = draw(st.integers(3, 25))
+    ops = []
+    for _ in range(n_ops):
+        pid = draw(st.integers(1, 3))
+        kind = draw(st.sampled_from(["touch", "touch_dirty", "reclaim"]))
+        start = draw(st.integers(0, N_PAGES - 2))
+        length = draw(st.integers(1, min(48, N_PAGES - start)))
+        ops.append((pid, kind, start, length))
+    return ops
+
+
+def execute(ops, policy):
+    env = Environment()
+    disk = Disk(env, DiskParams())
+    vmm = VirtualMemoryManager(
+        env, MemoryParams(total_frames=N_FRAMES), disk, policy=policy
+    )
+    for pid in (1, 2, 3):
+        vmm.register_process(pid, N_PAGES)
+
+    def driver():
+        for pid, kind, start, length in ops:
+            pages = np.arange(start, start + length)
+            if kind == "touch":
+                yield from vmm.touch(pid, pages)
+            elif kind == "touch_dirty":
+                yield from vmm.touch(pid, pages, dirty=True)
+            else:
+                yield from vmm.reclaim(length)
+            vmm.check_invariants()
+            assert 0 <= vmm.frames.free <= vmm.frames.total
+
+    p = env.process(driver())
+    env.run(until=p)
+    return vmm
+
+
+@given(op_stream())
+@settings(max_examples=40, deadline=None)
+def test_invariants_hold_under_global_lru(ops):
+    vmm = execute(ops, GlobalLruPolicy())
+    vmm.check_invariants()
+    # every touched page is resident or has a swap copy
+    for table in vmm.tables.values():
+        touched = table.last_ref > -np.inf
+        ok = table.present | (table.swap_slot >= 0)
+        assert np.all(ok[touched])
+
+
+@given(op_stream())
+@settings(max_examples=25, deadline=None)
+def test_invariants_hold_under_clock_policy(ops):
+    vmm = execute(ops, LargestProcessClockPolicy())
+    vmm.check_invariants()
+
+
+@given(op_stream())
+@settings(max_examples=25, deadline=None)
+def test_touched_data_never_lost(ops):
+    """A page once dirtied is always recoverable: either resident or its
+    swap copy is current (dirty bit clear when non-resident)."""
+    vmm = execute(ops, GlobalLruPolicy())
+    for table in vmm.tables.values():
+        nonres = ~table.present
+        # non-resident pages must not be flagged dirty
+        assert not np.any(table.dirty[nonres])
+
+
+@given(op_stream(), st.integers(0, 2))
+@settings(max_examples=20, deadline=None)
+def test_unregister_releases_everything(ops, victim_idx):
+    vmm = execute(ops, GlobalLruPolicy())
+    pid = (1, 2, 3)[victim_idx]
+    before_used = vmm.swap.used_slots
+    table = vmm.tables[pid]
+    held_slots = int(np.count_nonzero(table.swap_slot >= 0))
+    held_frames = table.resident_count
+    free_frames = vmm.frames.free
+    vmm.unregister_process(pid)
+    assert vmm.frames.free == free_frames + held_frames
+    assert vmm.swap.used_slots == before_used - held_slots
+    vmm.check_invariants()

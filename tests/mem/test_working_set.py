@@ -1,0 +1,75 @@
+"""Unit tests for the working-set estimator."""
+
+import numpy as np
+import pytest
+
+from repro.mem import PageTable, WorkingSetEstimator
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        WorkingSetEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        WorkingSetEstimator(alpha=1.5)
+
+
+def test_quantum_counts_distinct_references():
+    ws = WorkingSetEstimator(alpha=1.0)
+    t = PageTable(1, 32)
+    t.make_resident(np.arange(10))
+    ws.begin_quantum(1, now=100.0)
+    t.record_access(np.arange(6), now=150.0)
+    refs = ws.end_quantum(1, t, now=200.0)
+    assert refs == 6
+    assert ws.estimate(1) == 6
+
+
+def test_older_references_not_counted():
+    ws = WorkingSetEstimator(alpha=1.0)
+    t = PageTable(1, 32)
+    t.make_resident(np.arange(10))
+    t.record_access(np.arange(10), now=50.0)  # before the quantum
+    ws.begin_quantum(1, now=100.0)
+    t.record_access(np.arange(3), now=150.0)
+    assert ws.end_quantum(1, t, now=200.0) == 3
+
+
+def test_ema_blends_quanta():
+    ws = WorkingSetEstimator(alpha=0.5)
+    t = PageTable(1, 64)
+    t.make_resident(np.arange(40))
+    ws.begin_quantum(1, 0.0)
+    t.record_access(np.arange(10), now=1.0)
+    ws.end_quantum(1, t, 10.0)
+    ws.begin_quantum(1, 20.0)
+    t.record_access(np.arange(30), now=21.0)
+    ws.end_quantum(1, t, 30.0)
+    assert ws.estimate(1) == 20  # 0.5*30 + 0.5*10
+
+
+def test_estimate_before_any_quantum_uses_touched():
+    ws = WorkingSetEstimator()
+    t = PageTable(1, 32)
+    t.make_resident(np.arange(5))
+    t.record_access(np.arange(5), now=1.0)
+    assert ws.estimate(1, t) == 5
+    assert ws.estimate(1) == 0  # without a table, nothing known
+
+
+def test_end_quantum_without_begin_counts_all_touched():
+    ws = WorkingSetEstimator()
+    t = PageTable(1, 32)
+    t.make_resident(np.arange(7))
+    t.record_access(np.arange(7), now=1.0)
+    assert ws.end_quantum(1, t, now=5.0) == 7
+
+
+def test_forget_clears_state():
+    ws = WorkingSetEstimator()
+    t = PageTable(1, 16)
+    t.make_resident(np.arange(4))
+    ws.begin_quantum(1, 0.0)
+    t.record_access(np.arange(4), now=1.0)
+    ws.end_quantum(1, t, 2.0)
+    ws.forget(1)
+    assert ws.estimate(1) == 0

@@ -1,0 +1,47 @@
+"""Unit tests for overhead/reduction metric definitions."""
+
+import pytest
+
+from repro.metrics import (
+    overhead_fraction,
+    overhead_seconds,
+    paging_reduction,
+)
+
+
+def test_overhead_seconds():
+    assert overhead_seconds(150.0, 100.0) == 50.0
+    assert overhead_seconds(90.0, 100.0) == 0.0  # clamped
+
+
+def test_overhead_fraction():
+    assert overhead_fraction(200.0, 100.0) == pytest.approx(0.5)
+    assert overhead_fraction(100.0, 100.0) == 0.0
+
+
+def test_overhead_fraction_invalid():
+    with pytest.raises(ValueError):
+        overhead_fraction(0.0, 100.0)
+
+
+def test_reduction_full():
+    # lru overhead 100s, policy overhead 0 -> 100% reduction
+    assert paging_reduction(200.0, 100.0, 100.0) == pytest.approx(1.0)
+
+
+def test_reduction_partial():
+    # lru overhead 100s, policy overhead 30s -> 70%
+    assert paging_reduction(200.0, 130.0, 100.0) == pytest.approx(0.7)
+
+
+def test_reduction_none():
+    assert paging_reduction(200.0, 200.0, 100.0) == pytest.approx(0.0)
+
+
+def test_reduction_negative_when_worse():
+    assert paging_reduction(200.0, 250.0, 100.0) == pytest.approx(-0.5)
+
+
+def test_reduction_zero_baseline_defined_as_zero():
+    """The CG-on-4-nodes case: no overhead to begin with."""
+    assert paging_reduction(100.0, 120.0, 100.0) == 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for the collector and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Node
+from repro.gang.scheduler import SwitchRecord
+from repro.metrics import MetricsCollector, ascii_series, format_table
+from repro.metrics.report import percent
+from repro.sim import Environment
+
+
+def run_paging(collector):
+    env = Environment()
+    node = Node.build(env, "node0", 1.0, "lru")  # 256 frames
+    collector.attach_node(node)
+    vmm = node.vmm
+    vmm.register_process(1, 512)
+
+    def proc():
+        yield from vmm.touch(1, np.arange(200), dirty=True)
+        yield from vmm.touch(1, np.arange(200, 400), dirty=True)
+        yield from vmm.touch(1, np.arange(100))
+
+    p = env.process(proc())
+    env.run(until=p)
+    return env
+
+
+def test_collector_records_paging_events():
+    c = MetricsCollector()
+    env = run_paging(c)
+    assert c.paging
+    assert all(e.node == "node0" for e in c.paging)
+    reads = c.pages_moved(op="read")
+    writes = c.pages_moved(op="write")
+    assert reads > 0 and writes > 0
+    assert c.pages_moved() == reads + writes
+    assert c.pages_moved(node="other") == 0
+    assert c.io_busy_seconds() > 0
+    assert c.io_busy_seconds() <= env.now
+
+
+def test_paging_series_bins_all_pages():
+    c = MetricsCollector()
+    run_paging(c)
+    series = c.paging_series(bin_s=0.1)
+    assert series["read"].sum() == c.pages_moved(op="read")
+    assert series["write"].sum() == c.pages_moved(op="write")
+    assert series["t"].size == series["read"].size
+
+
+def test_paging_series_invalid_bin():
+    c = MetricsCollector()
+    with pytest.raises(ValueError):
+        c.paging_series(bin_s=0)
+
+
+def test_switch_windows():
+    c = MetricsCollector()
+    run_paging(c)
+    c.on_switch(SwitchRecord(0.0, 0.1, "j1", None))
+    windows = c.switch_paging_windows(window_s=1e9)
+    assert windows[0][1] == c.pages_moved()
+
+
+def test_clear():
+    c = MetricsCollector()
+    run_paging(c)
+    c.clear()
+    assert not c.paging and not c.switches
+
+
+def test_format_table_basic():
+    out = format_table(("a", "bb"), [(1, 2.5), ("x", 10000.0)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert "10,000" in out
+
+
+def test_format_table_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(("a",), [(1, 2)])
+
+
+def test_ascii_series_shapes():
+    out = ascii_series([0, 1, 2, 4], width=4, label="x")
+    assert out.startswith("x")
+    assert out.count("|") == 2
+    # max value maps to the full block
+    assert "█" in out
+
+
+def test_ascii_series_empty_and_zero():
+    assert "|" in ascii_series([], width=5)
+    flat = ascii_series([0, 0, 0], width=3)
+    assert "█" not in flat
+
+
+def test_ascii_series_invalid_width():
+    with pytest.raises(ValueError):
+        ascii_series([1], width=0)
+
+
+def test_percent():
+    assert percent(0.5) == "50%"
+    assert percent(0.934) == "93%"

@@ -1,0 +1,74 @@
+"""Tests for fairness metrics."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.gang import GangScheduler, Job
+from repro.metrics.fairness import cpu_shares, jains_index, progress_ratios
+from repro.sim import Environment, RngStreams
+from repro.workloads import SequentialSweepWorkload
+
+
+def test_jains_index_extremes():
+    assert jains_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    assert jains_index({"a": 2.0, "b": 2.0}) == pytest.approx(1.0)
+    assert jains_index([0.0, 0.0]) == 1.0  # trivially equal
+
+
+def test_jains_index_validation():
+    with pytest.raises(ValueError):
+        jains_index([])
+    with pytest.raises(ValueError):
+        jains_index([-1.0, 1.0])
+
+
+def run_gang(names_pages):
+    env = Environment()
+    node = Node.build(env, "n0", 8.0, "lru")
+    rngs = RngStreams(9)
+    jobs = []
+    demands = {}
+    for name, pages, iters in names_pages:
+        w = SequentialSweepWorkload(pages, iters, cpu_per_page_s=2e-3,
+                                    max_phase_pages=256, name=name,
+                                    init_touch=False)
+        jobs.append(Job(name, [node], [w], rngs.spawn(name)))
+        demands[name] = pages * iters * 2e-3
+    GangScheduler(env, jobs, quantum_s=1.0).start()
+    env.run()
+    return jobs, demands
+
+
+def test_equal_jobs_get_equal_shares():
+    jobs, demands = run_gang([("a", 512, 4), ("b", 512, 4)])
+    shares = cpu_shares(jobs)
+    assert jains_index(shares) > 0.99
+    ratios = progress_ratios(jobs, demands)
+    assert all(r == pytest.approx(1.0, rel=1e-6) for r in ratios.values())
+
+
+def test_unequal_demands_still_complete():
+    jobs, demands = run_gang([("small", 256, 2), ("big", 512, 6)])
+    shares = cpu_shares(jobs)
+    # the big job consumed more CPU overall...
+    assert shares["big"] > shares["small"]
+    # ...but both finished their full demand
+    ratios = progress_ratios(jobs, demands)
+    assert all(r == pytest.approx(1.0, rel=1e-6) for r in ratios.values())
+
+
+def test_progress_ratio_validation():
+    jobs, demands = run_gang([("a", 128, 1)])
+    with pytest.raises(ValueError):
+        progress_ratios(jobs, {})
+
+
+def test_cpu_shares_empty_total():
+    env = Environment()
+    node = Node.build(env, "n0", 4.0, "lru")
+    rngs = RngStreams(1)
+    w = SequentialSweepWorkload(64, 1, name="idle")
+    job = Job("idle", [node], [w], rngs)
+    shares = cpu_shares([job])  # never ran
+    assert shares == {"idle": 0.0}

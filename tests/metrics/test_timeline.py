@@ -1,0 +1,83 @@
+"""Tests for the per-job breakdown / node utilisation analysis."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.gang import GangScheduler, Job
+from repro.metrics import (
+    MetricsCollector,
+    job_breakdown,
+    node_utilization,
+    render_breakdown,
+)
+from repro.sim import Environment, RngStreams
+from repro.workloads import SequentialSweepWorkload
+
+
+def run_two_jobs(policy="lru"):
+    env = Environment()
+    collector = MetricsCollector()
+    node = Node.build(env, "node0", 6.0, policy)
+    collector.attach_node(node)
+    rngs = RngStreams(2)
+    jobs = []
+    for name in ("a", "b"):
+        w = SequentialSweepWorkload(1100, 3, cpu_per_page_s=2e-3,
+                                    max_phase_pages=256, name=name,
+                                    dirty_fraction=0.7)
+        jobs.append(Job(name, [node], [w], rngs.spawn(name)))
+    GangScheduler(env, jobs, quantum_s=3.0).start()
+    env.run()
+    return jobs, collector
+
+
+def test_breakdown_components_sum_to_completion():
+    jobs, _ = run_two_jobs()
+    for d in job_breakdown(jobs):
+        assert d.completion_s == pytest.approx(
+            d.cpu_s + d.stopped_s + d.other_s, rel=1e-9
+        )
+        assert d.cpu_s > 0
+        assert d.stopped_s > 0      # gang scheduling stopped each job
+        assert d.other_s >= 0       # paging waits
+        assert 0 < d.cpu_fraction < 1
+
+
+def test_breakdown_requires_finished_jobs():
+    env = Environment()
+    node = Node.build(env, "n", 4.0, "lru")
+    rngs = RngStreams(3)
+    w = SequentialSweepWorkload(128, 1, name="x")
+    job = Job("x", [node], [w], rngs)
+    with pytest.raises(ValueError, match="not finished"):
+        job_breakdown([job])
+
+
+def test_node_utilization_aggregates_collector():
+    jobs, collector = run_two_jobs()
+    utils = node_utilization(collector)
+    assert len(utils) == 1
+    u = utils[0]
+    assert u.node == "node0"
+    assert u.pages_read == collector.pages_moved(op="read")
+    assert u.pages_written == collector.pages_moved(op="write")
+    assert u.disk_busy_s == pytest.approx(collector.io_busy_seconds())
+    mk = max(j.completed_at for j in jobs)
+    assert 0 < u.busy_fraction(mk) < 1
+
+
+def test_render_breakdown_produces_tables_and_bars():
+    jobs, collector = run_two_jobs()
+    out = render_breakdown(jobs, collector)
+    assert "Per-job time breakdown" in out
+    assert "Per-node paging utilisation" in out
+    assert "█" in out  # cpu bar segments present
+
+
+def test_adaptive_reduces_other_time():
+    """Paging+sync time shrinks under the adaptive stack."""
+    lru_jobs, _ = run_two_jobs("lru")
+    ad_jobs, _ = run_two_jobs("so/ao/ai/bg")
+    lru_other = sum(d.other_s for d in job_breakdown(lru_jobs))
+    ad_other = sum(d.other_s for d in job_breakdown(ad_jobs))
+    assert ad_other < lru_other

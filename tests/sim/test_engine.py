@@ -1,0 +1,466 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(3.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [3.0]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        v = yield env.timeout(1.0, value="hello")
+        got.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for d in (1.0, 2.0, 0.5):
+            yield env.timeout(d)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 3.0, 3.5]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        for _ in range(3):
+            yield env.timeout(delay)
+            order.append((name, env.now))
+
+    env.process(proc(env, "a", 1.0))
+    env.process(proc(env, "b", 1.5))
+    env.run()
+    # At t=3.0 both fire; b's timeout was scheduled earlier (at t=1.5 vs
+    # a's at t=2.0) so b wins the tie deterministically.
+    assert order == [
+        ("a", 1.0),
+        ("b", 1.5),
+        ("a", 2.0),
+        ("b", 3.0),
+        ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    ticks = []
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+            ticks.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+    assert env.now == 2.0
+
+
+def test_run_backwards_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_process_waits_on_other_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        log.append("child done")
+        return "payload"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        log.append(f"parent got {value}")
+
+    env.process(parent(env))
+    env.run()
+    assert log == ["child done", "parent got payload"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env):
+        got.append((yield ev))
+
+    def firer(env):
+        yield env.timeout(1.0)
+        ev.succeed("go")
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert got == ["go"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as e:
+            caught.append(str(e))
+
+    def firer(env):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_failure_of_awaited_child_propagates_to_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "recovered"
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == "recovered"
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim_proc):
+        yield env.timeout(3.0)
+        victim_proc.interrupt(cause="stop now")
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert log == [(3.0, "stop now")]
+
+
+def test_interrupted_process_can_reawait_target():
+    """After an interrupt the original timeout is still valid."""
+    env = Environment()
+    log = []
+
+    def victim(env):
+        to = env.timeout(10.0)
+        try:
+            yield to
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield to  # resume waiting on the same timeout
+        log.append(("done", env.now))
+
+    def interrupter(env, victim_proc):
+        yield env.timeout(4.0)
+        victim_proc.interrupt()
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert log == [("interrupted", 4.0), ("done", 10.0)]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    def late(env, target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    p = env.process(quick(env))
+    env.process(late(env, p))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def selfish(env, box):
+        box.append(env.active_process)
+        try:
+            box[0].interrupt()
+        except SimulationError:
+            return "caught"
+        yield env.timeout(1)
+
+    box = []
+    p = env.process(selfish(env, box))
+    assert env.run(until=p) == "caught"
+
+
+def test_is_alive_transitions():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        t1, t2 = env.timeout(1.0, "a"), env.timeout(5.0, "b")
+        result = yield AllOf(env, [t1, t2])
+        times.append(env.now)
+        assert set(result.values()) == {"a", "b"}
+
+    env.process(proc(env))
+    env.run()
+    assert times == [5.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        result = yield AnyOf(env, [env.timeout(1.0, "fast"), env.timeout(5.0)])
+        times.append(env.now)
+        assert "fast" in result.values()
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        return result
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == {}
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_same_time_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_daemon_timeouts_do_not_keep_run_alive():
+    env = Environment()
+    samples = []
+
+    def daemonic(env):
+        while True:
+            samples.append(env.now)
+            yield env.timeout(1.0, daemon=True)
+
+    def worker(env):
+        yield env.timeout(3.5)
+
+    env.process(daemonic(env))
+    env.process(worker(env))
+    env.run()  # must terminate despite the infinite daemon loop
+    assert env.now == 3.5
+    assert samples == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_daemon_events_processed_within_bounded_run():
+    env = Environment()
+    ticks = []
+
+    def daemonic(env):
+        while True:
+            ticks.append(env.now)
+            yield env.timeout(1.0, daemon=True)
+
+    env.process(daemonic(env))
+    env.run(until=2.5)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_run_until_event_raises_when_only_daemons_remain():
+    env = Environment()
+
+    def daemonic(env):
+        while True:
+            yield env.timeout(1.0, daemon=True)
+
+    env.process(daemonic(env))
+    never = env.event()
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=never)
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+    assert p.ok

@@ -1,0 +1,85 @@
+"""Property tests for the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(waiter(env, d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(st.lists(st.tuples(st.floats(0.0, 50.0, allow_nan=False),
+                          st.integers(0, 9)),
+                min_size=2, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_equal_time_events_fire_in_creation_order(specs):
+    """Within one timestamp, creation order is the tiebreak — always."""
+    env = Environment()
+    fired = []
+
+    def waiter(env, d, tag, idx):
+        yield env.timeout(d)
+        fired.append((env.now, idx))
+
+    for idx, (d, tag) in enumerate(specs):
+        env.process(waiter(env, d, tag, idx))
+    env.run()
+    # stable sort of (time, creation index) must equal firing order
+    assert fired == sorted(fired, key=lambda p: (p[0], p[1]))
+
+
+@given(st.integers(1, 6), st.integers(1, 20),
+       st.floats(0.1, 5.0, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_chained_processes_conserve_virtual_time(nprocs, nsteps, dt):
+    """N processes each doing nsteps timeouts of dt end at nsteps*dt."""
+    env = Environment()
+    ends = []
+
+    def proc(env):
+        for _ in range(nsteps):
+            yield env.timeout(dt)
+        ends.append(env.now)
+
+    for _ in range(nprocs):
+        env.process(proc(env))
+    env.run()
+    assert len(ends) == nprocs
+    for e in ends:
+        assert abs(e - nsteps * dt) < 1e-6 * max(1.0, nsteps * dt)
+
+
+@given(st.lists(st.floats(0.0, 10.0, allow_nan=False),
+                min_size=1, max_size=20),
+       st.floats(0.0, 12.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_run_until_horizon_is_exact(delays, horizon):
+    env = Environment()
+    fired = []
+
+    def waiter(env, d):
+        yield env.timeout(d)
+        fired.append(d)
+
+    for d in delays:
+        env.process(waiter(env, d))
+    env.run(until=horizon)
+    assert env.now == horizon
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)

@@ -1,0 +1,251 @@
+"""Unit tests for Resource / PriorityResource."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource, SimulationError
+from repro.sim.resources import hold
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_single_slot_serialises_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def user(env, res, name, duration):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(duration)
+        res.release(req)
+        spans.append((name, start, env.now))
+
+    env.process(user(env, res, "a", 2.0))
+    env.process(user(env, res, "b", 3.0))
+    env.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+def test_capacity_two_allows_parallel_holders():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def user(env, res):
+        req = res.request()
+        yield req
+        starts.append(env.now)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for _ in range(3):
+        env.process(user(env, res))
+    env.run()
+    assert starts == [0.0, 0.0, 1.0]
+
+
+def test_fifo_order_within_resource():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        # occupy the slot so later requests must queue
+        req = res.request(priority=0)
+        yield req
+        yield env.timeout(5.0)
+        res.release(req)
+
+    def user(env, res, name, prio, delay):
+        yield env.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "low", 10, 1.0))
+    env.process(user(env, res, "high", 1, 2.0))
+    env.process(user(env, res, "mid", 5, 3.0))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_ties_are_fifo():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(2.0)
+        res.release(req)
+
+    def user(env, res, name, delay):
+        yield env.timeout(delay)
+        req = res.request(priority=5)
+        yield req
+        order.append(name)
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "first", 0.5))
+    env.process(user(env, res, "second", 1.0))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_cancel_pending_request_skips_grant():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(2.0)
+        res.release(req)
+
+    def canceller(env, res):
+        yield env.timeout(0.5)
+        req = res.request()
+        yield env.timeout(0.5)
+        req.cancel()
+
+    def user(env, res):
+        yield env.timeout(1.0)
+        req = res.request()
+        yield req
+        order.append(env.now)
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(canceller(env, res))
+    env.process(user(env, res))
+    env.run()
+    assert order == [2.0]
+
+
+def test_release_ungranted_acts_as_cancel():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def abandoner(env, res):
+        yield env.timeout(0.1)
+        req = res.request()
+        res.release(req)  # never granted
+        yield env.timeout(0)
+
+    env.process(holder(env, res))
+    env.process(abandoner(env, res))
+    env.run()
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+def test_double_release_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    env.process(user(env, res))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_in_use_and_queue_length_track_state():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    snapshots = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(2.0)
+        res.release(req)
+
+    def waiter(env, res):
+        req = res.request()
+        yield req
+        res.release(req)
+
+    def observer(env, res):
+        yield env.timeout(1.0)
+        snapshots.append((res.in_use, res.queue_length))
+        yield env.timeout(2.0)
+        snapshots.append((res.in_use, res.queue_length))
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res))
+    env.process(observer(env, res))
+    env.run()
+    assert snapshots == [(1, 1), (0, 0)]
+
+
+def test_hold_helper_acquires_and_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, res, name, duration):
+        yield from hold(env, res, duration)
+        log.append((name, env.now))
+
+    env.process(user(env, res, "a", 1.0))
+    env.process(user(env, res, "b", 1.0))
+    env.run()
+    assert log == [("a", 1.0), ("b", 2.0)]
+    assert res.in_use == 0
+
+
+def test_request_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        log.append((name, env.now))
+
+    env.process(user(env, res, "a"))
+    env.process(user(env, res, "b"))
+    env.run()
+    assert log == [("a", 1.0), ("b", 2.0)]

@@ -1,0 +1,53 @@
+"""Unit tests for seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RngStreams(seed=7).stream("workload")
+    b = RngStreams(seed=7).stream("workload")
+    assert np.array_equal(a.integers(0, 1000, 50), b.integers(0, 1000, 50))
+
+
+def test_different_names_give_independent_streams():
+    streams = RngStreams(seed=7)
+    a = streams.stream("alpha").integers(0, 10**9, 20)
+    b = streams.stream("beta").integers(0, 10**9, 20)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x").integers(0, 10**9, 20)
+    b = RngStreams(seed=2).stream("x").integers(0, 10**9, 20)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_not_recreated():
+    streams = RngStreams(seed=3)
+    s1 = streams.stream("x")
+    first = s1.integers(0, 10**9, 5)
+    s2 = streams.stream("x")
+    assert s1 is s2
+    # continuing the stream must not restart it
+    second = s2.integers(0, 10**9, 5)
+    assert not np.array_equal(first, second)
+
+
+def test_spawn_children_are_reproducible_and_distinct():
+    parent = RngStreams(seed=9)
+    c1 = parent.spawn("node0")
+    c2 = parent.spawn("node1")
+    again = RngStreams(seed=9).spawn("node0")
+    a = c1.stream("w").integers(0, 10**9, 10)
+    b = c2.stream("w").integers(0, 10**9, 10)
+    c = again.stream("w").integers(0, 10**9, 10)
+    assert np.array_equal(a, c)
+    assert not np.array_equal(a, b)
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RngStreams(seed="abc")  # type: ignore[arg-type]

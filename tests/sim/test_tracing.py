@@ -1,0 +1,118 @@
+"""Tests for the DES event tracer."""
+
+import pytest
+
+from repro.sim import Environment, Timeout
+from repro.sim.tracing import EventTracer
+
+
+def test_validation_and_double_install():
+    env = Environment()
+    with pytest.raises(ValueError):
+        EventTracer(env, capacity=0)
+    tr = EventTracer(env).install()
+    with pytest.raises(RuntimeError):
+        tr.install()
+    tr.remove()
+    tr.remove()  # idempotent
+
+
+def test_records_processed_events():
+    env = Environment()
+    tr = EventTracer(env).install()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    tr.remove()
+    kinds = [e.kind for e in tr.entries]
+    assert "Timeout" in kinds
+    assert "Process" in kinds
+    assert tr.total_seen == len(tr.entries)
+    times = [e.time for e in tr.entries]
+    assert times == sorted(times)
+
+
+def test_predicate_filters():
+    env = Environment()
+    tr = EventTracer(env, predicate=lambda ev: isinstance(ev, Timeout))
+    tr.install()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    tr.remove()
+    assert all(e.kind == "Timeout" for e in tr.entries)
+
+
+def test_ring_buffer_caps_entries():
+    env = Environment()
+    tr = EventTracer(env, capacity=5).install()
+
+    def proc(env):
+        for _ in range(20):
+            yield env.timeout(0.1)
+
+    env.process(proc(env))
+    env.run()
+    tr.remove()
+    assert len(tr.entries) == 5
+    assert tr.total_seen > 5
+
+
+def test_failures_captured():
+    env = Environment()
+    tr = EventTracer(env).install()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("boom")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            pass
+
+    env.process(parent(env))
+    env.run()
+    tr.remove()
+    fails = tr.failures()
+    assert fails and "KeyError" in fails[0].detail
+
+
+def test_context_manager_and_render():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    with EventTracer(env) as tr:
+        env.process(proc(env))
+        env.run()
+        out = tr.render(5)
+    assert not tr.installed
+    assert "Timeout" in out
+    empty = EventTracer(env)
+    assert empty.render() == "<no events traced>"
+
+
+def test_removed_tracer_sees_nothing_more():
+    env = Environment()
+    tr = EventTracer(env).install()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    tr.remove()
+    n = tr.total_seen
+    env.process(proc(env))
+    env.run()
+    assert tr.total_seen == n

@@ -1,0 +1,141 @@
+"""Validate the simulator against the closed-form cost model."""
+
+import numpy as np
+import pytest
+
+from repro.disk import Disk, DiskParams
+from repro.mem import MemoryParams, VirtualMemoryManager
+from repro.mem.readahead import plan_block_reads
+from repro.sim import Environment
+from repro.validation import (
+    amortization_ratio,
+    expected_block_pagein_s,
+    expected_demand_pagein_s,
+    expected_switch_paging_s,
+    expected_transfer_s,
+)
+
+P = DiskParams()
+
+
+def test_expected_transfer_validation():
+    with pytest.raises(ValueError):
+        expected_transfer_s(P, 0, 1)
+    with pytest.raises(ValueError):
+        expected_transfer_s(P, 4, 5)
+    with pytest.raises(ValueError):
+        expected_demand_pagein_s(P, 10, 0)
+    with pytest.raises(ValueError):
+        expected_block_pagein_s(P, 10, 0)
+
+
+def test_single_transfer_matches_simulation_exactly():
+    env = Environment()
+    disk = Disk(env, P)
+    # 3 runs of 4 pages each
+    slots = np.concatenate([np.arange(0, 4), np.arange(10, 14),
+                            np.arange(20, 24)])
+    req = disk.submit(slots, "read")
+    env.run()
+    assert req.service_time == pytest.approx(
+        expected_transfer_s(P, 12, 3)
+    )
+
+
+def test_continuation_discount_matches():
+    env = Environment()
+    disk = Disk(env, P)
+    disk.submit(np.arange(0, 8), "read")
+    second = disk.submit(np.arange(8, 16), "read")
+    env.run()
+    assert second.service_time == pytest.approx(
+        expected_transfer_s(P, 8, 1, continues=True)
+    )
+
+
+def test_demand_pagein_model_matches_simulation():
+    """A swapped-out contiguous region read back by demand faults."""
+    env = Environment()
+    disk = Disk(env, P)
+    vmm = VirtualMemoryManager(
+        env, MemoryParams(total_frames=4096, readahead_pages=16), disk
+    )
+    vmm.register_process(1, 4096)
+    npages = 2048
+
+    def setup():
+        yield from vmm.touch(1, np.arange(npages), dirty=True)
+        yield from vmm.reclaim(npages + vmm.params.freepages_high)
+
+    p = env.process(setup())
+    env.run(until=p)
+    t0 = env.now
+
+    def refault():
+        yield from vmm.touch(1, np.arange(npages))
+
+    p2 = env.process(refault())
+    env.run(until=p2)
+    measured = env.now - t0
+    # the region was flushed in order, so its slots are contiguous and
+    # the re-read streams (sequential=True)
+    expected = expected_demand_pagein_s(P, npages, 16, sequential=True)
+    # exact up to the per-page major-fault CPU charge
+    cpu = npages * vmm.params.major_fault_cpu_s
+    assert measured == pytest.approx(expected + cpu, rel=0.05)
+    # the scattered-layout prediction must over-estimate this best case
+    assert measured < expected_demand_pagein_s(P, npages, 16)
+
+
+def test_block_pagein_model_matches_simulation():
+    env = Environment()
+    disk = Disk(env, P)
+    vmm = VirtualMemoryManager(env, MemoryParams(total_frames=4096), disk)
+    t = vmm.register_process(1, 4096)
+    npages = 2048
+
+    def setup():
+        yield from vmm.touch(1, np.arange(npages), dirty=True)
+        yield from vmm.reclaim(npages + vmm.params.freepages_high)
+
+    p = env.process(setup())
+    env.run(until=p)
+    t0 = env.now
+
+    def block_read():
+        groups = plan_block_reads(t, np.arange(npages), max_batch=256)
+        yield from vmm.swap_in_block(1, groups)
+
+    p2 = env.process(block_read())
+    env.run(until=p2)
+    measured = env.now - t0
+    expected = expected_block_pagein_s(P, npages, 256, sequential=True)
+    assert measured == pytest.approx(expected, rel=0.05)
+
+
+def test_block_beats_demand_by_model_and_measurement():
+    npages = 4096
+    demand = expected_demand_pagein_s(P, npages, 16)
+    block = expected_block_pagein_s(P, npages, 256)
+    assert block < demand
+    # the advantage comes from positioning amortisation
+    assert demand - block == pytest.approx(
+        (npages / 16 - npages / 256) * (P.overhead_s + P.positioning_s),
+        rel=1e-6,
+    )
+
+
+def test_switch_model_orders_policies():
+    lru = expected_switch_paging_s(P, 48000, 29000, adaptive=False,
+                                   interleave_penalty=1.3)
+    full = expected_switch_paging_s(P, 48000, 29000, adaptive=True)
+    assert full < lru
+    # the modelled reduction lands in the band the experiments measure
+    assert 0.5 < 1 - full / lru < 0.95
+
+
+def test_amortization_ratio():
+    r = amortization_ratio(P, batch=256)
+    # one 4 KiB page behind a 12.5 ms positioning vs 256 pages behind one
+    assert r > 10
+    assert amortization_ratio(P, batch=1) == pytest.approx(1.0)

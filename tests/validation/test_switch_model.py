@@ -1,0 +1,44 @@
+"""Link the analytic switch model to a measured gang run."""
+
+import pytest
+
+from repro.disk.device import ERA_DISK
+from repro.experiments import GangConfig, run_experiment
+from repro.mem.params import mb_to_pages
+from repro.validation import expected_switch_paging_s
+
+
+def test_measured_switch_volume_within_model_band():
+    """Pages moved in the minute after a steady-state adaptive switch
+    sit near working-set size, and the measured makespan overhead is
+    the same order as the analytic per-switch cost x switch count."""
+    scale = 0.1
+    cfg = GangConfig("LU", "B", nprocs=1, policy="so/ao/ai/bg",
+                     seed=1, scale=scale)
+    res = run_experiment(cfg)
+    ws_pages = mb_to_pages(190 * scale)
+    windows = res.collector.switch_paging_windows(
+        window_s=0.2 * cfg.quantum_s * scale
+    )
+    # skip the first two switches (cold recorder); steady-state windows
+    # move roughly a working set (reads) + dirty set (writes)
+    steady = [pages for _, pages in windows[2:-1]]
+    assert steady, "need steady-state switches"
+    upper = 2.5 * ws_pages
+    assert max(steady) <= upper
+    assert max(steady) >= 0.2 * ws_pages
+
+    # analytic per-switch time for the adaptive policy, same parameters
+    model = expected_switch_paging_s(
+        ERA_DISK, ws_in_pages=ws_pages,
+        out_dirty_pages=int(0.6 * ws_pages), adaptive=True,
+    )
+    # the batch-relative overhead over all switches is the same order
+    batch = run_experiment(
+        GangConfig("LU", "B", nprocs=1, seed=1, scale=scale, mode="batch")
+    ).makespan
+    measured_overhead = res.makespan - batch
+    switches = max(1, res.switch_count - 1)
+    assert measured_overhead == pytest.approx(
+        model * switches, rel=1.5
+    )

@@ -1,0 +1,76 @@
+"""Tests for workload characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import make_npb
+from repro.workloads.analysis import (
+    WorkloadProfile,
+    profile_workload,
+    render_profiles,
+)
+from repro.workloads.synthetic import (
+    RandomAccessWorkload,
+    SequentialSweepWorkload,
+)
+
+
+def rng():
+    return np.random.default_rng(6)
+
+
+def test_sweep_profile_exact_numbers():
+    w = SequentialSweepWorkload(1000, 3, dirty_fraction=0.4,
+                                init_touch=False, max_phase_pages=250)
+    p = profile_workload(w, rng())
+    assert p.footprint_pages == 1000
+    assert p.total_touches == 3000
+    assert p.dirty_touches == 3 * 400
+    assert p.dirty_ratio == pytest.approx(0.4)
+    assert p.touches_per_page == pytest.approx(3.0)
+    # a sweep re-touches every page one iteration later: chunking makes
+    # 5 phases per iteration (the dirty boundary splits a chunk), so the
+    # reuse distance is exactly 5 phases for every re-touch
+    assert p.nphases == 15
+    assert set(p.reuse_hist) == {5}
+    assert p.reuse_hist[5] == 2000  # touches after the first sweep
+    assert p.mean_reuse_distance == pytest.approx(5.0)
+
+
+def test_first_touches_not_counted_as_reuse():
+    w = SequentialSweepWorkload(100, 1, init_touch=False)
+    p = profile_workload(w, rng())
+    assert p.reuse_hist == {}
+    assert p.mean_reuse_distance == float("inf")
+
+
+def test_random_pattern_has_spread_reuse():
+    w = RandomAccessWorkload(2048, 3, chunk_pages=64, init_touch=False,
+                             max_phase_pages=512)
+    p = profile_workload(w, rng())
+    # shuffled chunk order spreads reuse distances over many values
+    assert len(p.reuse_hist) > 3
+
+
+def test_npb_profiles_are_consistent():
+    profiles = [
+        profile_workload(make_npb(b, "A", max_phase_pages=4096), rng())
+        for b in ("LU", "CG", "IS")
+    ]
+    by_name = {p.name: p for p in profiles}
+    # LU touches each page twice per iteration (two sweeps) + init
+    lu = by_name["LU.A.1"]
+    expected = lu.footprint_pages * (2 * 12 + 1)
+    assert lu.total_touches == expected
+    # CG is the read-mostly one
+    assert by_name["CG.A.1"].dirty_ratio < by_name["IS.A.1"].dirty_ratio
+    out = render_profiles(profiles)
+    assert "LU.A.1" in out and "dirty ratio" in out
+
+
+def test_cpu_accounting():
+    w = SequentialSweepWorkload(100, 2, cpu_per_page_s=1e-3,
+                                init_touch=False)
+    p = profile_workload(w, rng())
+    assert p.total_cpu_s == pytest.approx(0.2)
+    assert p.cpu_per_touch_s == pytest.approx(1e-3)

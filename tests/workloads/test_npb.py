@@ -1,0 +1,143 @@
+"""Unit tests for the NPB2 benchmark models."""
+
+import numpy as np
+import pytest
+
+from repro.mem.params import mb_to_pages, pages_to_mb
+from repro.workloads import NPB_BENCHMARKS, make_npb
+from repro.workloads.base import expand_phase
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+#: the five programs the paper evaluates
+PAPER_SET = {"LU", "SP", "CG", "IS", "MG"}
+
+
+def test_paper_benchmarks_present_plus_extensions():
+    assert PAPER_SET <= set(NPB_BENCHMARKS)
+    # FT and EP are provided as extensions beyond the paper's set
+    assert {"FT", "EP"} <= set(NPB_BENCHMARKS)
+
+
+def test_factory_case_insensitive():
+    w = make_npb("lu", "b")
+    assert w.name == "LU.B.1"
+
+
+def test_factory_unknown_name():
+    with pytest.raises(ValueError, match="unknown NPB benchmark"):
+        make_npb("BT", "B")
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError, match="no class"):
+        make_npb("LU", "D")
+
+
+def test_sp_does_not_run_on_two_processes():
+    """§4.2: 'SP is included only for 4 machines since it does not
+    compile for 2 machines.'"""
+    with pytest.raises(ValueError, match="does not run on 2"):
+        make_npb("SP", "C", nprocs=2)
+    make_npb("SP", "C", nprocs=4)  # fine
+
+
+def test_lu_class_c_four_nodes_matches_paper_anchor():
+    """§4: 'the data class C of LU uses only 188 Mbytes when running on
+    4 machines in parallel.'"""
+    w = make_npb("LU", "C", nprocs=4)
+    assert pages_to_mb(w.footprint_pages) == pytest.approx(187.5, abs=2.0)
+
+
+def test_class_b_footprints_within_paper_band():
+    """§4.1 footnote: class B programs require 188–400 MB (applies to
+    the paper's five programs, not the FT/EP extensions)."""
+    for name in PAPER_SET:
+        w = make_npb(name, "B")
+        mb = pages_to_mb(w.footprint_pages)
+        assert 180 <= mb <= 410, f"{name}.B footprint {mb} MB out of band"
+
+
+def test_parallel_footprint_shrinks_with_nodes():
+    for name in ("LU", "CG", "IS", "MG"):
+        two = make_npb(name, "C", 2).footprint_pages
+        four = make_npb(name, "C", 4).footprint_pages
+        serial = make_npb(name, "C", 1).footprint_pages
+        assert serial > two > four
+
+
+def test_cg_four_nodes_fits_under_350mb_pair():
+    """§4.2: CG on 4 machines shrinks so much that paging does not
+    occur even with the 350 MB memory lock."""
+    per_node = pages_to_mb(make_npb("CG", "C", 4).footprint_pages)
+    assert 2 * per_node <= 355
+
+
+def test_iteration_covers_footprint():
+    for name in NPB_BENCHMARKS:
+        w = make_npb(name, "A", max_phase_pages=4096)
+        touched = set()
+        for phase in w.iteration_phases(0, rng()):
+            pages, _ = expand_phase(phase)
+            touched.update(pages.tolist())
+        assert touched == set(range(w.footprint_pages)), (
+            f"{name} iteration misses pages"
+        )
+
+
+def test_phases_respect_max_phase_pages():
+    for name in NPB_BENCHMARKS:
+        w = make_npb(name, "A", max_phase_pages=2048)
+        for phase in w.phases(rng()):
+            assert phase.npages <= 2048 + 256, name  # chunk slack
+
+
+def test_dirty_pages_match_fraction_roughly():
+    # expected dirty share of *touches* per iteration: LU dirties 60 % of
+    # each sweep; IS dirties the bucket region (60 % of the footprint)
+    for name, frac in (("LU", 0.6), ("IS", 0.6)):
+        w = make_npb(name, "A")
+        dirty = total = 0
+        for phase in w.iteration_phases(0, rng()):
+            pages, mask = expand_phase(phase)
+            total += pages.size
+            dirty += int(mask.sum())
+        assert dirty / total == pytest.approx(frac, abs=0.15), name
+
+
+def test_parallel_runs_have_barriers_serial_do_not():
+    serial = make_npb("LU", "A", 1)
+    parallel = make_npb("LU", "A", 4)
+    assert not any(p.barrier for p in serial.phases(rng()))
+    assert any(p.barrier for p in parallel.phases(rng()))
+
+
+def test_parallel_cpu_divided():
+    serial = make_npb("LU", "B", 1)
+    four = make_npb("LU", "B", 4)
+    assert four.cpu_it_s == pytest.approx(serial.cpu_it_s / 4)
+
+
+def test_comm_grows_with_node_count():
+    two = make_npb("IS", "C", 2)
+    four = make_npb("IS", "C", 4)
+    assert 0 < two.comm_s < four.comm_s
+
+
+def test_cg_matrix_order_is_shuffled_deterministically():
+    w = make_npb("CG", "A")
+    a = [expand_phase(p)[0][0] for p in w.iteration_phases(0, np.random.default_rng(5))]
+    b = [expand_phase(p)[0][0] for p in w.iteration_phases(0, np.random.default_rng(5))]
+    c = [expand_phase(p)[0][0] for p in w.iteration_phases(0, np.random.default_rng(6))]
+    assert a == b
+    assert a != c
+
+
+def test_mg_levels_shrink():
+    w = make_npb("MG", "A")
+    labels = [p.label for p in w.iteration_phases(0, rng())]
+    assert any("fine" in l for l in labels)
+    assert any("lvl0" in l for l in labels)

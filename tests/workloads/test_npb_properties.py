@@ -1,0 +1,76 @@
+"""Property tests across the whole NPB configuration space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import NPB_BENCHMARKS, make_npb
+from repro.workloads.base import expand_phase
+
+
+def all_configs():
+    for name, bench in NPB_BENCHMARKS.items():
+        for klass in bench.class_mb:
+            for nprocs in bench.valid_nprocs:
+                if nprocs <= 4:  # keep test time bounded
+                    yield name, klass, nprocs
+
+
+CONFIGS = list(all_configs())
+
+
+@pytest.mark.parametrize("name,klass,nprocs", CONFIGS)
+def test_every_config_produces_valid_phases(name, klass, nprocs):
+    w = make_npb(name, klass, nprocs, max_phase_pages=8192)
+    rng = np.random.default_rng(1)
+    total_cpu = 0.0
+    touched = np.zeros(w.footprint_pages, dtype=bool)
+    for phase in w.iteration_phases(0, rng):
+        assert phase.cpu_s >= 0
+        assert phase.comm_s >= 0
+        assert phase.npages > 0
+        pages, dirty = expand_phase(phase)
+        assert pages.min() >= 0
+        assert pages.max() < w.footprint_pages
+        assert pages.size == dirty.size
+        touched[pages] = True
+        total_cpu += phase.cpu_s
+    # one iteration touches the whole footprint and burns its CPU share
+    assert touched.all(), f"{name}.{klass}@{nprocs} missed pages"
+    assert total_cpu == pytest.approx(w.cpu_it_s, rel=0.02)
+
+
+@pytest.mark.parametrize("name,klass,nprocs", CONFIGS)
+def test_serial_configs_have_no_barriers(name, klass, nprocs):
+    w = make_npb(name, klass, nprocs)
+    rng = np.random.default_rng(2)
+    has_barrier = any(p.barrier for p in w.iteration_phases(0, rng))
+    assert has_barrier == (nprocs > 1), f"{name}.{klass}@{nprocs}"
+
+
+@given(st.sampled_from(sorted(NPB_BENCHMARKS)),
+       st.sampled_from(["A", "B", "C"]),
+       st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_same_seed_same_phases(name, klass, seed):
+    """Phase streams are pure functions of (config, seed)."""
+    w1 = make_npb(name, klass)
+    w2 = make_npb(name, klass)
+    f1 = [
+        (tuple(expand_phase(p)[0][:8].tolist()), round(p.cpu_s, 12))
+        for p in w1.iteration_phases(0, np.random.default_rng(seed))
+    ]
+    f2 = [
+        (tuple(expand_phase(p)[0][:8].tolist()), round(p.cpu_s, 12))
+        for p in w2.iteration_phases(0, np.random.default_rng(seed))
+    ]
+    assert f1 == f2
+
+
+def test_footprint_monotone_in_class():
+    for name, bench in NPB_BENCHMARKS.items():
+        a = make_npb(name, "A").footprint_pages
+        b = make_npb(name, "B").footprint_pages
+        c = make_npb(name, "C").footprint_pages
+        assert a < b < c, name

@@ -1,0 +1,110 @@
+"""Unit tests for the generic synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    RandomAccessWorkload,
+    SequentialSweepWorkload,
+    StridedWorkload,
+)
+from repro.workloads.base import expand_phase
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def all_pages(workload, seed=42):
+    out = []
+    for phase in workload.phases(np.random.default_rng(seed)):
+        out.append(expand_phase(phase)[0])
+    return np.concatenate(out)
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        SequentialSweepWorkload(0, 1)
+    with pytest.raises(ValueError):
+        SequentialSweepWorkload(10, 0)
+    with pytest.raises(ValueError):
+        SequentialSweepWorkload(10, 1, dirty_fraction=2.0)
+    with pytest.raises(ValueError):
+        RandomAccessWorkload(10, 1, chunk_pages=0)
+    with pytest.raises(ValueError):
+        StridedWorkload(10, 1, stride=1)
+
+
+def test_sweep_covers_footprint_each_iteration():
+    w = SequentialSweepWorkload(1000, iterations=2, max_phase_pages=256,
+                                init_touch=False)
+    phases = list(w.phases(rng()))
+    per_iter = sum(p.npages for p in phases) / 2
+    assert per_iter == 1000
+
+
+def test_sweep_dirty_fraction():
+    w = SequentialSweepWorkload(1000, 1, dirty_fraction=0.25,
+                                init_touch=False)
+    dirty = 0
+    for p in w.phases(rng()):
+        pages, mask = expand_phase(p)
+        dirty += int(mask.sum())
+    assert dirty == 250
+
+
+def test_sweep_is_sequential():
+    w = SequentialSweepWorkload(512, 1, init_touch=False,
+                                max_phase_pages=128)
+    pages = all_pages(w)
+    assert np.array_equal(pages, np.arange(512))
+
+
+def test_init_touch_prepends_footprint():
+    w = SequentialSweepWorkload(100, 1, init_touch=True, max_phase_pages=64)
+    pages = all_pages(w)
+    assert np.array_equal(pages[:100], np.arange(100))
+
+
+def test_random_covers_footprint_but_not_in_order():
+    w = RandomAccessWorkload(1024, 1, chunk_pages=32, init_touch=False)
+    pages = all_pages(w)
+    assert set(pages.tolist()) == set(range(1024))
+    assert not np.array_equal(pages, np.arange(1024))
+
+
+def test_random_is_seed_deterministic():
+    w1 = RandomAccessWorkload(512, 2, init_touch=False)
+    w2 = RandomAccessWorkload(512, 2, init_touch=False)
+    assert np.array_equal(all_pages(w1, seed=7), all_pages(w2, seed=7))
+    assert not np.array_equal(all_pages(w1, seed=7), all_pages(w1, seed=8))
+
+
+def test_random_respects_max_phase_pages():
+    w = RandomAccessWorkload(4096, 1, chunk_pages=64, max_phase_pages=256,
+                             init_touch=False)
+    for p in w.phases(rng()):
+        assert p.npages <= 256 + 64  # chunk granularity slack
+
+
+def test_strided_touches_every_page_once_per_iteration():
+    w = StridedWorkload(640, 1, stride=4, chunk_pages=16, init_touch=False)
+    pages = all_pages(w)
+    assert sorted(pages.tolist()) == list(range(640))
+    # first pass visits chunks 0, 4, 8, ... (stride jumps)
+    assert pages[16] == 64
+
+
+def test_barrier_flags_for_parallel_runs():
+    w = SequentialSweepWorkload(256, 2, barrier_per_iteration=True,
+                                comm_s=0.5, init_touch=False,
+                                max_phase_pages=64)
+    phases = list(w.phases(rng()))
+    barriers = [p for p in phases if p.barrier]
+    assert len(barriers) == 2  # one per iteration
+    assert all(p.comm_s == 0.5 for p in barriers)
+
+
+def test_total_phases_counts():
+    w = SequentialSweepWorkload(256, 3, init_touch=False, max_phase_pages=64)
+    assert w.total_phases(rng()) == 3 * 4
