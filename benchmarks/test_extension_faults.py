@@ -1,0 +1,62 @@
+"""Benchmark — graceful degradation under injected faults.
+
+The shape that must hold: faults cost time for every policy, but the
+adaptive stack degrades toward ``lru`` instead of collapsing below it,
+and a node crash evicts jobs rather than deadlocking the gang.
+"""
+
+from repro.experiments import extension_faults
+
+SCALE = 0.08
+
+
+def test_extension_fault_sweep(once):
+    records = once(extension_faults.run, scale=SCALE, quiet=True)
+    print()
+    print(extension_faults.render(records))
+
+    sweep = records["sweep"]
+    intensities = sorted(sweep)
+    assert intensities[0] == 0.0
+
+    # fault-free level really is fault-free
+    clean = sweep[0.0]["so/ao/ai/bg"]["fault_summary"]
+    assert sum(clean["injected"].values()) == 0
+    assert clean["disk_retries"] == 0
+    assert clean["ai_fallbacks"] == 0
+
+    for x in intensities:
+        row = sweep[x]
+        # graceful degradation: the adaptive stack never falls below lru
+        assert row["ratio"] <= 1.02, (x, row["ratio"])
+        fs = row["so/ao/ai/bg"]["fault_summary"]
+        # retries absorbed every transient error — nothing failed hard
+        assert fs["disk_failed_requests"] == 0, x
+        if x > 0:
+            assert sum(fs["injected"].values()) > 0, x
+            assert fs["disk_retries"] > 0, x
+
+    # faults cost real time, for both policies
+    for pol in ("lru", "so/ao/ai/bg"):
+        t0 = sweep[0.0][pol]["makespan_s"]
+        t4 = sweep[max(intensities)][pol]["makespan_s"]
+        assert t4 > t0, pol
+
+    # the record-corruption path actually exercised its fallback
+    worst = sweep[max(intensities)]["so/ao/ai/bg"]["fault_summary"]
+    assert worst["ai_fallbacks"] > 0
+
+
+def test_extension_crash_demo_terminates(once):
+    records = once(extension_faults.run, scale=SCALE, quiet=True)
+    demo = records["crash_demo"]
+    fs = demo["fault_summary"]
+
+    # the run terminated (watchdog untripped) and accounting is coherent
+    assert fs["jobs_evicted"] == len(demo["evicted"])
+    assert set(demo["completed"]).isdisjoint(demo["evicted"])
+    assert len(demo["completed"]) + len(demo["evicted"]) == 2
+    if fs["injected"].get("node_crashes", 0):
+        # a crash means at least one eviction, never a deadlock
+        assert demo["evicted"]
+        assert demo["makespan_s"] > 0.0

@@ -30,6 +30,7 @@ from repro.experiments import (
     extension_admission,
     extension_characterization,
     extension_diskched,
+    extension_faults,
     extension_jobstream,
     extension_matrix,
     extension_policies,
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "policies": (extension_policies, "ext — baseline replacement policies"),
     "scaling": (extension_scaling, "ext — 2/4/8/16-node clusters"),
     "diskched": (extension_diskched, "ext — elevator vs adaptive paging"),
+    "faults": (extension_faults, "ext — graceful degradation under faults"),
     "admission": (extension_admission, "ext — admission control (ref. [15])"),
     "matrix": (extension_matrix, "ext — mixed workload scheduling matrix"),
     "jobstream": (extension_jobstream, "ext — open-system arrival stream"),

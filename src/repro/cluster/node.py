@@ -3,6 +3,14 @@
 Matches the paper's setup: every node runs its own kernel instance
 (VMM + disk) with the adaptive-paging extension; the user-level gang
 scheduler coordinates them from outside (§3.5, Fig. 5).
+
+Health
+------
+A node can *crash* (fail-stop: :meth:`Node.fail`) or *straggle*
+(:attr:`Node.slowdown` > 1 for a quantum).  Both states are set by the
+fault-injection layer (or by tests) and *observed* by the gang
+scheduler at quantum boundaries — the node itself takes no scheduling
+action, exactly as a dead machine would not.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from repro.core.api import AdaptivePaging
 from repro.core.policies import PagingPolicy
 from repro.disk.device import Disk, DiskParams, DiskRequest
 from repro.disk.scheduler import ScheduledDisk
+from repro.faults.plan import FaultPlan
 from repro.mem.params import MemoryParams
 from repro.mem.replacement import ReplacementPolicy
 from repro.mem.vmm import VirtualMemoryManager
@@ -33,18 +42,38 @@ class Node:
         on_disk_complete=None,
         refault_window_s: float = 150.0,
         disk_discipline: str = "fifo",
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.env = env
         self.name = name
         self.disk = ScheduledDisk(
             env, disk_params or DiskParams(), discipline=disk_discipline,
             on_complete=on_disk_complete, name=f"{name}.disk",
+            faults=faults,
         )
         self.vmm = VirtualMemoryManager(
             env, memory, self.disk, policy=replacement, name=f"{name}.vmm",
             refault_window_s=refault_window_s,
         )
-        self.adaptive = AdaptivePaging(self.vmm, policy)
+        self.adaptive = AdaptivePaging(self.vmm, policy, faults=faults)
+        #: False once the node has fail-stopped
+        self.alive = True
+        #: why the node died (None while alive)
+        self.failure: Optional[str] = None
+        #: CPU slowdown factor for the current quantum (1.0 = healthy);
+        #: reset by the gang scheduler at every quantum boundary
+        self.slowdown = 1.0
+
+    def fail(self, cause: str = "crash") -> None:
+        """Fail-stop the node (idempotent).
+
+        The simulation keeps the node's kernel state around — in-flight
+        disk work completes — but the scheduler will evict every job
+        with a rank here at the next quantum boundary.
+        """
+        if self.alive:
+            self.alive = False
+            self.failure = str(cause)
 
     @classmethod
     def build(
@@ -60,7 +89,8 @@ class Node:
         return cls(env, name, MemoryParams.from_mb(memory_mb), policy, **kw)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Node({self.name}, policy={self.adaptive.policy.name})"
+        state = "up" if self.alive else "down"
+        return f"Node({self.name}, policy={self.adaptive.policy.name}, {state})"
 
 
 __all__ = ["Node"]

@@ -26,6 +26,8 @@ from repro.core.background import BackgroundWriter
 from repro.core.policies import PagingPolicy
 from repro.core.recorder import PageRecorder
 from repro.core.selective import SelectivePageOut
+from repro.faults.errors import RecordCorrupted
+from repro.faults.plan import FaultPlan
 from repro.mem.readahead import plan_block_reads
 from repro.mem.vmm import VirtualMemoryManager
 from repro.mem.working_set import WorkingSetEstimator
@@ -43,6 +45,11 @@ class AdaptivePaging:
     policy:
         Which mechanisms are active (a :class:`PagingPolicy` or the
         paper's string notation).
+    faults:
+        Optional fault plan; when set, recorded flush batches may be
+        lost or corrupted, and :meth:`adaptive_page_in` degrades to
+        plain demand paging on a corrupt record (``ai_fallbacks``
+        counts those).
     """
 
     def __init__(
@@ -50,6 +57,7 @@ class AdaptivePaging:
         vmm: VirtualMemoryManager,
         policy: PagingPolicy | str = "lru",
         ws_estimator: Optional[WorkingSetEstimator] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if isinstance(policy, str):
             policy = PagingPolicy.parse(policy)
@@ -57,6 +65,9 @@ class AdaptivePaging:
         self.policy = policy
         self.ws = ws_estimator or WorkingSetEstimator()
         self._running: set[int] = set()
+        #: times adaptive page-in fell back to demand paging because its
+        #: record was corrupt (the §3.3 graceful-degradation path)
+        self.ai_fallbacks = 0
 
         self.selective: Optional[SelectivePageOut] = None
         self.aggressive: Optional[AggressivePageOut] = None
@@ -69,7 +80,7 @@ class AdaptivePaging:
         if policy.ao:
             self.aggressive = AggressivePageOut(vmm, policy.ao_batch)
         if policy.ai:
-            self.recorder = PageRecorder()
+            self.recorder = PageRecorder(faults=faults, owner=vmm.name)
             vmm.on_flush = self._on_flush
         if policy.bg:
             self.bgwriter = BackgroundWriter(
@@ -123,15 +134,26 @@ class AdaptivePaging:
 
         With ``ai`` active, replays the recorded flush list of the
         incoming process as induced faults, batched into large
-        slot-ordered block reads.
+        slot-ordered block reads.  A record that fails its checksum is
+        dropped and the process simply demand-pages its working set
+        back with the kernel's default 16-page read-ahead.
         """
         if self.recorder is None:
             return
-        recorded = self.recorder.take(in_pid)
+        try:
+            recorded = self.recorder.take(in_pid)
+        except RecordCorrupted:
+            self.ai_fallbacks += 1
+            return
         if recorded.size == 0:
             return
         table = self.vmm.tables.get(in_pid)
         if table is None:
+            return
+        # belt-and-braces against records damaged in ways the checksum
+        # cannot see: never replay page numbers outside the process
+        recorded = recorded[(recorded >= 0) & (recorded < table.num_pages)]
+        if recorded.size == 0:
             return
         if ws_pages is None:
             ws_pages = self.working_set_estimate(in_pid)

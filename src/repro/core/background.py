@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.disk.device import PRIO_BACKGROUND
+from repro.faults.errors import DiskFailure
 from repro.mem.replacement import VictimBatch
 from repro.mem.vmm import VirtualMemoryManager
 from repro.sim.engine import Interrupt, Process
@@ -42,6 +43,8 @@ class BackgroundWriter:
         #: repeated-writing analysis)
         self.pages_written = 0
         self.bursts = 0
+        #: bursts abandoned because the write failed permanently
+        self.write_failures = 0
 
     @property
     def active(self) -> bool:
@@ -97,6 +100,12 @@ class BackgroundWriter:
                 self.pages_written += burst.size
                 self.bursts += 1
         except Interrupt:
+            return
+        except DiskFailure:
+            # Background writing is an optimisation: a permanently
+            # failed low-priority write just stops the writer for this
+            # quantum; the switch path will write those pages instead.
+            self.write_failures += 1
             return
 
 

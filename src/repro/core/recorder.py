@@ -6,13 +6,24 @@ process, the flushed addresses compressed as ``(base, offset)`` runs —
 contiguous pages from a given page address, thereby saving [a]
 substantial amount of kernel memory" (§3.3).  When the process is
 rescheduled, the recorded list is replayed as induced faults.
+The recorder keeps a per-process checksum over its stored runs, the
+stand-in for the kernel validating the record before replaying it.  An
+attached :class:`~repro.faults.plan.FaultPlan` may drop a flush batch
+(record loss) or store a perturbed run without updating the checksum
+(corruption); :meth:`PageRecorder.take` then raises
+:class:`~repro.faults.errors.RecordCorrupted`, and adaptive page-in
+falls back to plain demand paging.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+
+from repro.faults.errors import RecordCorrupted
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -53,18 +64,58 @@ class PageRecorder:
     granularity) to the adaptive page-in path and clears the record.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, faults: Optional[FaultPlan] = None,
+                 owner: str = "recorder") -> None:
         self._runs: dict[int, list[PageRun]] = {}
+        # checksum over the *true* run list; stored runs that drift from
+        # it (injected corruption) are detected at take()
+        self._checksums: dict[int, int] = {}
+        self.faults = faults
+        self.owner = owner
+        self.records_lost = 0
+        self.records_corrupted = 0
+
+    @staticmethod
+    def _fold(acc: int, runs: list[PageRun]) -> int:
+        """Order-dependent polynomial checksum over ``runs``."""
+        for r in runs:
+            acc = (acc * 1000003 + r.base * 31 + r.count) & 0xFFFFFFFF
+        return acc
 
     def record(self, pid: int, pages: np.ndarray) -> None:
         """Append one flush batch for ``pid``."""
         if pages.size == 0:
             return
-        self._runs.setdefault(pid, []).extend(compress_runs(pages))
+        runs = compress_runs(pages)
+        if self.faults is not None and self.faults.record_lost(self.owner):
+            # the batch never reaches the record (lost kernel update)
+            self.records_lost += 1
+            return
+        self._checksums[pid] = self._fold(self._checksums.get(pid, 0), runs)
+        if self.faults is not None and self.faults.record_corrupt(self.owner):
+            # store a perturbed first run; the checksum (computed over
+            # the true runs above) no longer matches
+            self.records_corrupted += 1
+            runs = [PageRun(runs[0].base ^ 1, runs[0].count)] + runs[1:]
+        self._runs.setdefault(pid, []).extend(runs)
 
     def take(self, pid: int) -> np.ndarray:
-        """Return and clear the recorded pages for ``pid`` (flush order)."""
+        """Return and clear the recorded pages for ``pid`` (flush order).
+
+        Raises
+        ------
+        RecordCorrupted
+            If the stored runs fail their checksum.  The record is
+            consumed either way, so the caller can simply fall back to
+            demand paging.
+        """
         runs = self._runs.pop(pid, [])
+        expected = self._checksums.pop(pid, 0)
+        if self._fold(0, runs) != expected:
+            raise RecordCorrupted(
+                f"{self.owner}: page-in record for pid {pid} failed its "
+                f"checksum ({len(runs)} runs)"
+            )
         if not runs:
             return np.empty(0, dtype=np.int64)
         return np.concatenate([r.pages() for r in runs])
@@ -76,6 +127,7 @@ class PageRecorder:
     def clear(self, pid: int) -> None:
         """Drop records for ``pid`` (e.g. on process exit)."""
         self._runs.pop(pid, None)
+        self._checksums.pop(pid, None)
 
     def recorded_pages(self, pid: int) -> int:
         """Total pages currently recorded for ``pid``."""

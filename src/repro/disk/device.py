@@ -21,6 +21,16 @@ Requests queue by ``(priority, arrival)``.  Foreground page faults use
 :data:`PRIO_FOREGROUND`; the paper's §3.4 background dirty-page writer
 uses :data:`PRIO_BACKGROUND` so it never delays a foreground fault that
 is already queued.  Service is non-preemptive.
+
+Faults
+------
+With a :class:`~repro.faults.plan.FaultPlan` attached, each service
+attempt may suffer a latency spike or a transient error.  Errors are
+retried with exponential backoff up to ``max_retries`` per request,
+bounded by an optional cumulative per-device ``retry_budget``; when
+either is exhausted the request *fails* with a typed
+:class:`~repro.faults.errors.DiskFailure` instead of silently hanging,
+and whatever process awaited it sees the exception.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.faults.errors import DiskFailure
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import Environment, Event
 
 #: Queue priority for demand faults and switch-time paging bursts.
@@ -152,6 +164,15 @@ class Disk:
     on_complete:
         Optional callback ``f(request, start_time, end_time)`` invoked
         when each request finishes — the metrics collector hooks here.
+    faults:
+        Optional fault plan injecting transient errors / latency spikes
+        into each service attempt (inert when ``None``).
+    max_retries:
+        Transient-error retries per request before the request fails
+        with :class:`~repro.faults.errors.DiskFailure`.
+    retry_budget:
+        Optional cumulative retry allowance for the whole device; once
+        spent, further errors fail immediately (``None`` = unlimited).
     """
 
     def __init__(
@@ -160,11 +181,21 @@ class Disk:
         params: DiskParams = DiskParams(),
         on_complete: Optional[Callable[[DiskRequest, float, float], None]] = None,
         name: str = "disk0",
+        faults: Optional[FaultPlan] = None,
+        max_retries: int = 4,
+        retry_budget: Optional[int] = None,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_budget is not None and retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
         self.env = env
         self.params = params
         self.name = name
         self.on_complete = on_complete
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_budget_left = retry_budget
         self._queue: list[tuple[int, int, DiskRequest]] = []
         self._seq = count()
         self._busy = False
@@ -179,6 +210,11 @@ class Disk:
         self.total_seeks = 0
         #: deepest wait queue observed (including the request in service)
         self.max_queue_seen = 0
+        # fault/response statistics
+        self.error_count = 0
+        self.retry_count = 0
+        self.failed_requests = 0
+        self.latency_spikes = 0
 
     # -- public API ----------------------------------------------------------
     def submit(
@@ -251,27 +287,64 @@ class Disk:
         return duration, seeks
 
     # -- dispatcher --------------------------------------------------------
+    def _service_one(self, req: DiskRequest):
+        """Process fragment: position, transfer and complete ``req``.
+
+        Each attempt may be hit by an injected latency spike or
+        transient error; errors retry with exponential backoff until
+        ``max_retries`` (or the device-wide retry budget) is exhausted,
+        at which point the request fails with :class:`DiskFailure`.
+        """
+        start = self.env.now
+        attempt = 0
+        while True:
+            duration, seeks = self.service_time(req)
+            if self.faults is not None:
+                spike = self.faults.disk_latency_factor(self.name)
+                if spike > 1.0:
+                    self.latency_spikes += 1
+                    duration *= spike
+            yield self.env.timeout(duration)
+            self.total_busy_s += duration
+            if self.faults is not None and self.faults.disk_error(self.name):
+                self.error_count += 1
+                budget_out = self.retry_budget_left == 0
+                if attempt >= self.max_retries or budget_out:
+                    self.failed_requests += 1
+                    why = ("device retry budget exhausted" if budget_out
+                           else f"failed after {attempt} retries")
+                    req.fail(DiskFailure(
+                        f"{self.name}: {req.op} of {req.npages} pages {why}"
+                    ))
+                    return
+                if self.retry_budget_left is not None:
+                    self.retry_budget_left -= 1
+                attempt += 1
+                self.retry_count += 1
+                yield self.env.timeout(
+                    self.params.positioning_s * (2 ** attempt)
+                )
+                continue
+            break
+        # update head state
+        self._head = int(req.slots[-1]) + 1
+        self._last_op = req.op
+        # statistics
+        self.total_requests += 1
+        self.total_pages[req.op] += req.npages
+        self.total_seeks += seeks
+        req.service_time = duration
+        req.seeks = seeks
+        req.succeed(duration)
+        if self.on_complete is not None:
+            self.on_complete(req, start, self.env.now)
+
     def _serve(self):
         while self._queue:
             _, _, req = heapq.heappop(self._queue)
             if req.cancelled:
                 continue
-            start = self.env.now
-            duration, seeks = self.service_time(req)
-            yield self.env.timeout(duration)
-            # update head state
-            self._head = int(req.slots[-1]) + 1
-            self._last_op = req.op
-            # statistics
-            self.total_busy_s += duration
-            self.total_requests += 1
-            self.total_pages[req.op] += req.npages
-            self.total_seeks += seeks
-            req.service_time = duration
-            req.seeks = seeks
-            req.succeed(duration)
-            if self.on_complete is not None:
-                self.on_complete(req, start, self.env.now)
+            yield from self._service_one(req)
         self._busy = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

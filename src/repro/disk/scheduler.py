@@ -49,13 +49,18 @@ class ScheduledDisk(Disk):
         discipline: str = "fifo",
         on_complete=None,
         name: str = "disk0",
+        faults=None,
+        max_retries: int = 4,
+        retry_budget=None,
     ) -> None:
         if discipline not in self.DISCIPLINES:
             raise ValueError(
                 f"unknown discipline {discipline!r}; "
                 f"expected one of {self.DISCIPLINES}"
             )
-        super().__init__(env, params, on_complete, name)
+        super().__init__(env, params, on_complete, name,
+                         faults=faults, max_retries=max_retries,
+                         retry_budget=retry_budget)
         self.discipline = discipline
         # pending requests as a flat list for position-aware selection
         self._pending: list[tuple[int, int, DiskRequest]] = []
@@ -110,20 +115,7 @@ class ScheduledDisk(Disk):
             req = self._pick()
             if req is None:
                 break
-            start = self.env.now
-            duration, seeks = self.service_time(req)
-            yield self.env.timeout(duration)
-            self._head = int(req.slots[-1]) + 1
-            self._last_op = req.op
-            self.total_busy_s += duration
-            self.total_requests += 1
-            self.total_pages[req.op] += req.npages
-            self.total_seeks += seeks
-            req.service_time = duration
-            req.seeks = seeks
-            req.succeed(duration)
-            if self.on_complete is not None:
-                self.on_complete(req, start, self.env.now)
+            yield from self._service_one(req)
         self._busy = False
 
 

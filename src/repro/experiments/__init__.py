@@ -18,6 +18,7 @@ module              reproduces
 ``extension_policies``  three baseline replacement policies (ref. [17])
 ``extension_scaling``   2/4/8/16-node clusters (§6 future work)
 ``extension_diskched``  FIFO/SSTF/C-SCAN dispatch vs adaptive paging
+``extension_faults``    fault-injection sweep: graceful degradation
 ``extension_admission`` memory-aware admission control (ref. [15])
 ``extension_matrix``    mixed workload on the scheduling matrix
 ``extension_jobstream`` open-system Poisson arrivals, slowdown metrics

@@ -9,6 +9,7 @@ marker) so results can be archived and diffed between code versions.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -41,12 +42,25 @@ def _sanitise(obj: Any) -> Any:
 
 
 def save_record(record: dict, path: str | Path) -> Path:
-    """Write ``record`` as pretty-printed JSON; returns the path."""
+    """Write ``record`` as pretty-printed JSON; returns the path.
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-write
+    leaves either the previous file or the new one, never a truncated
+    JSON — which matters for the partial records exported while an
+    experiment is dying.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump(_sanitise(record), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(_sanitise(record), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

@@ -6,20 +6,39 @@ the metrics the paper reports.  The ``scale`` knob shrinks memory,
 footprint, CPU time and quantum together so the identical experiment
 logic runs full-size from the scripts and sub-second from the test and
 benchmark suites.
+
+Robustness
+----------
+A config may carry :class:`~repro.faults.plan.FaultRates`; non-zero
+rates build a seeded :class:`~repro.faults.plan.FaultPlan` that is
+threaded through every node (disk, recorder) and the gang scheduler.
+With all rates zero no plan is built and no RNG stream is drawn, so
+fault-free runs are bit-for-bit identical to the pre-fault code.
+
+Two watchdog limits (``max_sim_s``, ``max_events``) bound a run: when
+either trips, the runner raises :class:`WatchdogTimeout` naming the
+jobs that were still incomplete instead of spinning forever.  Passing
+``partial_path`` to :func:`run_experiment` exports a crash-safe partial
+record (config, progress, per-job state, fault summary) before any
+failure propagates, so a dead run still leaves evidence on disk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.cluster.node import Node
+from repro.core.policies import PagingPolicy
 from repro.disk.device import ERA_DISK, DiskParams
+from repro.faults.errors import WatchdogTimeout
+from repro.faults.plan import FAULT_FREE, FaultPlan, FaultRates
 from repro.gang.job import Job
 from repro.gang.scheduler import BatchScheduler, GangScheduler
-from repro.mem.params import MemoryParams, mb_to_pages
+from repro.mem.params import MemoryParams
 from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, SimulationError
 from repro.sim.rng import RngStreams
 from repro.workloads.base import Workload
 from repro.workloads.npb import make_npb
@@ -45,6 +64,34 @@ class GangConfig:
     mode: str = "gang"
     #: paging-device model (defaults to the testbed-era disk)
     disk: DiskParams = ERA_DISK
+    #: fault-injection rates (all-zero = fault-free, no plan built)
+    faults: FaultRates = FAULT_FREE
+    #: watchdog: abort once virtual time exceeds this many seconds
+    max_sim_s: Optional[float] = None
+    #: watchdog: abort once this many simulation events were processed
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.njobs < 1:
+            raise ValueError("njobs must be >= 1")
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if self.quantum_s <= 0:
+            raise ValueError("quantum_s must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.mode not in ("gang", "batch"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected 'gang' or 'batch'"
+            )
+        # unknown mechanism ids raise here, not deep inside node setup
+        PagingPolicy.parse(self.policy)
+        if self.max_sim_s is not None and self.max_sim_s <= 0:
+            raise ValueError("max_sim_s must be positive when set")
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError("max_events must be positive when set")
 
     def label(self) -> str:
         """Short human-readable run identifier for logs/tables."""
@@ -66,10 +113,16 @@ class RunResult:
     pages_read: int
     pages_written: int
     switch_count: int
+    #: jobs evicted by fault degradation: name -> cause
+    evicted: dict[str, str] = field(default_factory=dict)
+    #: injection and graceful-response counters (all zero when fault-free)
+    fault_summary: dict = field(default_factory=dict)
 
     @property
     def avg_completion(self) -> float:
         vals = list(self.completions.values())
+        if not vals:
+            return float("nan")  # every job was evicted
         return sum(vals) / len(vals)
 
 
@@ -81,13 +134,92 @@ def _scaled_workload(cfg: GangConfig, max_phase_pages: int) -> Workload:
     return w
 
 
-def run_experiment(cfg: GangConfig) -> RunResult:
-    """Run one configuration to completion and collect metrics."""
-    if cfg.njobs < 1:
-        raise ValueError("njobs must be >= 1")
+def _drive(env: Environment, cfg: GangConfig, jobs: Sequence[Job]) -> None:
+    """``env.run()`` under the config's watchdog limits.
+
+    With no limits set this is a plain ``env.run()``; otherwise the
+    simulation is stepped manually and aborted with a diagnostic naming
+    the incomplete jobs once a limit trips.
+    """
+    if cfg.max_sim_s is None and cfg.max_events is None:
+        env.run()
+        return
+    while env.live_events > 0:
+        if cfg.max_sim_s is not None and env.now > cfg.max_sim_s:
+            raise WatchdogTimeout(_watchdog_report(
+                cfg, env, jobs, f"sim time {env.now:.1f}s > {cfg.max_sim_s}s"
+            ))
+        if cfg.max_events is not None and env.events_processed > cfg.max_events:
+            raise WatchdogTimeout(_watchdog_report(
+                cfg, env, jobs,
+                f"{env.events_processed} events > {cfg.max_events}",
+            ))
+        env.step()
+
+
+def _watchdog_report(cfg, env, jobs, limit: str) -> str:
+    stuck = [j.name for j in jobs if not j.finished] or ["<none>"]
+    return (
+        f"{cfg.label()}: watchdog tripped ({limit}); "
+        f"incomplete job(s): {', '.join(stuck)}"
+    )
+
+
+def _makespan(jobs: Sequence[Job]) -> float:
+    """Schedule makespan, or a clear error if something never finished."""
+    hung = [j.name for j in jobs if not j.finished]
+    if hung:
+        raise SimulationError(
+            "simulation quiesced with incomplete job(s): "
+            f"{', '.join(hung)} — likely a scheduler or barrier deadlock"
+        )
+    return max(
+        j.completed_at if j.completed_at is not None else j.failed_at
+        for j in jobs
+    )
+
+
+def _partial_record(cfg, env, jobs, collector, exc) -> dict:
+    return {
+        "partial": True,
+        "error": f"{type(exc).__name__}: {exc}",
+        "label": cfg.label(),
+        "config": cfg,
+        "sim_time_s": env.now,
+        "events_processed": env.events_processed,
+        "jobs": {
+            j.name: {
+                "completed_at": j.completed_at,
+                "failed": j.failed,
+                "failure": j.failure,
+            }
+            for j in jobs
+        },
+        "pages_read": collector.pages_moved("read"),
+        "pages_written": collector.pages_moved("write"),
+        "fault_summary": collector.fault_summary(),
+    }
+
+
+def run_experiment(
+    cfg: GangConfig,
+    partial_path: Optional[Union[str, Path]] = None,
+) -> RunResult:
+    """Run one configuration to completion and collect metrics.
+
+    ``partial_path``: where to export a crash-safe partial record if the
+    run dies (watchdog, injected failure, bug) — the exception still
+    propagates afterwards.
+    """
     env = Environment()
     rngs = RngStreams(cfg.seed)
     collector = MetricsCollector()
+    plan = (
+        FaultPlan(cfg.faults, rngs.spawn("faults"))
+        if cfg.faults.active
+        else None
+    )
+    collector.attach_faults(plan)
 
     memory_mb = cfg.memory_mb * cfg.scale
     memory = MemoryParams.from_mb(memory_mb)
@@ -102,6 +234,7 @@ def run_experiment(cfg: GangConfig) -> RunResult:
             # a refault = re-read within half a quantum of eviction —
             # the §3.1 false-eviction signature at any scale
             refault_window_s=0.5 * cfg.quantum_s * cfg.scale,
+            faults=plan,
         )
         for i in range(cfg.nprocs)
     ]
@@ -117,31 +250,41 @@ def run_experiment(cfg: GangConfig) -> RunResult:
         )
 
     if cfg.mode == "batch":
-        BatchScheduler(env, jobs).start()
-        switch_count = 0
-        env.run()
-        switches = 0
-    elif cfg.mode == "gang":
+        sched: Union[BatchScheduler, GangScheduler] = BatchScheduler(env, jobs)
+    else:
         sched = GangScheduler(
             env, jobs, quantum_s=cfg.quantum_s * cfg.scale,
-            on_switch=collector.on_switch,
+            on_switch=collector.on_switch, faults=plan,
         )
-        sched.start()
-        env.run()
-        switches = len(sched.switches)
-    else:
-        raise ValueError(f"unknown mode {cfg.mode!r}")
+    collector.attach_scheduler(sched)
+    sched.start()
 
-    makespan = max(j.completed_at for j in jobs)
+    try:
+        _drive(env, cfg, jobs)
+        makespan = _makespan(jobs)
+    except Exception as exc:
+        if partial_path is not None:
+            from repro.experiments.report_io import save_record
+
+            save_record(_partial_record(cfg, env, jobs, collector, exc),
+                        partial_path)
+        raise
+
     return RunResult(
         config=cfg,
         makespan=makespan,
-        completions={j.name: j.completed_at for j in jobs},
+        completions={
+            j.name: j.completed_at for j in jobs
+            if j.completed_at is not None
+        },
         collector=collector,
         vmm_stats=[n.vmm.stats.snapshot() for n in nodes],
         pages_read=sum(n.disk.total_pages["read"] for n in nodes),
         pages_written=sum(n.disk.total_pages["write"] for n in nodes),
-        switch_count=switches if cfg.mode == "gang" else 0,
+        switch_count=len(sched.switches)
+        if isinstance(sched, GangScheduler) else 0,
+        evicted={j.name: j.failure for j in jobs if j.failed},
+        fault_summary=collector.fault_summary(),
     )
 
 

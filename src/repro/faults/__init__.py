@@ -1,0 +1,40 @@
+"""Fault injection and graceful degradation.
+
+The paper's parallel argument (§5.6 of DESIGN.md) is that one slow or
+dead node stalls the whole gang at the next barrier — yet a perfect
+simulated cluster can never exhibit that.  This package injects the
+misbehaviour deterministically:
+
+* transient disk I/O errors and latency spikes (``disk/device.py``
+  retries with exponential backoff under a per-device error budget and
+  raises :class:`~repro.faults.errors.DiskFailure` on exhaustion),
+* node slowdown (stragglers) and fail-stop crashes (the gang scheduler
+  detects both at quantum boundaries, extends the quantum for
+  stragglers and evicts the jobs of crashed nodes),
+* loss/corruption of adaptive page-in records (``core/recorder.py``
+  checksums its runs; adaptive page-in falls back to plain demand
+  paging with 16-page read-ahead on a bad record).
+
+Everything is seeded through :class:`~repro.sim.rng.RngStreams`; a
+zero-rate :class:`FaultPlan` draws nothing and perturbs nothing.
+"""
+
+from repro.faults.errors import (
+    DiskFailure,
+    FaultError,
+    NodeCrashed,
+    RecordCorrupted,
+    WatchdogTimeout,
+)
+from repro.faults.plan import FAULT_FREE, FaultPlan, FaultRates
+
+__all__ = [
+    "DiskFailure",
+    "FAULT_FREE",
+    "FaultError",
+    "FaultPlan",
+    "FaultRates",
+    "NodeCrashed",
+    "RecordCorrupted",
+    "WatchdogTimeout",
+]

@@ -1,0 +1,57 @@
+"""Typed failures surfaced by the fault-injection subsystem.
+
+Every graceful-degradation path in the simulator is triggered by one of
+these exceptions rather than by a silent hang: a disk that exhausts its
+retry budget *fails* the request (:class:`DiskFailure`), a page-in
+record that fails its checksum raises :class:`RecordCorrupted`, and the
+runner's watchdog aborts a runaway simulation with
+:class:`WatchdogTimeout` naming the stuck job.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationError
+
+
+class FaultError(Exception):
+    """Base class for injected-fault failures."""
+
+
+class DiskFailure(FaultError):
+    """A disk request failed permanently (retry budget exhausted).
+
+    Thrown into whichever process was awaiting the request; a job rank
+    that cannot service its paging I/O dies, and the gang scheduler
+    evicts the job instead of letting the gang deadlock at a barrier.
+    """
+
+
+class RecordCorrupted(FaultError):
+    """An adaptive page-in record failed its checksum on ``take()``.
+
+    The adaptive page-in path responds by discarding the record and
+    falling back to plain demand paging with the kernel's default
+    16-page read-ahead (§3.3's baseline behaviour).
+    """
+
+
+class NodeCrashed(FaultError):
+    """A cluster node died; jobs with a rank on it must be evicted."""
+
+
+class WatchdogTimeout(SimulationError):
+    """The runner's watchdog aborted a runaway simulation.
+
+    Subclasses :class:`~repro.sim.engine.SimulationError` so existing
+    ``except SimulationError`` handlers treat it as a kernel-level
+    abort; the message names the jobs that never completed.
+    """
+
+
+__all__ = [
+    "DiskFailure",
+    "FaultError",
+    "NodeCrashed",
+    "RecordCorrupted",
+    "WatchdogTimeout",
+]

@@ -1,0 +1,168 @@
+"""Seeded, deterministic fault injection.
+
+:class:`FaultPlan` is the single decision point for every injected
+fault in a run.  Each fault site asks the plan a yes/no (or factor)
+question — "does this disk request error?", "does this node straggle
+this quantum?" — and the plan answers from a named
+:class:`~repro.sim.rng.RngStreams` stream keyed by the fault kind and
+the component name.  Two properties follow:
+
+* **Reproducibility** — the same ``(seed, rates)`` pair always injects
+  the identical fault schedule, so fault experiments regress exactly
+  like fault-free ones.
+* **Zero-rate transparency** — a question whose rate is ``0`` returns
+  immediately *without drawing*, so a plan built from the default
+  :data:`FAULT_FREE` rates perturbs nothing: every seed experiment
+  reproduces its fault-free results bit for bit.
+
+The plan also counts every injection it performs (``counters``), which
+the metrics layer reports alongside the per-component *response*
+counters (retries, fallbacks, evictions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Injection probabilities and severities for one run.
+
+    All-zero rates (the default) make the plan inert.  Rates are
+    per-decision probabilities: per disk request, per recorded flush
+    batch, or per node per quantum boundary.
+    """
+
+    #: probability a disk request's service attempt fails transiently
+    disk_error_rate: float = 0.0
+    #: probability a disk service attempt suffers a latency spike
+    disk_latency_rate: float = 0.0
+    #: duration multiplier applied to a spiked attempt
+    disk_latency_factor: float = 10.0
+    #: per-node, per-quantum probability of a slowdown episode
+    straggler_rate: float = 0.0
+    #: CPU slowdown multiplier for a straggling node's quantum
+    straggler_factor: float = 3.0
+    #: per-node, per-quantum probability of a fail-stop crash
+    crash_rate: float = 0.0
+    #: probability a recorded flush batch is lost before the switch
+    record_loss_rate: float = 0.0
+    #: probability a recorded flush batch is corrupted in kernel memory
+    record_corruption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "disk_error_rate", "disk_latency_rate", "straggler_rate",
+            "crash_rate", "record_loss_rate", "record_corruption_rate",
+        ):
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{field_name} must be a probability in [0, 1], "
+                    f"got {rate!r}"
+                )
+        if self.disk_latency_factor < 1.0 or self.straggler_factor < 1.0:
+            raise ValueError("severity factors must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """True if any injection can ever fire."""
+        return any(
+            getattr(self, f) > 0.0
+            for f in (
+                "disk_error_rate", "disk_latency_rate", "straggler_rate",
+                "crash_rate", "record_loss_rate", "record_corruption_rate",
+            )
+        )
+
+
+#: Shared inert default (mirrors ``ERA_DISK``'s role for DiskParams).
+FAULT_FREE = FaultRates()
+
+
+class FaultPlan:
+    """Answers every injection question for one run, deterministically.
+
+    Parameters
+    ----------
+    rates:
+        Injection probabilities; :data:`FAULT_FREE` makes every answer
+        "no" without consuming randomness.
+    rngs:
+        A dedicated stream family (or an int seed).  Use a spawned
+        child (``rngs.spawn("faults")``) so fault draws never perturb
+        workload draws.
+    """
+
+    def __init__(self, rates: FaultRates = FAULT_FREE,
+                 rngs: RngStreams | int = 0) -> None:
+        if isinstance(rngs, int):
+            rngs = RngStreams(rngs)
+        self.rates = rates
+        self.rngs = rngs
+        #: injection counts by kind (``disk_errors``, ``node_crashes``, ...)
+        self.counters: Counter[str] = Counter()
+
+    @property
+    def active(self) -> bool:
+        return self.rates.active
+
+    # -- draw helper -------------------------------------------------------
+    def _hit(self, kind: str, component: str, rate: float) -> bool:
+        """One Bernoulli draw from the ``kind.component`` stream.
+
+        Rate zero returns False *without drawing*, which is what keeps
+        a zero-rate plan bit-for-bit transparent.
+        """
+        if rate <= 0.0:
+            return False
+        hit = self.rngs.stream(f"{kind}.{component}").random() < rate
+        if hit:
+            self.counters[kind] += 1
+        return hit
+
+    # -- disk --------------------------------------------------------------
+    def disk_error(self, device: str) -> bool:
+        """Does this service attempt on ``device`` fail transiently?"""
+        return self._hit("disk_errors", device, self.rates.disk_error_rate)
+
+    def disk_latency_factor(self, device: str) -> float:
+        """Duration multiplier for this service attempt (1.0 = none)."""
+        if self._hit("disk_latency_spikes", device,
+                     self.rates.disk_latency_rate):
+            return self.rates.disk_latency_factor
+        return 1.0
+
+    # -- cluster nodes -----------------------------------------------------
+    def node_crash(self, node: str) -> bool:
+        """Does ``node`` fail-stop at this quantum boundary?"""
+        return self._hit("node_crashes", node, self.rates.crash_rate)
+
+    def node_straggle(self, node: str) -> float:
+        """CPU slowdown factor for ``node`` this quantum (1.0 = none)."""
+        if self._hit("node_stragglers", node, self.rates.straggler_rate):
+            return self.rates.straggler_factor
+        return 1.0
+
+    # -- adaptive page-in records ------------------------------------------
+    def record_lost(self, owner: str) -> bool:
+        """Is this flush batch lost before it reaches the record?"""
+        return self._hit("records_lost", owner, self.rates.record_loss_rate)
+
+    def record_corrupt(self, owner: str) -> bool:
+        """Is this flush batch corrupted in the stored record?"""
+        return self._hit("records_corrupted", owner,
+                         self.rates.record_corruption_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(active={self.active}, "
+            f"injected={sum(self.counters.values())})"
+        )
+
+
+__all__ = ["FAULT_FREE", "FaultPlan", "FaultRates"]

@@ -79,6 +79,7 @@ class AdmissionGangScheduler(GangScheduler):
         env = self.env
         current: Optional[Job] = None
         while True:
+            self._quantum_boundary()
             self._refresh_admissions()
             pending = [
                 j for j in self._admitted if not j.finished
@@ -99,9 +100,9 @@ class AdmissionGangScheduler(GangScheduler):
                 self._switch_proc = env.process(self._switch(current, nxt))
                 current = nxt
             self._gen += 1
-            self._arm_bgwrite(current, self._gen)
-            yield AnyOf(env, [env.timeout(self.quantum_for(current)),
-                              current.done])
+            quantum = self._degraded_quantum(current)
+            self._arm_bgwrite(current, self._gen, quantum)
+            yield AnyOf(env, [env.timeout(quantum), current.done])
             for node in current.nodes:
                 node.adaptive.stop_bgwrite()
 

@@ -16,6 +16,7 @@ import numpy as np
 from repro.cluster.mpi import Barrier
 from repro.cluster.network import NetworkParams
 from repro.cluster.node import Node
+from repro.faults.errors import DiskFailure
 from repro.gang.signals import ProcessControl
 from repro.sim.engine import Environment, Event
 from repro.sim.rng import RngStreams
@@ -49,15 +50,26 @@ class JobProcess:
         env = self.node.env
         vmm = self.node.vmm
         barrier = self.job.barrier
-        for phase in self.workload.phases(self.rng):
-            yield from self.control.wait_runnable()
-            pages, dirty = expand_phase(phase)
-            if pages.size:
-                yield from vmm.touch(self.pid, pages, dirty)
-            if phase.cpu_s > 0:
-                yield from self.control.cpu(phase.cpu_s)
-            if phase.barrier and barrier is not None:
-                yield from barrier.wait(self.rank, payload_s=phase.comm_s)
+        try:
+            for phase in self.workload.phases(self.rng):
+                yield from self.control.wait_runnable()
+                pages, dirty = expand_phase(phase)
+                if pages.size:
+                    yield from vmm.touch(self.pid, pages, dirty)
+                if phase.cpu_s > 0:
+                    # a straggling node burns CPU slower this quantum
+                    yield from self.control.cpu(
+                        phase.cpu_s * self.node.slowdown
+                    )
+                if phase.barrier and barrier is not None:
+                    yield from barrier.wait(self.rank, payload_s=phase.comm_s)
+        except DiskFailure as exc:
+            # Unrecoverable paging I/O (the device exhausted its retry
+            # budget): this rank dies and takes the job with it, so the
+            # rest of the schedule proceeds instead of deadlocking at
+            # the gang's next barrier.
+            self.job._rank_failed(self, exc)
+            return
         self.finished_at = env.now
         # process exit: free memory and swap, drop estimator state
         vmm.unregister_process(self.pid)
@@ -103,6 +115,10 @@ class Job:
         )
         self.done: Event = self.env.event()
         self.completed_at: Optional[float] = None
+        #: set when the job was evicted (node crash / rank I/O failure)
+        self.failed = False
+        self.failure: Optional[str] = None
+        self.failed_at: Optional[float] = None
         self._remaining = len(nodes)
         self.processes = [
             JobProcess(self, rank, node, wl, rngs.stream(f"{name}.r{rank}"))
@@ -116,13 +132,32 @@ class Job:
             p.control.stop()
 
     def cont(self) -> None:
-        """SIGCONT every rank."""
+        """SIGCONT every rank (a no-op once the job was evicted)."""
+        if self.failed:
+            return
         for p in self.processes:
             p.control.cont()
 
+    def terminate(self, cause) -> None:
+        """Evict the job: stop every rank and mark it failed.
+
+        Used when a node dies or a rank hits a permanent I/O failure.
+        Ranks blocked at the job's own barrier stay suspended forever
+        (they hold no scheduled events, so they cannot stall the run);
+        the ``done`` event fires so any waiting scheduler proceeds.
+        """
+        if self.finished:
+            return
+        self.failed = True
+        self.failure = str(cause)
+        self.failed_at = self.env.now
+        self.stop()
+        self.done.succeed(None)
+
     @property
     def finished(self) -> bool:
-        return self.completed_at is not None
+        """True once the job completed *or* was evicted."""
+        return self.completed_at is not None or self.failed
 
     def process_on(self, node: Node) -> JobProcess:
         """The rank of this job running on ``node``."""
@@ -133,9 +168,12 @@ class Job:
 
     def _rank_done(self, proc: JobProcess) -> None:
         self._remaining -= 1
-        if self._remaining == 0:
+        if self._remaining == 0 and not self.failed:
             self.completed_at = self.env.now
             self.done.succeed(self.completed_at)
+
+    def _rank_failed(self, proc: JobProcess, exc: BaseException) -> None:
+        self.terminate(f"rank {proc.rank} on {proc.node.name}: {exc}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Job({self.name}, jid={self.jid}, nodes={len(self.nodes)})"

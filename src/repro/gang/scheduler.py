@@ -11,15 +11,34 @@ With the ``bg`` mechanism active, a timer arms the background writer on
 every node for the last ``bg_fraction`` of each quantum and the switch
 path stops it (§3.4).
 
+Fault handling
+--------------
+The quantum boundary doubles as the health check.  With a
+:class:`~repro.faults.plan.FaultPlan` attached the scheduler first
+injects per-quantum node events (fail-stop crashes, straggler
+slowdowns), then — whatever the source of the state — *detects* and
+degrades:
+
+* a job with a rank on a dead node is **evicted**
+  (:meth:`~repro.gang.job.Job.terminate`) so the remaining jobs keep
+  time-sharing instead of the whole gang deadlocking at a barrier;
+* a job about to run on a straggling node gets its quantum **extended**
+  by the slowdown factor (capped), so the straggler still makes one
+  quantum's worth of progress before the next coordinated switch;
+* a switch whose paging I/O dies permanently evicts the incoming job
+  rather than leaving the cluster half-switched.
+
 :class:`BatchScheduler` runs the same jobs strictly one after another —
 the paper's ``batch`` bars, which define zero switching overhead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.faults.errors import DiskFailure
+from repro.faults.plan import FaultPlan
 from repro.gang.job import Job
 from repro.sim.engine import AnyOf, Environment, Process
 
@@ -34,6 +53,15 @@ class SwitchRecord:
     out_job: Optional[str]
 
 
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One job eviction (crash / I/O failure), for the metrics layer."""
+
+    at: float
+    job: str
+    cause: str
+
+
 class GangScheduler:
     """Coordinated time-sharing of ``jobs`` across their nodes."""
 
@@ -44,17 +72,26 @@ class GangScheduler:
         quantum_s: float = 300.0,
         quantum_overrides: Optional[dict[str, float]] = None,
         on_switch=None,
+        faults: Optional[FaultPlan] = None,
+        straggler_extension_cap: float = 4.0,
     ) -> None:
         if quantum_s <= 0:
             raise ValueError("quantum_s must be positive")
         if not jobs:
             raise ValueError("need at least one job")
+        if straggler_extension_cap < 1.0:
+            raise ValueError("straggler_extension_cap must be >= 1")
         self.env = env
         self.jobs = list(jobs)
         self.quantum_s = quantum_s
         self.quantum_overrides = dict(quantum_overrides or {})
         self.on_switch = on_switch
+        self.faults = faults
+        self.straggler_extension_cap = straggler_extension_cap
         self.switches: list[SwitchRecord] = []
+        self.evictions: list[EvictionRecord] = []
+        #: quanta stretched because a gang member straggled
+        self.straggler_extensions = 0
         self._gen = 0
         self._switch_proc: Optional[Process] = None
         self.proc: Optional[Process] = None
@@ -71,11 +108,17 @@ class GangScheduler:
         """The quantum this job runs for (honours overrides)."""
         return self.quantum_overrides.get(job.name, self.quantum_s)
 
+    @property
+    def jobs_evicted(self) -> int:
+        """Jobs removed from the schedule by fault degradation."""
+        return len(self.evictions)
+
     # -- control loop --------------------------------------------------------
     def _run(self):
         env = self.env
         current: Optional[Job] = None
         while True:
+            self._quantum_boundary()
             pending = [j for j in self.jobs if not j.finished]
             if not pending:
                 return
@@ -88,9 +131,9 @@ class GangScheduler:
                 self._switch_proc = env.process(self._switch(current, nxt))
                 current = nxt
             self._gen += 1
-            self._arm_bgwrite(current, self._gen)
-            yield AnyOf(env, [env.timeout(self.quantum_for(current)),
-                              current.done])
+            quantum = self._degraded_quantum(current)
+            self._arm_bgwrite(current, self._gen, quantum)
+            yield AnyOf(env, [env.timeout(quantum), current.done])
             for node in current.nodes:
                 node.adaptive.stop_bgwrite()
 
@@ -105,6 +148,60 @@ class GangScheduler:
                 return job
         return current  # unreachable while pending is non-empty
 
+    # -- fault detection and degradation --------------------------------------
+    def _quantum_boundary(self) -> None:
+        """Inject per-quantum node faults, then detect and degrade.
+
+        Detection is injection-agnostic: a node failed by a test (or a
+        future mechanism) is handled identically to an injected crash.
+        """
+        nodes = {}
+        active = set()
+        for job in self.jobs:
+            for node in job.nodes:
+                nodes[node.name] = node
+                if not job.finished:
+                    active.add(node.name)
+        # inject only after a quantum has elapsed (gen > 0): crash and
+        # straggle events model hardware misbehaving *during* a quantum,
+        # so nothing can be drawn before anything has run
+        inject = self.faults is not None and self._gen > 0
+        for name in sorted(nodes):
+            node = nodes[name]
+            node.slowdown = 1.0  # straggle episodes last one quantum
+            if not node.alive:
+                continue
+            if inject and name in active:
+                if self.faults.node_crash(name):
+                    node.fail("injected crash")
+                    continue
+                node.slowdown = self.faults.node_straggle(name)
+        for job in self.jobs:
+            if job.finished:
+                continue
+            dead = [n.name for n in job.nodes if not n.alive]
+            if dead:
+                self._evict(job, f"node(s) {', '.join(dead)} crashed")
+
+    def _degraded_quantum(self, job: Job) -> float:
+        """This quantum's length, extended if a gang member straggles.
+
+        The gang runs at the pace of its slowest member (§5.6), so a
+        straggling node would otherwise waste the whole gang's quantum;
+        stretching it (capped) preserves per-quantum progress without
+        letting one node capture the machine.
+        """
+        quantum = self.quantum_for(job)
+        slow = max((n.slowdown for n in job.nodes), default=1.0)
+        if slow > 1.0:
+            self.straggler_extensions += 1
+            quantum *= min(slow, self.straggler_extension_cap)
+        return quantum
+
+    def _evict(self, job: Job, cause: str) -> None:
+        job.terminate(cause)
+        self.evictions.append(EvictionRecord(self.env.now, job.name, cause))
+
     # -- the coordinated switch ---------------------------------------------
     def _switch(self, out_job: Optional[Job], in_job: Job):
         env = self.env
@@ -117,6 +214,8 @@ class GangScheduler:
         ]
         if fragments:
             yield env.all_of(fragments)
+        if in_job.failed:
+            return  # evicted mid-switch: nothing to resume or record
         in_job.cont()
         rec = SwitchRecord(
             started_at=t0,
@@ -129,6 +228,15 @@ class GangScheduler:
             self.on_switch(rec)
 
     def _switch_node(self, node, out_job: Optional[Job], in_job: Job):
+        try:
+            yield from self._switch_node_paging(node, out_job, in_job)
+        except DiskFailure as exc:
+            # Node-local switch paging died permanently: evict the
+            # incoming job so the rest of the gang proceeds instead of
+            # waiting forever on a half-switched cluster.
+            self._evict(in_job, f"{node.name}: switch paging failed: {exc}")
+
+    def _switch_node_paging(self, node, out_job: Optional[Job], in_job: Job):
         ap = node.adaptive
         ap.stop_bgwrite()
         out_pid = -1
@@ -147,14 +255,14 @@ class GangScheduler:
         ap.notify_scheduled(in_pid)
 
     # -- background-writing timer ---------------------------------------------
-    def _arm_bgwrite(self, job: Job, gen: int) -> None:
+    def _arm_bgwrite(self, job: Job, gen: int, quantum_s: float) -> None:
         # bg_fraction comes from the node policies (identical across a
         # cluster in every experiment).
         nodes = [n for n in job.nodes if n.adaptive.policy.bg]
         if not nodes:
             return
         frac = nodes[0].adaptive.policy.bg_fraction
-        delay = self.quantum_for(job) * (1.0 - frac)
+        delay = quantum_s * (1.0 - frac)
         self.env.process(self._bg_timer(job, gen, delay))
 
     def _bg_timer(self, job: Job, gen: int, delay: float):
@@ -185,10 +293,12 @@ class BatchScheduler:
 
     def _run(self):
         for job in self.jobs:
+            if job.finished:
+                continue
             for node in job.nodes:
                 node.adaptive.notify_scheduled(job.process_on(node).pid)
             job.cont()
             yield job.done
 
 
-__all__ = ["BatchScheduler", "GangScheduler", "SwitchRecord"]
+__all__ = ["BatchScheduler", "EvictionRecord", "GangScheduler", "SwitchRecord"]

@@ -199,7 +199,14 @@ class VirtualMemoryManager:
                         req = self.disk.submit(
                             gslots, "read", PRIO_FOREGROUND, pid=pid
                         )
-                        yield req
+                        try:
+                            yield req
+                        except Exception:
+                            # failed page-in (e.g. disk retry budget
+                            # exhausted): return the frames before the
+                            # fault propagates to the process
+                            self.frames.release(gpages.size)
+                            raise
                         self.stats.major_faults += 1
                         self.stats.pages_swapped_in += gpages.size
                         self._count_refaults(pid, gpages)
@@ -234,11 +241,17 @@ class VirtualMemoryManager:
             slots = group.slots[mask]
             entry = (pid, pages)
             self._active_demands.append(entry)
+            allocated = False
             try:
                 yield from self._ensure_frames(pages.size)
                 self.frames.allocate(pages.size)
+                allocated = True
                 req = self.disk.submit(slots, "read", PRIO_FOREGROUND, pid=pid)
                 yield req
+            except Exception:
+                if allocated:
+                    self.frames.release(pages.size)
+                raise
             finally:
                 self._remove_demand(entry)
             self.stats.major_faults += 1

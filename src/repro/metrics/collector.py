@@ -30,11 +30,15 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.paging: list[PagingEvent] = []
         self.switches: list = []
+        self.nodes: list = []
+        self.scheduler = None
+        self.faults = None
 
     # -- wiring ----------------------------------------------------------
     def attach_node(self, node) -> None:
         """Hook a node's disk completions (call before running)."""
         name = node.name
+        self.nodes.append(node)
 
         def hook(req, start, end, _name=name):
             self.paging.append(
@@ -42,6 +46,14 @@ class MetricsCollector:
             )
 
         node.disk.on_complete = hook
+
+    def attach_scheduler(self, sched) -> None:
+        """Keep a handle on the scheduler for eviction accounting."""
+        self.scheduler = sched
+
+    def attach_faults(self, plan) -> None:
+        """Keep a handle on the fault plan for injection accounting."""
+        self.faults = plan
 
     def on_switch(self, record) -> None:
         """Scheduler switch callback (pass as ``on_switch=``)."""
@@ -103,6 +115,50 @@ class MetricsCollector:
             )
             out.append((t0, pages))
         return out
+
+    def fault_summary(self) -> dict:
+        """Injected faults and the system's graceful responses.
+
+        ``injected`` counts draws that hit (from the fault plan);
+        everything else counts the *responses* — retries, fallbacks,
+        evictions — observed on the attached nodes and scheduler.  All
+        zeros (and no evictions) in a fault-free run.
+        """
+        summary: dict = {
+            "injected": dict(self.faults.counters)
+            if self.faults is not None
+            else {},
+            "disk_retries": 0,
+            "disk_failed_requests": 0,
+            "disk_latency_spikes": 0,
+            "ai_fallbacks": 0,
+            "records_lost": 0,
+            "records_corrupted": 0,
+            "bg_write_failures": 0,
+            "jobs_evicted": 0,
+            "straggler_extensions": 0,
+            "evictions": [],
+        }
+        for node in self.nodes:
+            summary["disk_retries"] += node.disk.retry_count
+            summary["disk_failed_requests"] += node.disk.failed_requests
+            summary["disk_latency_spikes"] += node.disk.latency_spikes
+            ap = node.adaptive
+            summary["ai_fallbacks"] += ap.ai_fallbacks
+            if ap.recorder is not None:
+                summary["records_lost"] += ap.recorder.records_lost
+                summary["records_corrupted"] += ap.recorder.records_corrupted
+            if ap.bgwriter is not None:
+                summary["bg_write_failures"] += ap.bgwriter.write_failures
+        sched = self.scheduler
+        if sched is not None and hasattr(sched, "evictions"):
+            summary["jobs_evicted"] = len(sched.evictions)
+            summary["straggler_extensions"] = sched.straggler_extensions
+            summary["evictions"] = [
+                {"at": r.at, "job": r.job, "cause": r.cause}
+                for r in sched.evictions
+            ]
+        return summary
 
     def clear(self) -> None:
         """Drop all recorded events and switches."""

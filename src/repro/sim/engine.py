@@ -363,6 +363,16 @@ class Environment:
         """The process whose generator is currently executing, if any."""
         return self._active_process
 
+    @property
+    def live_events(self) -> int:
+        """Scheduled non-daemon events — what keeps :meth:`run` going.
+
+        Zero means the simulation has quiesced: only daemon timers (if
+        any) remain.  Watchdogs use this to distinguish "finished" from
+        "stuck" when stepping the simulation manually.
+        """
+        return self._live
+
     # -- event factories -----------------------------------------------------
     def event(self) -> Event:
         """Create a fresh, untriggered :class:`Event`."""

@@ -42,6 +42,16 @@ class RngStreams:
             self._streams[name] = gen
         return gen
 
+    @property
+    def created(self) -> tuple[str, ...]:
+        """Names of the streams materialised so far (sorted).
+
+        Lets tests assert *transparency*: code paths that must not
+        consume randomness (e.g. a zero-rate fault plan) leave this
+        empty.
+        """
+        return tuple(sorted(self._streams))
+
     def spawn(self, name: str) -> "RngStreams":
         """Derive a child family (e.g. one per node) from this one."""
         digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()

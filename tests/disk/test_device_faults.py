@@ -1,0 +1,140 @@
+"""Disk fault injection: retries, backoff, budgets, latency spikes."""
+
+import numpy as np
+import pytest
+
+from repro.disk import PRIO_FOREGROUND, Disk, DiskParams
+from repro.faults import DiskFailure, FaultPlan, FaultRates
+from repro.sim import Environment
+
+P = DiskParams()
+
+
+class ScriptedFaults:
+    """Duck-typed plan that errors/spikes a fixed number of times."""
+
+    def __init__(self, errors=0, spikes=0, spike_factor=5.0):
+        self.errors = errors
+        self.spikes = spikes
+        self.spike_factor = spike_factor
+
+    def disk_error(self, device):
+        if self.errors > 0:
+            self.errors -= 1
+            return True
+        return False
+
+    def disk_latency_factor(self, device):
+        if self.spikes > 0:
+            self.spikes -= 1
+            return self.spike_factor
+        return 1.0
+
+
+def submit_one(disk, env, npages=1):
+    req = disk.submit(np.arange(100, 100 + npages), "read", PRIO_FOREGROUND)
+    env.run(until=req)
+    return req
+
+
+def test_retry_params_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Disk(env, P, max_retries=-1)
+    with pytest.raises(ValueError):
+        Disk(env, P, retry_budget=-1)
+
+
+def test_attached_zero_rate_plan_changes_nothing():
+    env_a = Environment()
+    plain = Disk(env_a, P)
+    req_a = submit_one(plain, env_a)
+    env_b = Environment()
+    faulty = Disk(env_b, P, faults=FaultPlan(FaultRates(), 0))
+    req_b = submit_one(faulty, env_b)
+    assert req_a.service_time == req_b.service_time
+    assert env_a.now == env_b.now
+    assert faulty.retry_count == 0 and faulty.error_count == 0
+
+
+def test_transient_error_is_retried_with_backoff():
+    env = Environment()
+    disk = Disk(env, P, faults=ScriptedFaults(errors=1))
+    req = submit_one(disk, env)
+    assert req.ok
+    assert disk.error_count == 1
+    assert disk.retry_count == 1
+    assert disk.failed_requests == 0
+    # two service attempts plus one backoff sleep of positioning * 2^1
+    per_attempt = P.overhead_s + P.positioning_s + P.page_transfer_s
+    assert env.now == pytest.approx(2 * per_attempt + P.positioning_s * 2)
+
+
+def test_backoff_grows_exponentially():
+    env = Environment()
+    disk = Disk(env, P, faults=ScriptedFaults(errors=3))
+    req = submit_one(disk, env)
+    assert req.ok
+    assert disk.retry_count == 3
+    per_attempt = P.overhead_s + P.positioning_s + P.page_transfer_s
+    backoffs = P.positioning_s * (2 + 4 + 8)
+    assert env.now == pytest.approx(4 * per_attempt + backoffs)
+
+
+def test_persistent_errors_exhaust_retries_into_typed_failure():
+    env = Environment()
+    disk = Disk(env, P, faults=FaultPlan(FaultRates(disk_error_rate=1.0)),
+                max_retries=3)
+    req = disk.submit(np.array([5]), "read", PRIO_FOREGROUND)
+    with pytest.raises(DiskFailure, match="3 retries"):
+        env.run(until=req)
+    assert disk.failed_requests == 1
+    assert disk.error_count == 4  # initial attempt + 3 retries
+    assert disk.retry_count == 3
+
+
+def test_retry_budget_bounds_total_retries_per_device():
+    env = Environment()
+    disk = Disk(env, P, faults=FaultPlan(FaultRates(disk_error_rate=1.0)),
+                max_retries=10, retry_budget=2)
+    req = disk.submit(np.array([5]), "read", PRIO_FOREGROUND)
+    with pytest.raises(DiskFailure, match="budget exhausted"):
+        env.run(until=req)
+    assert disk.retry_count == 2
+    assert disk.retry_budget_left == 0
+
+
+def test_budget_is_shared_across_requests():
+    env = Environment()
+    # first request eats one retry from the budget, second exhausts it
+    disk = Disk(env, P, faults=ScriptedFaults(errors=1), retry_budget=1)
+    req = submit_one(disk, env)
+    assert req.ok and disk.retry_budget_left == 0
+    disk.faults = FaultPlan(FaultRates(disk_error_rate=1.0))
+    req2 = disk.submit(np.array([9]), "read", PRIO_FOREGROUND)
+    with pytest.raises(DiskFailure, match="budget exhausted"):
+        env.run(until=req2)
+
+
+def test_latency_spike_multiplies_service_time():
+    env = Environment()
+    disk = Disk(env, P, faults=ScriptedFaults(spikes=1, spike_factor=5.0))
+    req = submit_one(disk, env)
+    per_attempt = P.overhead_s + P.positioning_s + P.page_transfer_s
+    assert req.ok
+    assert req.service_time == pytest.approx(5.0 * per_attempt)
+    assert disk.latency_spikes == 1
+    assert disk.error_count == 0
+
+
+def test_failed_request_does_not_wedge_the_queue():
+    env = Environment()
+    # one error is enough with max_retries=0: the first attempt fails hard
+    disk = Disk(env, P, faults=ScriptedFaults(errors=1), max_retries=0)
+    doomed = disk.submit(np.array([1]), "read", PRIO_FOREGROUND)
+    doomed.defuse()
+    healthy = disk.submit(np.array([2]), "read", PRIO_FOREGROUND)
+    env.run(until=healthy)
+    assert healthy.ok
+    assert not doomed.ok
+    assert isinstance(doomed.value, DiskFailure)

@@ -1,0 +1,109 @@
+"""Runner-level fault behaviour: transparency, watchdog, partial export."""
+
+import json
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import GangConfig, run_experiment
+from repro.experiments.runner import _makespan
+from repro.faults import FaultRates, WatchdogTimeout
+from repro.sim import SimulationError
+
+SCALE = 0.04
+
+
+def test_zero_rates_reproduce_fault_free_run_bit_for_bit():
+    base = GangConfig("CG", "B", nprocs=1, scale=SCALE,
+                      policy="so/ao/ai/bg", seed=7)
+    plain = run_experiment(base)
+    zeroed = run_experiment(replace(base, faults=FaultRates()))
+    assert plain.makespan == zeroed.makespan
+    assert plain.pages_read == zeroed.pages_read
+    assert plain.pages_written == zeroed.pages_written
+    assert zeroed.evicted == {}
+    fs = zeroed.fault_summary
+    assert fs["injected"] == {}
+    assert fs["disk_retries"] == 0 and fs["ai_fallbacks"] == 0
+
+
+def test_unused_fault_streams_do_not_perturb_the_run():
+    # batch mode never reaches the node-fault draw sites, and all other
+    # rates are zero — so an *active* plan whose draws never happen must
+    # still reproduce the fault-free run exactly (stream independence)
+    base = GangConfig("CG", "B", nprocs=1, scale=SCALE, mode="batch", seed=7)
+    plain = run_experiment(base)
+    armed = run_experiment(
+        replace(base, faults=FaultRates(straggler_rate=0.9, crash_rate=0.9))
+    )
+    assert plain.makespan == armed.makespan
+    assert plain.pages_read == armed.pages_read
+    assert armed.fault_summary["injected"] == {}
+
+
+def test_faulty_run_completes_and_counts_responses():
+    cfg = GangConfig(
+        "LU", "B", nprocs=1, scale=SCALE, policy="so/ao/ai/bg", seed=3,
+        faults=FaultRates(disk_error_rate=0.02, disk_latency_rate=0.05,
+                          record_loss_rate=0.1, record_corruption_rate=0.1),
+    )
+    res = run_experiment(cfg)
+    assert res.evicted == {}
+    assert len(res.completions) == 2
+    fs = res.fault_summary
+    assert sum(fs["injected"].values()) > 0
+    assert fs["disk_failed_requests"] == 0  # retries absorbed everything
+    # clean run for comparison: faults cost time
+    clean = run_experiment(replace(cfg, faults=FaultRates()))
+    assert res.makespan > clean.makespan
+
+
+def test_watchdog_names_the_stuck_jobs():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, max_events=500)
+    with pytest.raises(WatchdogTimeout, match=r"LU#\d"):
+        run_experiment(cfg)
+
+
+def test_watchdog_sim_time_limit():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, max_sim_s=1.0)
+    with pytest.raises(WatchdogTimeout, match="sim time"):
+        run_experiment(cfg)
+
+
+def test_watchdog_is_a_simulation_error():
+    # callers guarding on the engine's error type also catch the watchdog
+    assert issubclass(WatchdogTimeout, SimulationError)
+
+
+def test_partial_record_exported_on_failure(tmp_path):
+    out = tmp_path / "results" / "partial.json"
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, max_events=500)
+    with pytest.raises(WatchdogTimeout):
+        run_experiment(cfg, partial_path=out)
+    data = json.loads(out.read_text())
+    assert data["partial"] is True
+    assert "WatchdogTimeout" in data["error"]
+    assert data["events_processed"] >= 500
+    assert set(data["jobs"]) == {"LU#0", "LU#1"}
+    assert data["fault_summary"]["jobs_evicted"] == 0
+    # no stray temp file left behind
+    assert list(out.parent.iterdir()) == [out]
+
+
+def test_makespan_guard_names_hung_jobs():
+    done = SimpleNamespace(name="ok", finished=True,
+                           completed_at=10.0, failed_at=None)
+    hung = SimpleNamespace(name="wedged", finished=False,
+                           completed_at=None, failed_at=None)
+    with pytest.raises(SimulationError, match="wedged"):
+        _makespan([done, hung])
+    assert _makespan([done]) == 10.0
+
+
+def test_makespan_counts_evicted_jobs_at_failure_time():
+    done = SimpleNamespace(name="ok", finished=True,
+                           completed_at=10.0, failed_at=None)
+    dead = SimpleNamespace(name="dead", finished=True,
+                           completed_at=None, failed_at=25.0)
+    assert _makespan([done, dead]) == 25.0

@@ -72,15 +72,14 @@ def test_adaptive_policy_never_slower_at_small_scale():
 
 
 def test_invalid_mode_rejected():
-    cfg = GangConfig("LU", "B", scale=SCALE, mode="weird")
+    # validation moved to construction time (GangConfig.__post_init__)
     with pytest.raises(ValueError):
-        run_experiment(cfg)
+        GangConfig("LU", "B", scale=SCALE, mode="weird")
 
 
 def test_invalid_njobs_rejected():
-    cfg = GangConfig("LU", "B", scale=SCALE, njobs=0)
     with pytest.raises(ValueError):
-        run_experiment(cfg)
+        GangConfig("LU", "B", scale=SCALE, njobs=0)
 
 
 def test_label():

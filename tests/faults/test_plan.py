@@ -1,0 +1,92 @@
+"""Unit tests for the fault plan: validation, determinism, transparency."""
+
+import pytest
+
+from repro.faults import FAULT_FREE, FaultPlan, FaultRates
+from repro.sim import RngStreams
+
+
+def test_rates_reject_bad_probabilities():
+    with pytest.raises(ValueError):
+        FaultRates(disk_error_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultRates(crash_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultRates(record_loss_rate=2.0)
+
+
+def test_rates_reject_sub_unity_factors():
+    with pytest.raises(ValueError):
+        FaultRates(disk_latency_factor=0.5)
+    with pytest.raises(ValueError):
+        FaultRates(straggler_factor=0.0)
+
+
+def test_active_flag():
+    assert not FAULT_FREE.active
+    assert not FaultRates().active
+    assert FaultRates(disk_error_rate=0.01).active
+    assert FaultRates(crash_rate=1.0).active
+    # severity factors alone never activate a plan
+    assert not FaultRates(disk_latency_factor=20.0).active
+
+
+def test_zero_rate_plan_never_draws():
+    rngs = RngStreams(0)
+    plan = FaultPlan(FAULT_FREE, rngs)
+    for _ in range(100):
+        assert plan.disk_error("d0") is False
+        assert plan.disk_latency_factor("d0") == 1.0
+        assert plan.node_crash("n0") is False
+        assert plan.node_straggle("n0") == 1.0
+        assert plan.record_lost("r0") is False
+        assert plan.record_corrupt("r0") is False
+    assert sum(plan.counters.values()) == 0
+    # transparency: no stream was ever materialised, so nothing about
+    # the run's randomness changed
+    assert not rngs.created
+
+
+def test_same_seed_same_schedule():
+    rates = FaultRates(disk_error_rate=0.3, crash_rate=0.2,
+                       straggler_rate=0.4)
+    a = FaultPlan(rates, RngStreams(42))
+    b = FaultPlan(rates, RngStreams(42))
+    seq_a = [(a.disk_error("d"), a.node_crash("n"), a.node_straggle("n"))
+             for _ in range(200)]
+    seq_b = [(b.disk_error("d"), b.node_crash("n"), b.node_straggle("n"))
+             for _ in range(200)]
+    assert seq_a == seq_b
+    assert a.counters == b.counters
+    assert sum(a.counters.values()) > 0
+
+
+def test_components_draw_independent_streams():
+    rates = FaultRates(disk_error_rate=0.5)
+    plan = FaultPlan(rates, RngStreams(7))
+    a = [plan.disk_error("disk-a") for _ in range(64)]
+    b = [plan.disk_error("disk-b") for _ in range(64)]
+    assert a != b  # distinct named streams, not one shared sequence
+
+
+def test_counters_track_hits_by_kind():
+    plan = FaultPlan(FaultRates(disk_error_rate=1.0, crash_rate=1.0))
+    plan.disk_error("d")
+    plan.disk_error("d")
+    plan.node_crash("n")
+    assert plan.counters["disk_errors"] == 2
+    assert plan.counters["node_crashes"] == 1
+    assert plan.counters["records_lost"] == 0
+
+
+def test_severity_factors_returned_on_hit():
+    plan = FaultPlan(FaultRates(disk_latency_rate=1.0,
+                                disk_latency_factor=6.0,
+                                straggler_rate=1.0, straggler_factor=2.5))
+    assert plan.disk_latency_factor("d") == 6.0
+    assert plan.node_straggle("n") == 2.5
+
+
+def test_int_seed_convenience():
+    plan = FaultPlan(FaultRates(disk_error_rate=1.0), 3)
+    assert plan.disk_error("d") is True

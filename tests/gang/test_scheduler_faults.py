@@ -1,0 +1,174 @@
+"""Gang-layer fault handling: crashes, stragglers, eviction, no deadlock."""
+
+import pytest
+
+from repro.cluster import Node
+from repro.faults import FaultPlan, FaultRates
+from repro.gang import GangScheduler, Job
+from repro.sim import Environment, RngStreams
+from repro.workloads import SequentialSweepWorkload
+
+
+def build_cluster(nnodes=1, memory_mb=8.0, policy="lru"):
+    env = Environment()
+    nodes = [
+        Node.build(env, f"node{i}", memory_mb, policy) for i in range(nnodes)
+    ]
+    return env, nodes
+
+
+def make_job(name, nodes, pages=256, iters=4):
+    wls = [
+        SequentialSweepWorkload(pages, iters, name=name,
+                                cpu_per_page_s=2e-3, max_phase_pages=128)
+        for _ in nodes
+    ]
+    return Job(name, nodes, wls, RngStreams(seed=1))
+
+
+class ScriptedNodeFaults:
+    """Duck-typed plan: crash/straggle specific nodes once."""
+
+    def __init__(self, crash=(), straggle=(), factor=2.0):
+        self.crash = set(crash)
+        self.straggle = set(straggle)
+        self.factor = factor
+
+    def node_crash(self, node):
+        if node in self.crash:
+            self.crash.discard(node)
+            return True
+        return False
+
+    def node_straggle(self, node):
+        if node in self.straggle:
+            self.straggle.discard(node)
+            return self.factor
+        return 1.0
+
+
+def test_externally_failed_node_evicts_its_jobs():
+    env, nodes = build_cluster(1)
+    j1 = make_job("j1", nodes)
+    j2 = make_job("j2", nodes)
+    sched = GangScheduler(env, [j1, j2], quantum_s=2.0)
+    sched.start()
+    # fail the node mid-run, with no fault plan attached at all:
+    # detection at the quantum boundary is injection-agnostic
+
+    def killer():
+        yield env.timeout(3.0)
+        nodes[0].fail("pulled the power cord")
+
+    env.process(killer())
+    env.run()
+    assert j1.failed and j2.failed
+    assert sched.jobs_evicted == 2
+    assert all("crashed" in r.cause for r in sched.evictions)
+    # done events fired: the scheduler returned instead of deadlocking
+    assert j1.done.processed and j2.done.processed
+
+
+def test_jobs_on_healthy_nodes_survive_a_crash():
+    env, nodes = build_cluster(2)
+    j1 = make_job("doomed", [nodes[0]])
+    j2 = make_job("survivor", [nodes[1]])
+    sched = GangScheduler(
+        env, [j1, j2], quantum_s=2.0,
+        faults=ScriptedNodeFaults(crash={"node0"}),
+    )
+    sched.start()
+    env.run()
+    assert j1.failed and not j2.failed
+    assert j2.completed_at is not None
+    assert sched.jobs_evicted == 1
+    assert sched.evictions[0].job == "doomed"
+
+
+def test_injected_crash_takes_a_quantum_to_happen():
+    # injection is skipped at the pre-run boundary (gen 0): a crash can
+    # only be drawn once a quantum has actually elapsed
+    env, nodes = build_cluster(1)
+    job = make_job("j", nodes)
+    sched = GangScheduler(
+        env, [job], quantum_s=2.0,
+        faults=FaultPlan(FaultRates(crash_rate=1.0)),
+    )
+    sched.start()
+    env.run()
+    assert job.failed
+    assert job.failed_at >= 2.0
+
+
+def test_straggler_extends_quantum_and_job_completes():
+    env, nodes = build_cluster(1)
+    j1 = make_job("j1", nodes)
+    j2 = make_job("j2", nodes)
+    sched = GangScheduler(
+        env, [j1, j2], quantum_s=2.0,
+        faults=ScriptedNodeFaults(straggle={"node0"}, factor=2.0),
+    )
+    sched.start()
+    env.run()
+    assert sched.straggler_extensions == 1
+    assert j1.finished and j2.finished
+    assert not j1.failed and not j2.failed
+
+
+def test_straggler_extension_is_capped():
+    env, nodes = build_cluster(1)
+    job = make_job("j", nodes)
+    sched = GangScheduler(
+        env, [job], quantum_s=2.0, straggler_extension_cap=1.5,
+        faults=ScriptedNodeFaults(straggle={"node0"}, factor=100.0),
+    )
+    sched.start()
+    env.run()
+    assert job.finished
+    assert sched.straggler_extensions >= 1
+
+
+def test_slowdown_resets_after_one_quantum():
+    env, nodes = build_cluster(1)
+    job = make_job("j", nodes)
+    sched = GangScheduler(
+        env, [job], quantum_s=2.0,
+        faults=ScriptedNodeFaults(straggle={"node0"}),
+    )
+    sched.start()
+    env.run()
+    assert nodes[0].slowdown == 1.0
+
+
+def test_terminate_is_idempotent_and_cont_is_inert():
+    env, nodes = build_cluster(1)
+    job = make_job("j", nodes)
+    GangScheduler(env, [job], quantum_s=1.0).start()
+    env.run(until=0.5)
+    job.terminate("test eviction")
+    job.terminate("second call ignored")
+    assert job.failure == "test eviction"
+    job.cont()  # must not resurrect stopped ranks
+    env.run()
+    assert job.failed and not job.completed_at
+    assert all(p.finished_at is None for p in job.processes)
+
+
+def test_scheduler_rejects_bad_extension_cap():
+    env, nodes = build_cluster(1)
+    job = make_job("j", nodes)
+    with pytest.raises(ValueError):
+        GangScheduler(env, [job], straggler_extension_cap=0.5)
+
+
+def test_zero_rate_plan_reproduces_plain_run():
+    def makespan(faults):
+        env, nodes = build_cluster(1, memory_mb=8.0)
+        j1 = make_job("j1", nodes)
+        j2 = make_job("j2", nodes)
+        sched = GangScheduler(env, [j1, j2], quantum_s=2.0, faults=faults)
+        sched.start()
+        env.run()
+        return max(j1.completed_at, j2.completed_at), len(sched.switches)
+
+    assert makespan(None) == makespan(FaultPlan(FaultRates(), 0))

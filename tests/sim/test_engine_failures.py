@@ -1,0 +1,182 @@
+"""Engine failure paths: fail propagation, double triggers, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, Environment, Interrupt, SimulationError
+
+
+def test_failed_event_throws_into_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_failure_propagates_through_chained_processes():
+    env = Environment()
+    seen = []
+
+    def inner():
+        yield env.timeout(1.0)
+        raise ValueError("inner died")
+
+    def outer():
+        try:
+            yield env.process(inner())
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    env.process(outer())
+    env.run()
+    assert seen == ["inner died"]
+
+
+def test_unhandled_failure_escalates_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody listened"))
+    with pytest.raises(RuntimeError, match="nobody listened"):
+        env.run()
+
+
+def test_defused_failure_does_not_escalate():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled elsewhere"))
+    ev.defuse()
+    env.run()
+    assert not ev.ok
+
+
+def test_double_succeed_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_after_succeed_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("too late"))
+
+
+def test_fail_requires_an_exception_instance():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")
+
+
+def test_interrupt_during_pending_timeout():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10.0)
+            log.append("slept")
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    proc = env.process(sleeper())
+
+    def poker():
+        yield env.timeout(1.0)
+        proc.interrupt("wake up")
+
+    env.process(poker())
+    env.run()
+    assert log == [("interrupted", 1.0, "wake up")]
+
+
+def test_interrupted_process_can_reawait_its_target():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        t = env.timeout(10.0)
+        try:
+            yield t
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield t  # the original timeout is still scheduled and valid
+        log.append(("woke", env.now))
+
+    proc = env.process(sleeper())
+
+    def poker():
+        yield env.timeout(1.0)
+        proc.interrupt()
+
+    env.process(poker())
+    env.run()
+    assert log == [("interrupted", 1.0), ("woke", 10.0)]
+
+
+def test_interrupting_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def selfish():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except SimulationError as exc:
+            errors.append(str(exc))
+        yield env.timeout(0.0)
+
+    env.process(selfish())
+    env.run()
+    assert len(errors) == 1
+
+
+def test_all_of_fails_fast_on_constituent_failure():
+    env = Environment()
+    caught = []
+
+    def bad():
+        yield env.timeout(1.0)
+        raise OSError("disk on fire")
+
+    def good():
+        yield env.timeout(5.0)
+
+    def waiter():
+        try:
+            yield AllOf(env, [env.process(bad()), env.process(good())])
+        except OSError as exc:
+            caught.append((str(exc), env.now))
+
+    env.process(waiter())
+    env.run()
+    # failure surfaced at t=1, without waiting for the slow sibling
+    assert caught == [("disk on fire", 1.0)]
