@@ -1,0 +1,139 @@
+"""Persistent performance harness: single-cell and sweep benchmarks.
+
+Writes ``BENCH_PR2.json`` at the repo root with
+
+* wall-clock and events/sec for the Figure-6 LRU cell (min of 3 runs),
+  against the recorded pre-optimization baseline,
+* serial vs ``jobs=4`` wall-clock for a small multi-seed sweep, with
+  the host's CPU count (the speedup ceiling — on a single-core host the
+  parallel path only proves correctness, not throughput),
+* a serial-vs-parallel byte-identity verdict for the sweep.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py          # full run
+    PYTHONPATH=src python benchmarks/perf_harness.py --smoke  # CI smoke
+
+``--smoke`` shrinks everything to seconds and exits non-zero if the
+parallel pool fails (pickling regression, worker crash) or its output
+diverges from serial — no timing assertions, so it is load-tolerant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import multi_seed  # noqa: E402
+from repro.experiments.report_io import _sanitise  # noqa: E402
+from repro.experiments.runner import GangConfig, run_experiment  # noqa: E402
+
+#: wall-clock of the single-cell benchmark on the pre-optimization
+#: code, measured back-to-back with the optimized code on the same
+#: host (git-stash round trip, min of 3) — re-measure when moving to
+#: different hardware rather than trusting this absolute number
+BASELINE_SINGLE_CELL_WALL_S = 2.947
+
+#: the Figure-6 LRU cell — the paper's headline trace configuration
+FIG6_LRU = GangConfig("LU", "C", nprocs=4, policy="lru", seed=1, scale=0.5)
+
+
+def bench_single_cell(cfg: GangConfig, repeats: int = 3) -> dict:
+    """Min-of-N wall clock and events/sec for one cell, in-process."""
+    walls, rates = [], []
+    events = makespan = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = run_experiment(cfg)
+        walls.append(time.perf_counter() - t0)
+        rates.append(res.events_processed / walls[-1])
+        events, makespan = res.events_processed, res.makespan
+    best = min(walls)
+    return {
+        "label": cfg.label(),
+        "scale": cfg.scale,
+        "repeats": repeats,
+        "wall_s_min": best,
+        "wall_s_all": walls,
+        "events_processed": events,
+        "events_per_sec_best": max(rates),
+        "makespan_s": makespan,
+        "baseline_wall_s": BASELINE_SINGLE_CELL_WALL_S,
+        "speedup_vs_baseline": BASELINE_SINGLE_CELL_WALL_S / best,
+    }
+
+
+def bench_sweep(scale: float, seeds, jobs: int = 4) -> dict:
+    """Serial vs parallel wall clock for the multi-seed sweep grid."""
+    base = GangConfig("LU", "B", nprocs=1, scale=scale)
+
+    t0 = time.perf_counter()
+    serial = multi_seed.replicate(base, seeds=seeds, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = multi_seed.replicate(base, seeds=seeds, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    identical = (
+        json.dumps(_sanitise(serial), sort_keys=True)
+        == json.dumps(_sanitise(parallel), sort_keys=True)
+    )
+    return {
+        "label": f"multi_seed {base.label()} seeds={list(seeds)}",
+        "cells": 3 * len(seeds),
+        "jobs": jobs,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "sweep_speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "serial_parallel_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny scale, correctness only; for CI")
+    ap.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR2.json"))
+    ap.add_argument("--jobs", type=int, default=4)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        single_cfg = GangConfig("LU", "B", nprocs=1, policy="lru",
+                                seed=1, scale=0.05)
+        single = bench_single_cell(single_cfg, repeats=1)
+        single.pop("baseline_wall_s")
+        single.pop("speedup_vs_baseline")
+        sweep = bench_sweep(scale=0.05, seeds=(1, 2), jobs=2)
+    else:
+        single = bench_single_cell(FIG6_LRU, repeats=3)
+        sweep = bench_sweep(scale=0.1, seeds=(1, 2, 3, 4), jobs=args.jobs)
+
+    report = {
+        "bench": "PR2 parallel execution + engine hot path",
+        "mode": "smoke" if args.smoke else "full",
+        "host_cpu_count": os.cpu_count(),
+        "single_cell": single,
+        "sweep": sweep,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+
+    if not sweep["serial_parallel_identical"]:
+        print("FAIL: parallel sweep output diverged from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.experiments import (
@@ -83,6 +84,17 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _run_kwargs(module, args) -> dict:
+    """Build ``module.run`` kwargs, forwarding ``--jobs`` only to the
+    sweep experiments whose run() accepts it (serial output is
+    bit-for-bit identical either way, see repro.perf.pool)."""
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    jobs = getattr(args, "jobs", 1)
+    if jobs != 1 and "jobs" in inspect.signature(module.run).parameters:
+        kwargs["jobs"] = jobs
+    return kwargs
+
+
 def cmd_run(args) -> int:
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
@@ -90,7 +102,7 @@ def cmd_run(args) -> int:
               f"try: python -m repro list", file=sys.stderr)
         return 2
     module, _ = entry
-    record = module.run(scale=args.scale, seed=args.seed)
+    record = module.run(**_run_kwargs(module, args))
     if args.json:
         from repro.experiments.report_io import save_record
 
@@ -102,7 +114,7 @@ def cmd_run(args) -> int:
 def cmd_all(args) -> int:
     for key, (module, desc) in EXPERIMENTS.items():
         print(f"\n##### {key} — {desc}\n")
-        module.run(scale=args.scale, seed=args.seed)
+        module.run(**_run_kwargs(module, args))
     return 0
 
 
@@ -132,7 +144,8 @@ def cmd_replicate(args) -> int:
 
     cfg = GangConfig(args.bench, args.klass, nprocs=args.nodes,
                      scale=args.scale)
-    record = replicate(cfg, policy=args.policy, seeds=args.seeds)
+    record = replicate(cfg, policy=args.policy, seeds=args.seeds,
+                       jobs=args.jobs)
     print(render(record, label=cfg.label()))
     return 0
 
@@ -151,12 +164,17 @@ def main(argv=None) -> int:
     p_run.add_argument("experiment", help="experiment key (see `list`)")
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sweep experiments "
+                            "(1 = serial; results are identical)")
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the structured record as JSON")
 
     p_all = sub.add_parser("all", help="run everything")
     p_all.add_argument("--scale", type=float, default=1.0)
     p_all.add_argument("--seed", type=int, default=1)
+    p_all.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sweep experiments")
 
     p_tr = sub.add_parser("trace", help="record an NPB workload trace")
     p_tr.add_argument("--bench", default="LU")
@@ -173,6 +191,8 @@ def main(argv=None) -> int:
     p_rep.add_argument("--policy", default="so/ao/ai/bg")
     p_rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     p_rep.add_argument("--scale", type=float, default=0.2)
+    p_rep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the seed sweep")
 
     args = parser.parse_args(argv)
     return {

@@ -176,7 +176,7 @@ class AdaptivePaging:
         # outgoing (still-largest) process while servicing them, so pin
         # the incoming process's pages for the duration of the replay.
         entry = (in_pid, np.concatenate([resident, recorded]))
-        self.vmm._active_demands.append(entry)
+        self.vmm._add_demand(entry)
         try:
             yield from self.vmm.swap_in_block(in_pid, groups)
         finally:

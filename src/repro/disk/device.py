@@ -248,41 +248,52 @@ class Disk:
         """Compute (duration, seeks) for ``request`` given head state.
 
         Pure function of the current head position / direction; used by
-        the dispatcher and directly unit-testable.
+        the dispatcher and directly unit-testable.  Runs once per disk
+        request, so the run decomposition stays on plain Python ints —
+        per-element numpy indexing here showed up in profiles.
         """
         slots = request.slots
-        breaks = np.flatnonzero(np.diff(slots) != 1) + 1
-        run_starts = np.concatenate([[slots[0]], slots[breaks]]) \
-            if breaks.size else slots[:1]
-        run_ends = np.concatenate([slots[breaks - 1] + 1, [slots[-1] + 1]]) \
-            if breaks.size else np.array([slots[-1] + 1])
+        params = self.params
+        coef = params.seek_distance_coef_s
+        if slots.size > 1:
+            breaks = np.flatnonzero(np.diff(slots) != 1) + 1
+        else:
+            breaks = None
+        if breaks is None or breaks.size == 0:
+            # single contiguous run — the dominant case for swap-cluster
+            # writes and block page-ins
+            starts = [int(slots[0])]
+            ends = [int(slots[-1]) + 1]
+        else:
+            blist = breaks.tolist()
+            slist = slots.tolist()
+            starts = [slist[0], *(slist[b] for b in blist)]
+            ends = [*(slist[b - 1] + 1 for b in blist), slist[-1] + 1]
 
-        coef = self.params.seek_distance_coef_s
         seeks = 0
         positioning = 0.0
+        positioning_s = params.positioning_s
         pos = self._head
-        for i in range(run_starts.size):
-            start = int(run_starts[i])
+        op = request.op
+        last_op = self._last_op
+        for i, start in enumerate(starts):
             # A run is free of positioning cost if it exactly continues
             # the previous transfer (sequential streaming).  A direction
             # change (read->write or write->read) always seeks on the
             # first run: page-in and page-out streams target different
             # areas/queues.
-            continues = (
-                start == pos
-                and (i > 0 or self._last_op == request.op)
-            )
+            continues = start == pos and (i > 0 or last_op == op)
             if not continues:
                 seeks += 1
-                positioning += self.params.positioning_s
+                positioning += positioning_s
                 if coef > 0.0:
                     positioning += coef * float(np.sqrt(abs(start - pos)))
-            pos = int(run_ends[i])
+            pos = ends[i]
 
         duration = (
-            self.params.overhead_s
+            params.overhead_s
             + positioning
-            + slots.size * self.params.page_transfer_s
+            + slots.size * params.page_transfer_s
         )
         return duration, seeks
 

@@ -40,8 +40,10 @@ so the same experiment runs at sub-second size in the benchmarks.
 from repro.experiments.runner import (
     GangConfig,
     RunResult,
+    run_cell,
     run_experiment,
     run_modes,
 )
 
-__all__ = ["GangConfig", "RunResult", "run_experiment", "run_modes"]
+__all__ = ["GangConfig", "RunResult", "run_cell", "run_experiment",
+           "run_modes"]

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.experiments.runner import GangConfig, run_experiment
+from repro.experiments.runner import GangConfig, run_cell
 from repro.faults.plan import FaultRates
 from repro.metrics.report import format_table
+from repro.perf.pool import Cell, run_cells
 
 #: intensity multipliers applied to BASE_RATES (0 = fault-free)
 INTENSITIES = (0.0, 1.0, 2.0, 4.0)
@@ -64,26 +65,21 @@ def _rates_at(x: float) -> FaultRates:
     )
 
 
-def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
-    base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
-    records: dict = {"sweep": {}, "crash_demo": {}}
+def cell_grid(base: GangConfig) -> list[Cell]:
+    """The (intensity, policy) sweep plus the crash demo, as cells.
 
+    Fault-injected cells are deterministic too: the injection RNG is
+    seeded from the config, so the sweep parallelises like any other.
+    """
+    cells: list[Cell] = []
     for x in INTENSITIES:
         rates = _rates_at(x)
-        row: dict = {}
         for pol in POLICIES:
-            res = run_experiment(
-                replace(base, mode="gang", policy=pol, faults=rates)
-            )
-            row[pol] = {
-                "makespan_s": res.makespan,
-                "fault_summary": res.fault_summary,
-            }
-        row["ratio"] = (
-            row["so/ao/ai/bg"]["makespan_s"] / row["lru"]["makespan_s"]
-        )
-        records["sweep"][x] = row
-
+            cells.append(Cell(
+                ("sweep", x, pol), run_cell,
+                {"cfg": replace(base, mode="gang", policy=pol,
+                                faults=rates)},
+            ))
     # crash demo: two nodes, a per-quantum crash rate low enough that
     # the jobs make real progress before a node dies mid-run
     crash_cfg = replace(
@@ -93,12 +89,35 @@ def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
         faults=FaultRates(crash_rate=0.25),
         max_sim_s=1e9,  # belt-and-braces: a deadlock would trip this
     )
-    res = run_experiment(crash_cfg)
+    cells.append(Cell(("crash",), run_cell, {"cfg": crash_cfg}))
+    return cells
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
+        jobs: int = 1) -> dict:
+    base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
+    results = run_cells(cell_grid(base), jobs=jobs)
+    records: dict = {"sweep": {}, "crash_demo": {}}
+
+    for x in INTENSITIES:
+        row: dict = {}
+        for pol in POLICIES:
+            cell = results[("sweep", x, pol)]
+            row[pol] = {
+                "makespan_s": cell["makespan"],
+                "fault_summary": cell["fault_summary"],
+            }
+        row["ratio"] = (
+            row["so/ao/ai/bg"]["makespan_s"] / row["lru"]["makespan_s"]
+        )
+        records["sweep"][x] = row
+
+    crash = results[("crash",)]
     records["crash_demo"] = {
-        "makespan_s": res.makespan,
-        "completed": sorted(res.completions),
-        "evicted": res.evicted,
-        "fault_summary": res.fault_summary,
+        "makespan_s": crash["makespan"],
+        "completed": sorted(crash["completions"]),
+        "evicted": crash["evicted"],
+        "fault_summary": crash["fault_summary"],
     }
 
     if not quiet:

@@ -23,6 +23,7 @@ from repro.mem.params import MemoryParams
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import format_table
 from repro.metrics.timeline import render_breakdown
+from repro.perf.pool import Cell, run_cells
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
 from repro.workloads.npb import make_npb
@@ -74,10 +75,15 @@ def _build_and_run(policy: str, scale: float, seed: int):
     sched.start()
     env.run()
     jobs = [lu, cg_l, cg_r, is4]
+    makespan = max(j.completed_at for j in jobs)
+    # The record must survive a process boundary (parallel cells), so
+    # live Job/collector objects stay here: jobs shrink to plain dicts
+    # and the per-job breakdown view is rendered eagerly.
     return {
-        "jobs": jobs,
-        "collector": collector,
-        "makespan_s": max(j.completed_at for j in jobs),
+        "jobs": [{"name": j.name, "finished": j.finished,
+                  "completed_at": j.completed_at} for j in jobs],
+        "breakdown": render_breakdown(jobs, collector, makespan),
+        "makespan_s": makespan,
         "mean_completion_s": sum(j.completed_at for j in jobs) / len(jobs),
         "rotations": sched.rotations,
         "matrix_utilization": initial_util,
@@ -85,8 +91,19 @@ def _build_and_run(policy: str, scale: float, seed: int):
     }
 
 
-def run(scale: float = 1.0, seed: int = 1, quiet: bool = False) -> dict:
-    records = {pol: _build_and_run(pol, scale, seed) for pol in POLICIES}
+def cell_grid(scale: float, seed: int) -> list[Cell]:
+    """One cell per policy; each builds and runs the full 4-node mix."""
+    return [
+        Cell((pol,), _build_and_run,
+             {"policy": pol, "scale": scale, "seed": seed})
+        for pol in POLICIES
+    ]
+
+
+def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
+        jobs: int = 1) -> dict:
+    results = run_cells(cell_grid(scale, seed), jobs=jobs)
+    records = {pol: results[(pol,)] for pol in POLICIES}
     if not quiet:
         print(render(records))
     return records
@@ -113,9 +130,7 @@ def render(records: dict) -> str:
     )
     full = records.get("so/ao/ai/bg")
     if full is not None:
-        out += "\n\n" + render_breakdown(
-            full["jobs"], full["collector"], full["makespan_s"]
-        )
+        out += "\n\n" + full["breakdown"]
     return out
 
 

@@ -14,30 +14,43 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.experiments.runner import GangConfig, run_experiment
+from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction
 from repro.metrics.report import format_table, percent
+from repro.perf.pool import Cell, run_cells
 
 QUANTA_S = (75.0, 150.0, 300.0, 600.0, 1200.0)
 POLICIES = ("lru", "so/ao/ai/bg")
 BUDGET = 0.10
 
 
+def cell_grid(base: GangConfig, quanta) -> list[Cell]:
+    """One batch reference cell plus one cell per (quantum, policy)."""
+    cells = [Cell(("batch",), run_cell,
+                  {"cfg": replace(base, mode="batch")})]
+    for q in quanta:
+        for pol in POLICIES:
+            cells.append(Cell(
+                (q, pol), run_cell,
+                {"cfg": replace(base, policy=pol, quantum_s=q)},
+            ))
+    return cells
+
+
 def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
-        quanta=QUANTA_S) -> dict:
+        quanta=QUANTA_S, jobs: int = 1) -> dict:
     base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
-    batch = run_experiment(replace(base, mode="batch")).makespan
+    results = run_cells(cell_grid(base, quanta), jobs=jobs)
+    batch = results[("batch",)]["makespan"]
     records: dict = {"_batch_s": batch}
     for q in quanta:
         row = {}
         for pol in POLICIES:
-            res = run_experiment(
-                replace(base, policy=pol, quantum_s=q)
-            )
+            cell = results[(q, pol)]
             row[pol] = {
-                "makespan_s": res.makespan,
-                "overhead": overhead_fraction(res.makespan, batch),
-                "switches": res.switch_count,
+                "makespan_s": cell["makespan"],
+                "overhead": overhead_fraction(cell["makespan"], batch),
+                "switches": cell["switch_count"],
             }
         records[q] = row
     if not quiet:

@@ -14,9 +14,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.experiments.runner import GangConfig, run_modes
+from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction, paging_reduction
 from repro.metrics.report import format_table
+from repro.perf.pool import Cell, run_cells
 
 
 @dataclass(frozen=True)
@@ -46,22 +47,49 @@ class Summary:
         return f"{self.mean:.3f} ± {self.std:.3f} [{self.min:.3f}, {self.max:.3f}]"
 
 
+def cell_grid(
+    base: GangConfig, policy: str, seeds: Sequence[int]
+) -> list[Cell]:
+    """The (seed, mode) cell grid behind :func:`replicate`.
+
+    One cell per independent simulation: batch, lru and the policy run
+    for every seed (the policy run is dropped when it *is* lru).
+    """
+    modes = ["batch", "lru"] + ([policy] if policy != "lru" else [])
+    cells: list[Cell] = []
+    for seed in seeds:
+        seeded = replace(base, seed=seed)
+        for label in modes:
+            cfg = (
+                replace(seeded, mode="batch") if label == "batch"
+                else replace(seeded, mode="gang", policy=label)
+            )
+            cells.append(Cell((seed, label), run_cell, {"cfg": cfg}))
+    return cells
+
+
 def replicate(
     base: GangConfig,
     policy: str = "so/ao/ai/bg",
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    jobs: int = 1,
 ) -> dict:
-    """Run ``base`` across ``seeds``; summarise overhead and reduction."""
+    """Run ``base`` across ``seeds``; summarise overhead and reduction.
+
+    ``jobs``: worker processes for the (seed, mode) sweep grid; the
+    result is identical for any value (see :mod:`repro.perf.pool`).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    results = run_cells(cell_grid(base, policy, seeds), jobs=jobs)
     overhead_lru: list[float] = []
     overhead_pol: list[float] = []
     reduction: list[float] = []
+    pol_key = policy if policy != "lru" else "lru"
     for seed in seeds:
-        res = run_modes(replace(base, seed=seed), ["lru", policy])
-        batch = res["batch"].makespan
-        lru = res["lru"].makespan
-        mine = res[policy].makespan
+        batch = results[(seed, "batch")]["makespan"]
+        lru = results[(seed, "lru")]["makespan"]
+        mine = results[(seed, pol_key)]["makespan"]
         overhead_lru.append(overhead_fraction(lru, batch))
         overhead_pol.append(overhead_fraction(mine, batch))
         reduction.append(paging_reduction(lru, mine, batch))
@@ -88,4 +116,4 @@ def render(record: dict, label: str = "") -> str:
     )
 
 
-__all__ = ["Summary", "render", "replicate"]
+__all__ = ["Summary", "cell_grid", "render", "replicate"]

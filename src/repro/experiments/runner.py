@@ -25,6 +25,8 @@ failure propagates, so a dead run still leaves evidence on disk.
 
 from __future__ import annotations
 
+import resource
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -117,6 +119,12 @@ class RunResult:
     evicted: dict[str, str] = field(default_factory=dict)
     #: injection and graceful-response counters (all zero when fault-free)
     fault_summary: dict = field(default_factory=dict)
+    #: simulation events processed (deterministic per config)
+    events_processed: int = 0
+    #: host wall-clock seconds spent in the run (nondeterministic)
+    wall_s: float = 0.0
+    #: process peak RSS sampled after the run, MB (nondeterministic)
+    peak_rss_mb: float = 0.0
 
     @property
     def avg_completion(self) -> float:
@@ -124,6 +132,13 @@ class RunResult:
         if not vals:
             return float("nan")  # every job was evicted
         return sum(vals) / len(vals)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine throughput for this run (nondeterministic)."""
+        if self.wall_s <= 0.0:
+            return float("nan")
+        return self.events_processed / self.wall_s
 
 
 def _scaled_workload(cfg: GangConfig, max_phase_pages: int) -> Workload:
@@ -211,6 +226,7 @@ def run_experiment(
     run dies (watchdog, injected failure, bug) — the exception still
     propagates afterwards.
     """
+    wall_start = time.perf_counter()
     env = Environment()
     rngs = RngStreams(cfg.seed)
     collector = MetricsCollector()
@@ -285,18 +301,65 @@ def run_experiment(
         if isinstance(sched, GangScheduler) else 0,
         evicted={j.name: j.failure for j in jobs if j.failed},
         fault_summary=collector.fault_summary(),
+        events_processed=env.events_processed,
+        wall_s=time.perf_counter() - wall_start,
+        # ru_maxrss is KB on Linux; high-water mark for the process
+        peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        / 1024.0,
     )
 
 
+def run_cell(cfg: GangConfig) -> dict:
+    """Run one config and return a picklable summary dict.
+
+    This is the cell function used by the parallel sweep layer
+    (:mod:`repro.perf.pool`): everything a sweep experiment consumes
+    from a :class:`RunResult`, minus the live collector/scheduler
+    objects (which hold generator coroutines and cannot cross a process
+    boundary).  All fields are deterministic per config except the
+    reserved ``"_perf"`` sub-dict, which carries the host-dependent
+    wall-clock / throughput / RSS measurements and is excluded from the
+    serial-vs-parallel byte-identity guarantee.
+    """
+    res = run_experiment(cfg)
+    return {
+        "makespan": res.makespan,
+        "completions": res.completions,
+        "avg_completion": res.avg_completion,
+        "pages_read": res.pages_read,
+        "pages_written": res.pages_written,
+        "switch_count": res.switch_count,
+        "vmm_stats": res.vmm_stats,
+        "evicted": res.evicted,
+        "fault_summary": res.fault_summary,
+        "events_processed": res.events_processed,
+        "_perf": {
+            "wall_s": res.wall_s,
+            "events_per_sec": res.events_per_sec,
+            "peak_rss_mb": res.peak_rss_mb,
+        },
+    }
+
+
 def run_modes(
-    base: GangConfig, policies: Sequence[str]
+    base: GangConfig,
+    policies: Sequence[str],
+    partial_path: Optional[Union[str, Path]] = None,
 ) -> dict[str, RunResult]:
-    """Run ``batch`` plus a gang run per policy; keys: "batch", policies."""
+    """Run ``batch`` plus a gang run per policy; keys: "batch", policies.
+
+    ``partial_path`` is forwarded to every :func:`run_experiment` call,
+    so whichever mode dies first leaves its crash-safe partial record
+    there before the exception propagates.
+    """
     out: dict[str, RunResult] = {}
-    out["batch"] = run_experiment(replace(base, mode="batch"))
+    out["batch"] = run_experiment(replace(base, mode="batch"),
+                                  partial_path=partial_path)
     for pol in policies:
-        out[pol] = run_experiment(replace(base, mode="gang", policy=pol))
+        out[pol] = run_experiment(replace(base, mode="gang", policy=pol),
+                                  partial_path=partial_path)
     return out
 
 
-__all__ = ["GangConfig", "RunResult", "run_experiment", "run_modes"]
+__all__ = ["GangConfig", "RunResult", "run_cell", "run_experiment",
+           "run_modes"]

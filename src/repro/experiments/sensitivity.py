@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.disk.device import ERA_DISK, DiskParams
-from repro.experiments.runner import GangConfig, run_modes
+from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction, paging_reduction
 from repro.metrics.report import format_table, percent
+from repro.perf.pool import Cell, run_cells
 
 #: fast "modern" disk for the speed axis
 FAST_DISK = DiskParams(seek_s=0.004, rotational_s=0.002,
@@ -47,19 +48,36 @@ AXES = {
 }
 
 
+def cell_grid(base: GangConfig, axes: dict) -> list[Cell]:
+    """One cell per (axis, point, mode) — 3 modes per grid point."""
+    cells: list[Cell] = []
+    for axis, points in axes.items():
+        for label, overrides in points:
+            cfg = replace(base, **overrides)
+            cells.append(Cell(
+                (axis, label, "batch"), run_cell,
+                {"cfg": replace(cfg, mode="batch")},
+            ))
+            for pol in ("lru", "so/ao/ai/bg"):
+                cells.append(Cell(
+                    (axis, label, pol), run_cell,
+                    {"cfg": replace(cfg, mode="gang", policy=pol)},
+                ))
+    return cells
+
+
 def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
-        axes: dict | None = None) -> dict:
+        axes: dict | None = None, jobs: int = 1) -> dict:
     axes = axes if axes is not None else AXES
     base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
+    results = run_cells(cell_grid(base, axes), jobs=jobs)
     records: dict[str, dict] = {}
     for axis, points in axes.items():
         records[axis] = {}
-        for label, overrides in points:
-            cfg = replace(base, **overrides)
-            res = run_modes(cfg, ["lru", "so/ao/ai/bg"])
-            batch = res["batch"].makespan
-            lru = res["lru"].makespan
-            full = res["so/ao/ai/bg"].makespan
+        for label, _overrides in points:
+            batch = results[(axis, label, "batch")]["makespan"]
+            lru = results[(axis, label, "lru")]["makespan"]
+            full = results[(axis, label, "so/ao/ai/bg")]["makespan"]
             records[axis][label] = {
                 "overhead_lru": overhead_fraction(lru, batch),
                 "overhead_adaptive": overhead_fraction(full, batch),

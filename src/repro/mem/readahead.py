@@ -98,19 +98,25 @@ def plan_swapins(
             )
             zero_acc.clear()
 
-    for page in demand:
+    # The per-page window bounds are independent of planning order, so
+    # they are batched into two searchsorted calls up front instead of
+    # two numpy calls per faulted page (the previous hot spot here).
+    demand_slots = table.swap_slot[demand]
+    los = np.searchsorted(sw_slots, demand_slots, side="left").tolist()
+    his = np.searchsorted(sw_slots, demand_slots + window, side="left").tolist()
+    slot_list = demand_slots.tolist()
+
+    for i, page in enumerate(demand.tolist()):
         if planned[page]:
             continue
-        slot = table.swap_slot[page]
-        if slot < 0:
+        if slot_list[i] < 0:
             # Never touched: zero-fill.
             planned[page] = True
-            zero_acc.append(int(page))
+            zero_acc.append(page)
             continue
         flush_zero()
         # Read-ahead: all absent pages with slots in [slot, slot+window).
-        lo = np.searchsorted(sw_slots, slot, side="left")
-        hi = np.searchsorted(sw_slots, slot + window, side="left")
+        lo, hi = los[i], his[i]
         cand_pages = sw_pages[lo:hi]
         cand_slots = sw_slots[lo:hi]
         keep = ~planned[cand_pages]

@@ -108,9 +108,12 @@ class GlobalLruPolicy(ReplacementPolicy):
             ages.append(table.last_ref[res])
         if not pages:
             return []
-        all_pids = np.concatenate(pids)
-        all_pages = np.concatenate(pages)
-        all_ages = np.concatenate(ages)
+        if len(pages) == 1:
+            all_pids, all_pages, all_ages = pids[0], pages[0], ages[0]
+        else:
+            all_pids = np.concatenate(pids)
+            all_pages = np.concatenate(pages)
+            all_ages = np.concatenate(ages)
         take = min(count, all_pages.size)
         idx = np.argpartition(all_ages, take - 1)[:take] if take < all_pages.size \
             else np.arange(all_pages.size)
@@ -121,15 +124,21 @@ class GlobalLruPolicy(ReplacementPolicy):
         sel_pages = all_pages[idx]
         # Group consecutive same-pid victims into cluster batches so one
         # batch never mixes processes (a disk write is per process).
-        start = 0
-        for i in range(1, idx.size + 1):
-            if i == idx.size or sel_pids[i] != sel_pids[start] \
-                    or i - start == cluster:
+        # Pid-run boundaries are found vectorised; each run is then cut
+        # into cluster-sized chunks from its start, which reproduces the
+        # original scalar scan exactly.
+        n = idx.size
+        if len(pages) == 1:
+            bounds = [0, n]
+        else:
+            change = np.flatnonzero(sel_pids[1:] != sel_pids[:-1]) + 1
+            bounds = [0, *change.tolist(), n]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            pid = int(sel_pids[a])
+            for i in range(a, b, cluster):
                 batches.append(
-                    VictimBatch(int(sel_pids[start]),
-                                np.sort(sel_pages[start:i]))
+                    VictimBatch(pid, np.sort(sel_pages[i:min(i + cluster, b)]))
                 )
-                start = i
         return batches
 
 

@@ -104,6 +104,11 @@ class VirtualMemoryManager:
         # be selected as victims (several touches can be in flight when
         # a stopped process is still finishing kernel-side fault work)
         self._active_demands: list[tuple[int, np.ndarray]] = []
+        # per-pid refcount of in-flight demand membership, mirroring
+        # _active_demands: counts[page] > 0 == page is in some demand
+        # set.  evict_batch consults this instead of rebuilding the
+        # merged map and running set-membership per batch (hot path).
+        self._demand_counts: dict[int, np.ndarray] = {}
         # serialises evictions (the kernel's reclaim path holds a lock);
         # victims are re-validated after the wait
         self._evict_lock = Resource(env, capacity=1)
@@ -132,12 +137,14 @@ class VirtualMemoryManager:
         table = PageTable(pid, num_pages)
         self.tables[pid] = table
         self._evicted_at[pid] = np.full(num_pages, -np.inf)
+        self._demand_counts[pid] = np.zeros(num_pages, dtype=np.int32)
         return table
 
     def unregister_process(self, pid: int) -> None:
         """Tear down an exited process, releasing frames and swap."""
         table = self.tables.pop(pid)
         self._evicted_at.pop(pid)
+        self._demand_counts.pop(pid)
         self.frames.release(table.resident_count)
         slots = table.swap_slot[table.swap_slot >= 0]
         if slots.size:
@@ -169,7 +176,7 @@ class VirtualMemoryManager:
                 f"{self.params.total_frames} frames (chunk the phase)"
             )
         entry = (pid, pages)
-        self._active_demands.append(entry)
+        self._add_demand(entry)
         try:
             # Loop: a page resident when first checked can be evicted by
             # an in-flight write that had already selected it; re-check
@@ -240,7 +247,7 @@ class VirtualMemoryManager:
                 continue
             slots = group.slots[mask]
             entry = (pid, pages)
-            self._active_demands.append(entry)
+            self._add_demand(entry)
             allocated = False
             try:
                 yield from self._ensure_frames(pages.size)
@@ -263,12 +270,28 @@ class VirtualMemoryManager:
     # ------------------------------------------------------------------
     # reclaim / page-out
     # ------------------------------------------------------------------
+    def _add_demand(self, entry) -> None:
+        """Register an in-flight demand set.
+
+        Must pair with :meth:`_remove_demand` on the same entry object.
+        Duplicate page numbers within one entry are fine: fancy-index
+        ``+=``/``-=`` touch each unique index once on both sides, so
+        the counts stay symmetric.
+        """
+        self._active_demands.append(entry)
+        pid, pages = entry
+        self._demand_counts[pid][pages] += 1
+
     def _remove_demand(self, entry) -> None:
         """Remove ``entry`` from the in-flight demand list by identity
         (tuple equality would compare numpy arrays elementwise)."""
         for i, e in enumerate(self._active_demands):
             if e is entry:
                 del self._active_demands[i]
+                pid, pages = entry
+                counts = self._demand_counts.get(pid)
+                if counts is not None:
+                    counts[pages] -= 1
                 return
         raise ValueError("demand entry not registered")
 
@@ -276,8 +299,16 @@ class VirtualMemoryManager:
         self, extra: Optional[Mapping[int, np.ndarray]] = None
     ) -> dict[int, np.ndarray]:
         """Union of all in-flight demand sets (plus ``extra``), by pid."""
+        demands = self._active_demands
+        if not extra:
+            # fast paths for the overwhelmingly common shapes
+            if not demands:
+                return {}
+            if len(demands) == 1:
+                pid, pages = demands[0]
+                return {pid: pages}
         merged: dict[int, list[np.ndarray]] = {}
-        for pid, pages in self._active_demands:
+        for pid, pages in demands:
             merged.setdefault(pid, []).append(pages)
         if extra:
             for pid, pages in extra.items():
@@ -385,9 +416,9 @@ class VirtualMemoryManager:
             # Re-validate: drop victims that were evicted, exited or are
             # now part of an in-flight fault's demand set.
             pages = batch.pages[table.present[batch.pages]]
-            active = self._active_protect().get(batch.pid)
-            if active is not None and pages.size:
-                pages = pages[~np.isin(pages, active)]
+            counts = self._demand_counts[batch.pid]
+            if pages.size:
+                pages = pages[counts[pages] == 0]
             if pages.size == 0:
                 return 0
 
@@ -408,12 +439,11 @@ class VirtualMemoryManager:
                 # A fault service may have started demanding some of
                 # these pages while the write was in flight; they were
                 # written (wasted I/O) but must stay resident.
-                active = self._active_protect().get(batch.pid)
-                if active is not None:
-                    pages = pages[~np.isin(pages, active)]
-                    to_write = to_write[~np.isin(to_write, active)]
-                    if pages.size == 0:
-                        return 0
+                counts = self._demand_counts[batch.pid]
+                pages = pages[counts[pages] == 0]
+                to_write = to_write[counts[to_write] == 0]
+                if pages.size == 0:
+                    return 0
 
             if keep_resident:
                 # Background cleaning (§3.4): pages stay in memory, so

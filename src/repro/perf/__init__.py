@@ -1,0 +1,5 @@
+"""Parallel experiment execution (cell pool) and perf instrumentation."""
+
+from repro.perf.pool import Cell, run_cells
+
+__all__ = ["Cell", "run_cells"]

@@ -1,0 +1,99 @@
+"""Cell pool: fan independent simulation cells across worker processes.
+
+A sweep experiment (multi-seed replication, sensitivity grid, extension
+matrices) is a set of *cells* — fully independent simulation runs, each
+described by a picklable callable plus keyword arguments.  The pool runs
+the cells either serially in-process (``jobs=1``, the default) or across
+a :class:`~concurrent.futures.ProcessPoolExecutor`, and returns results
+keyed by each cell's declared key **in cell-declaration order**.
+
+Determinism contract
+--------------------
+Parallel output is bit-for-bit identical to serial output:
+
+* every cell is a pure function of its arguments — the only process
+  global the simulation stack mutates is the :class:`~repro.gang.job.Job`
+  jid counter, which :func:`_execute` resets before every cell in both
+  the serial and the parallel path;
+* ``ProcessPoolExecutor.map`` preserves submission order, so merge order
+  never depends on completion order;
+* wall-clock / RSS measurements are inherently nondeterministic, so cell
+  functions must quarantine them under the reserved ``"_perf"`` key of
+  their result dict (see :func:`repro.experiments.runner.run_cell`);
+  everything outside ``"_perf"`` is covered by the guarantee.
+
+Workers are plain ``fork``/``spawn`` children; cell functions and their
+kwargs must be picklable (module-level functions, frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of sweep work.
+
+    ``key`` identifies the cell in the merged result mapping (and must
+    be unique within one :func:`run_cells` call); ``fn`` is a
+    module-level callable invoked as ``fn(**kwargs)`` in the worker.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise ValueError(
+                f"cell {self.key!r}: fn must be a module-level callable "
+                f"(got {qualname!r}) so it can be pickled to workers"
+            )
+
+
+def _execute(cell: Cell) -> Any:
+    """Run one cell with per-cell global state reset.
+
+    Both the serial and parallel paths go through here, so a cell sees
+    the same process-global state regardless of which worker (or how
+    many cells before it) ran in the same interpreter.
+    """
+    from repro.gang.job import Job
+
+    Job._next_jid = 1
+    return cell.fn(**cell.kwargs)
+
+
+def run_cells(
+    cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1
+) -> dict[Hashable, Any]:
+    """Run ``cells`` and return ``{cell.key: result}`` in cell order.
+
+    ``jobs=1`` (default) runs everything serially in-process; ``jobs>1``
+    fans cells across that many worker processes.  Either way the result
+    mapping is built in declaration order, so iteration over the return
+    value is deterministic and identical across job counts.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cells = list(cells)
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        seen: set = set()
+        dup = next(k for k in keys if k in seen or seen.add(k))
+        raise ValueError(f"duplicate cell key: {dup!r}")
+    if jobs == 1 or len(cells) <= 1:
+        results = [_execute(c) for c in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            # map() yields results in submission order regardless of
+            # which worker finishes first — the merge is deterministic.
+            results = list(pool.map(_execute, cells))
+    return dict(zip(keys, results))
+
+
+__all__ = ["Cell", "run_cells", "_execute"]

@@ -13,7 +13,7 @@ simulation with a fixed seed always replays identically.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -52,7 +52,15 @@ class Event:
     An event starts *pending*, becomes *triggered* when given a value
     (or failure) and scheduled, and *processed* once its callbacks ran.
     Callbacks are ``f(event)`` callables appended to :attr:`callbacks`.
+
+    The event classes carry ``__slots__``: tens of thousands of events
+    are created per simulated minute, so per-instance dicts are a
+    measurable cost.  Subclasses outside this module (e.g. disk
+    requests) may still declare ad-hoc attributes — a subclass without
+    ``__slots__`` gets a dict as usual.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -129,6 +137,8 @@ class Timeout(Event):
     so they never stall a simulation that is otherwise finished.
     """
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None,
                  daemon: bool = False) -> None:
         if delay < 0:
@@ -143,6 +153,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: first resumption of a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
@@ -153,6 +165,8 @@ class Initialize(Event):
 
 class _InterruptEvent(Event):
     """Internal: scheduled throw of :class:`Interrupt` into a process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
         super().__init__(env)
@@ -171,6 +185,8 @@ class Process(Event):
     exception is thrown into the generator (catchable there).  When the
     generator returns, the process event succeeds with the return value.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -201,42 +217,44 @@ class Process(Event):
 
     # -- engine internals --------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with ``event``'s value."""
+        """Advance the generator with ``event``'s value.
+
+        This is the single hottest function of the whole simulator — it
+        runs once per processed event — so the generator is advanced
+        inline (send/throw chosen by branch) rather than through
+        per-resume closure allocations.
+        """
         if not self.is_alive:
             # The process terminated in the same timestep an interrupt was
             # scheduled; the interrupt is moot.
             return
         env = self.env
+        gen = self._generator
         env._active_process = self
         while True:
-            if event is not None and not event._ok and not isinstance(
-                event, _InterruptEvent
-            ):
-                # Awaited event failed: throw into the generator.
-                event._defused = True
-                exc = event._value
-                advance = lambda: self._generator.throw(exc)  # noqa: E731
-            elif isinstance(event, _InterruptEvent):
-                # Only deliver the interrupt if we are genuinely waiting;
-                # a process that terminated in the same timestep is a
-                # kernel bug (interrupt() guards the user-facing case).
-                exc = event._value
-                advance = lambda: self._generator.throw(exc)  # noqa: E731
-            else:
-                value = None if event is None else event._value
-                advance = lambda: self._generator.send(value)  # noqa: E731
-
             # Detach from the event we were waiting on (we may have been
             # resumed by an interrupt rather than by the target itself).
-            if self._target is not None and self._target.callbacks is not None:
+            waited = self._target
+            if waited is not None and waited.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    waited.callbacks.remove(self._resume)
                 except ValueError:
                     pass
             self._target = None
 
             try:
-                target = advance()
+                if event is None or event._ok:
+                    target = gen.send(None if event is None else event._value)
+                elif isinstance(event, _InterruptEvent):
+                    # Only deliver the interrupt if we are genuinely
+                    # waiting; a process that terminated in the same
+                    # timestep is a kernel bug (interrupt() guards the
+                    # user-facing case).
+                    target = gen.throw(event._value)
+                else:
+                    # Awaited event failed: throw into the generator.
+                    event._defused = True
+                    target = gen.throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self._ok = True
@@ -276,6 +294,8 @@ class Process(Event):
 class _ConditionBase(Event):
     """Common machinery for AllOf / AnyOf composite events."""
 
+    __slots__ = ("_events", "_done")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -306,6 +326,8 @@ class AllOf(_ConditionBase):
     constituent fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -320,6 +342,8 @@ class AllOf(_ConditionBase):
 
 class AnyOf(_ConditionBase):
     """Fires as soon as any constituent event fires (or fails)."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -398,7 +422,7 @@ class Environment:
     # -- scheduling / execution ------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0, daemon: bool = False) -> None:
-        heapq.heappush(
+        heappush(
             self._queue,
             (self._now + delay, priority, next(self._seq), event, daemon),
         )
@@ -411,9 +435,10 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event, daemon = heapq.heappop(self._queue)
+        when, _prio, _seq, event, daemon = heappop(queue)
         if not daemon:
             self._live -= 1
         self._now = when
@@ -437,8 +462,9 @@ class Environment:
         """
         if until is None:
             # daemon events do not keep the simulation alive
+            step = self.step
             while self._live > 0:
-                self.step()
+                step()
             return None
 
         if isinstance(until, Event):

@@ -61,7 +61,7 @@ def test_extension_matrix_mixed_workload():
     rec = extension_matrix.run(scale=0.03, quiet=True)
     assert set(rec) == {"lru", "so/ao/ai/bg"}
     for r in rec.values():
-        assert all(j.finished for j in r["jobs"])
+        assert all(j["finished"] for j in r["jobs"])
         assert r["matrix_utilization"] == 1.0  # 3 fully packed rows
     assert (rec["so/ao/ai/bg"]["makespan_s"]
             <= rec["lru"]["makespan_s"] * 1.05)

@@ -61,6 +61,34 @@ def test_run_modes_returns_batch_plus_policies():
     assert res["batch"].switch_count == 0
 
 
+def test_run_modes_forwards_partial_path(tmp_path):
+    import json
+
+    from repro.faults.errors import WatchdogTimeout
+
+    out = tmp_path / "partial.json"
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE, max_events=500)
+    with pytest.raises(WatchdogTimeout):
+        run_modes(cfg, ["lru"], partial_path=out)
+    # whichever mode tripped the watchdog left its record behind
+    # (batch finishes under 500 events at this scale; the gang run
+    # does not)
+    data = json.loads(out.read_text())
+    assert data["partial"] is True
+    assert "lru" in data["label"]
+
+
+def test_run_result_perf_metrics_populated():
+    cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE)
+    res = run_experiment(cfg)
+    assert res.events_processed > 0
+    assert res.wall_s > 0
+    assert res.peak_rss_mb > 0
+    assert res.events_per_sec == pytest.approx(
+        res.events_processed / res.wall_s
+    )
+
+
 def test_adaptive_policy_never_slower_at_small_scale():
     cfg = GangConfig("LU", "B", nprocs=1, scale=SCALE)
     res = run_modes(cfg, ["lru", "so/ao/ai/bg"])
