@@ -9,14 +9,22 @@ Writes ``BENCH_PR2.json`` at the repo root with
   parallel path only proves correctness, not throughput),
 * a serial-vs-parallel byte-identity verdict for the sweep.
 
+``--obs`` (or the default full run) additionally writes
+``BENCH_PR3.json``: instrumented vs uninstrumented wall clock on the
+same Figure-6 LRU cell.  The telemetry subsystem promises bit-for-bit
+identical simulation results at ≤5 % wall-clock overhead; the report
+records both the identity verdict and whether the measured overhead
+fits the budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py          # full run
     PYTHONPATH=src python benchmarks/perf_harness.py --smoke  # CI smoke
 
 ``--smoke`` shrinks everything to seconds and exits non-zero if the
-parallel pool fails (pickling regression, worker crash) or its output
-diverges from serial — no timing assertions, so it is load-tolerant.
+parallel pool fails (pickling regression, worker crash), its output
+diverges from serial, or an instrumented run diverges from an
+uninstrumented one — no timing assertions, so it is load-tolerant.
 """
 
 from __future__ import annotations
@@ -34,6 +42,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments import multi_seed  # noqa: E402
 from repro.experiments.report_io import _sanitise  # noqa: E402
 from repro.experiments.runner import GangConfig, run_experiment  # noqa: E402
+from repro.obs import Registry  # noqa: E402
+
+#: maximum acceptable telemetry wall-clock overhead (fraction)
+OBS_OVERHEAD_BUDGET = 0.05
 
 #: wall-clock of the single-cell benchmark on the pre-optimization
 #: code, measured back-to-back with the optimized code on the same
@@ -97,11 +109,56 @@ def bench_sweep(scale: float, seeds, jobs: int = 4) -> dict:
     }
 
 
+def bench_obs_overhead(cfg: GangConfig, repeats: int = 3) -> dict:
+    """Instrumented vs uninstrumented wall clock on one cell.
+
+    Alternates the two variants within each repeat so drifting host
+    load hits both equally; reports min-of-N for each, the overhead
+    ratio, and the simulation-identity verdict.
+    """
+    plain_walls, obs_walls = [], []
+    plain_res = obs_res = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        plain_res = run_experiment(cfg)
+        plain_walls.append(time.perf_counter() - t0)
+
+        reg = Registry()
+        t0 = time.perf_counter()
+        obs_res = run_experiment(cfg, obs=reg)
+        obs_walls.append(time.perf_counter() - t0)
+
+    identical = (
+        plain_res.makespan == obs_res.makespan
+        and plain_res.events_processed == obs_res.events_processed
+        and plain_res.pages_read == obs_res.pages_read
+        and plain_res.pages_written == obs_res.pages_written
+    )
+    plain_best, obs_best = min(plain_walls), min(obs_walls)
+    overhead = obs_best / plain_best - 1.0 if plain_best > 0 else None
+    return {
+        "label": cfg.label(),
+        "scale": cfg.scale,
+        "repeats": repeats,
+        "plain_wall_s_min": plain_best,
+        "obs_wall_s_min": obs_best,
+        "obs_overhead_frac": overhead,
+        "overhead_budget_frac": OBS_OVERHEAD_BUDGET,
+        "within_budget": overhead is not None
+        and overhead <= OBS_OVERHEAD_BUDGET,
+        "simulation_identical": identical,
+        "events_processed": plain_res.events_processed,
+        "spans_recorded": len(obs_res.obs.spans),
+        "counters_recorded": len(obs_res.obs.counters()),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--smoke", action="store_true",
                     help="tiny scale, correctness only; for CI")
     ap.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR2.json"))
+    ap.add_argument("--obs-out", default=str(REPO_ROOT / "BENCH_PR3.json"))
     ap.add_argument("--jobs", type=int, default=4)
     args = ap.parse_args(argv)
 
@@ -112,9 +169,11 @@ def main(argv=None) -> int:
         single.pop("baseline_wall_s")
         single.pop("speedup_vs_baseline")
         sweep = bench_sweep(scale=0.05, seeds=(1, 2), jobs=2)
+        obs_bench = bench_obs_overhead(single_cfg, repeats=1)
     else:
         single = bench_single_cell(FIG6_LRU, repeats=3)
         sweep = bench_sweep(scale=0.1, seeds=(1, 2, 3, 4), jobs=args.jobs)
+        obs_bench = bench_obs_overhead(FIG6_LRU, repeats=3)
 
     report = {
         "bench": "PR2 parallel execution + engine hot path",
@@ -128,9 +187,32 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2))
     print(f"\nwritten to {out}")
 
+    obs_report = {
+        "bench": "PR3 telemetry subsystem overhead",
+        "mode": "smoke" if args.smoke else "full",
+        "host_cpu_count": os.cpu_count(),
+        "obs_overhead": obs_bench,
+    }
+    obs_out = Path(args.obs_out)
+    obs_out.write_text(json.dumps(obs_report, indent=2) + "\n")
+    print(json.dumps(obs_report, indent=2))
+    print(f"\nwritten to {obs_out}")
+
     if not sweep["serial_parallel_identical"]:
         print("FAIL: parallel sweep output diverged from serial",
               file=sys.stderr)
+        return 1
+    if not obs_bench["simulation_identical"]:
+        print("FAIL: instrumented run diverged from uninstrumented",
+              file=sys.stderr)
+        return 1
+    if not args.smoke and not obs_bench["within_budget"]:
+        print(
+            f"FAIL: telemetry overhead "
+            f"{obs_bench['obs_overhead_frac']:.1%} exceeds the "
+            f"{OBS_OVERHEAD_BUDGET:.0%} budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -6,12 +6,18 @@ Commands
 ``run <experiment>``     run one experiment (``--scale``, ``--seed``)
 ``all``                  run every experiment in sequence
 ``replicate``            multi-seed stability check for one workload
+``obs <trace>``          switch-phase report from a saved trace file
+
+``run`` and ``all`` accept ``--obs`` (collect telemetry and print the
+switch-phase breakdown) and ``--trace-out FILE`` (also write a Chrome
+trace viewable in chrome://tracing or Perfetto; implies ``--obs``).
 
 Examples::
 
     python -m repro list
     python -m repro run fig7 --scale 0.2
-    python -m repro run fig9
+    python -m repro run fig6 --scale 0.1 --obs --trace-out fig6.trace.json
+    python -m repro obs fig6.trace.json
     python -m repro replicate --bench CG --klass B --seeds 1 2 3
     python -m repro all --scale 0.1
 """
@@ -95,6 +101,36 @@ def _run_kwargs(module, args) -> dict:
     return kwargs
 
 
+def _obs_begin(args):
+    """Install a process-default telemetry registry when requested."""
+    if not (getattr(args, "obs", False) or getattr(args, "trace_out", None)):
+        return None
+    from repro.obs import Registry, set_default
+
+    reg = Registry()
+    set_default(reg)
+    return reg
+
+
+def _obs_finish(reg, args) -> None:
+    """Report and export the collected telemetry, then uninstall."""
+    if reg is None:
+        return
+    from repro.obs import (
+        phase_breakdown,
+        render_phase_table,
+        set_default,
+        write_chrome_trace,
+    )
+
+    set_default(None)
+    print()
+    print(render_phase_table(phase_breakdown(reg)))
+    if getattr(args, "trace_out", None):
+        path = write_chrome_trace(reg, args.trace_out)
+        print(f"chrome trace written to {path}")
+
+
 def cmd_run(args) -> int:
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
@@ -102,7 +138,11 @@ def cmd_run(args) -> int:
               f"try: python -m repro list", file=sys.stderr)
         return 2
     module, _ = entry
-    record = module.run(**_run_kwargs(module, args))
+    reg = _obs_begin(args)
+    try:
+        record = module.run(**_run_kwargs(module, args))
+    finally:
+        _obs_finish(reg, args)
     if args.json:
         from repro.experiments.report_io import save_record
 
@@ -112,9 +152,27 @@ def cmd_run(args) -> int:
 
 
 def cmd_all(args) -> int:
-    for key, (module, desc) in EXPERIMENTS.items():
-        print(f"\n##### {key} — {desc}\n")
-        module.run(**_run_kwargs(module, args))
+    reg = _obs_begin(args)
+    try:
+        for key, (module, desc) in EXPERIMENTS.items():
+            print(f"\n##### {key} — {desc}\n")
+            module.run(**_run_kwargs(module, args))
+    finally:
+        _obs_finish(reg, args)
+    return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.obs import load_spans, phase_breakdown, render_phase_table
+
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"no spans found in {args.trace}", file=sys.stderr)
+        return 1
+    rows = phase_breakdown(spans, run=args.run)
+    print(render_phase_table(
+        rows, title=f"Switch-phase breakdown — {args.trace}"
+    ))
     return 0
 
 
@@ -169,12 +227,22 @@ def main(argv=None) -> int:
                             "(1 = serial; results are identical)")
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the structured record as JSON")
+    p_run.add_argument("--obs", action="store_true",
+                       help="collect telemetry; print the switch-phase "
+                            "breakdown after the run")
+    p_run.add_argument("--trace-out", metavar="FILE",
+                       help="write a Chrome trace of the run "
+                            "(implies --obs)")
 
     p_all = sub.add_parser("all", help="run everything")
     p_all.add_argument("--scale", type=float, default=1.0)
     p_all.add_argument("--seed", type=int, default=1)
     p_all.add_argument("--jobs", type=int, default=1,
                        help="worker processes for sweep experiments")
+    p_all.add_argument("--obs", action="store_true",
+                       help="collect telemetry across all experiments")
+    p_all.add_argument("--trace-out", metavar="FILE",
+                       help="write a Chrome trace (implies --obs)")
 
     p_tr = sub.add_parser("trace", help="record an NPB workload trace")
     p_tr.add_argument("--bench", default="LU")
@@ -194,6 +262,13 @@ def main(argv=None) -> int:
     p_rep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the seed sweep")
 
+    p_obs = sub.add_parser(
+        "obs", help="switch-phase report from a saved trace file"
+    )
+    p_obs.add_argument("trace", help="Chrome-trace JSON or telemetry JSONL")
+    p_obs.add_argument("--run", default=None,
+                       help="restrict to one run scope (trace process name)")
+
     args = parser.parse_args(argv)
     return {
         "list": cmd_list,
@@ -201,6 +276,7 @@ def main(argv=None) -> int:
         "all": cmd_all,
         "trace": cmd_trace,
         "replicate": cmd_replicate,
+        "obs": cmd_obs,
     }[args.command](args)
 
 

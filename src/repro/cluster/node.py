@@ -25,6 +25,7 @@ from repro.faults.plan import FaultPlan
 from repro.mem.params import MemoryParams
 from repro.mem.replacement import ReplacementPolicy
 from repro.mem.vmm import VirtualMemoryManager
+from repro.obs.registry import NULL_OBS
 from repro.sim.engine import Environment
 
 
@@ -43,19 +44,22 @@ class Node:
         refault_window_s: float = 150.0,
         disk_discipline: str = "fifo",
         faults: Optional[FaultPlan] = None,
+        obs=NULL_OBS,
     ) -> None:
         self.env = env
         self.name = name
+        self.obs = obs
         self.disk = ScheduledDisk(
             env, disk_params or DiskParams(), discipline=disk_discipline,
             on_complete=on_disk_complete, name=f"{name}.disk",
-            faults=faults,
+            faults=faults, obs=obs,
         )
         self.vmm = VirtualMemoryManager(
             env, memory, self.disk, policy=replacement, name=f"{name}.vmm",
-            refault_window_s=refault_window_s,
+            refault_window_s=refault_window_s, obs=obs,
         )
-        self.adaptive = AdaptivePaging(self.vmm, policy, faults=faults)
+        self.adaptive = AdaptivePaging(self.vmm, policy, faults=faults,
+                                       obs=obs)
         #: False once the node has fail-stopped
         self.alive = True
         #: why the node died (None while alive)

@@ -15,16 +15,20 @@ import numpy as np
 from repro.disk.device import PRIO_FOREGROUND
 from repro.mem.replacement import VictimBatch
 from repro.mem.vmm import VirtualMemoryManager
+from repro.obs.registry import NULL_OBS
 
 
 class AggressivePageOut:
     """Implements Fig. 3's ``aggressive_try_to_free_pages``."""
 
-    def __init__(self, vmm: VirtualMemoryManager, batch_pages: int = 256) -> None:
+    def __init__(self, vmm: VirtualMemoryManager, batch_pages: int = 256,
+                 obs=NULL_OBS) -> None:
         if batch_pages <= 0:
             raise ValueError("batch_pages must be positive")
         self.vmm = vmm
         self.batch_pages = batch_pages
+        self._c_batches = obs.counter("ao_batches", node=vmm.name)
+        self._c_pages = obs.counter("ao_pages_evicted", node=vmm.name)
 
     def run(self, out_pid: int, target_free: int):
         """Process fragment: evict ``out_pid`` until ``target_free``
@@ -40,9 +44,11 @@ class AggressivePageOut:
             if table is None or table.resident_count == 0:
                 return  # Fig. 3 stops at the outgoing process's pages
             victims = table.resident_pages()[: self.batch_pages]
-            yield from vmm.evict_batch(
+            freed = yield from vmm.evict_batch(
                 VictimBatch(out_pid, victims), PRIO_FOREGROUND
             )
+            self._c_batches.inc()
+            self._c_pages.inc(freed)
 
     def target_for(self, incoming_ws_pages: int) -> int:
         """Free-frame target for a given incoming working-set size."""

@@ -31,6 +31,7 @@ from repro.faults.plan import FaultPlan
 from repro.mem.readahead import plan_block_reads
 from repro.mem.vmm import VirtualMemoryManager
 from repro.mem.working_set import WorkingSetEstimator
+from repro.obs.registry import NULL_OBS
 
 
 class AdaptivePaging:
@@ -58,6 +59,7 @@ class AdaptivePaging:
         policy: PagingPolicy | str = "lru",
         ws_estimator: Optional[WorkingSetEstimator] = None,
         faults: Optional[FaultPlan] = None,
+        obs=NULL_OBS,
     ) -> None:
         if isinstance(policy, str):
             policy = PagingPolicy.parse(policy)
@@ -68,6 +70,11 @@ class AdaptivePaging:
         #: times adaptive page-in fell back to demand paging because its
         #: record was corrupt (the §3.3 graceful-degradation path)
         self.ai_fallbacks = 0
+        self._c_ai_runs = obs.counter("ai_runs", node=vmm.name)
+        self._c_ai_pages = obs.counter("ai_pages_replayed", node=vmm.name)
+        self._c_ai_fallbacks = obs.counter("ai_fallbacks", node=vmm.name)
+        self._c_ai_empty = obs.counter("ai_empty_records", node=vmm.name)
+        self._h_ai_run = obs.histogram("ai_run_pages", node=vmm.name)
 
         self.selective: Optional[SelectivePageOut] = None
         self.aggressive: Optional[AggressivePageOut] = None
@@ -75,16 +82,20 @@ class AdaptivePaging:
         self.bgwriter: Optional[BackgroundWriter] = None
 
         if policy.so:
-            self.selective = SelectivePageOut(fallback=vmm.policy)
+            self.selective = SelectivePageOut(
+                fallback=vmm.policy, obs=obs, node=vmm.name
+            )
             vmm.victim_selector = self.selective
         if policy.ao:
-            self.aggressive = AggressivePageOut(vmm, policy.ao_batch)
+            self.aggressive = AggressivePageOut(vmm, policy.ao_batch, obs=obs)
         if policy.ai:
-            self.recorder = PageRecorder(faults=faults, owner=vmm.name)
+            self.recorder = PageRecorder(
+                faults=faults, owner=vmm.name, obs=obs
+            )
             vmm.on_flush = self._on_flush
         if policy.bg:
             self.bgwriter = BackgroundWriter(
-                vmm, policy.bg_batch, policy.bg_poll_s
+                vmm, policy.bg_batch, policy.bg_poll_s, obs=obs
             )
 
     # ------------------------------------------------------------------
@@ -144,8 +155,10 @@ class AdaptivePaging:
             recorded = self.recorder.take(in_pid)
         except RecordCorrupted:
             self.ai_fallbacks += 1
+            self._c_ai_fallbacks.inc()
             return
         if recorded.size == 0:
+            self._c_ai_empty.inc()
             return
         table = self.vmm.tables.get(in_pid)
         if table is None:
@@ -171,6 +184,9 @@ class AdaptivePaging:
         if recorded.size > cap:
             recorded = recorded[:cap]
         groups = plan_block_reads(table, recorded, self.policy.ai_batch)
+        self._c_ai_runs.inc()
+        self._c_ai_pages.inc(int(recorded.size))
+        self._h_ai_run.observe(float(recorded.size))
         # The induced faults must not cannibalise the incoming process's
         # own residual working set: the kernel reclaims from the
         # outgoing (still-largest) process while servicing them, so pin

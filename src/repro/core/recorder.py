@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.faults.errors import RecordCorrupted
 from repro.faults.plan import FaultPlan
+from repro.obs.registry import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -65,7 +66,7 @@ class PageRecorder:
     """
 
     def __init__(self, faults: Optional[FaultPlan] = None,
-                 owner: str = "recorder") -> None:
+                 owner: str = "recorder", obs=NULL_OBS) -> None:
         self._runs: dict[int, list[PageRun]] = {}
         # checksum over the *true* run list; stored runs that drift from
         # it (injected corruption) are detected at take()
@@ -74,6 +75,8 @@ class PageRecorder:
         self.owner = owner
         self.records_lost = 0
         self.records_corrupted = 0
+        self._c_lost = obs.counter("ai_records_lost", node=owner)
+        self._c_corrupted = obs.counter("ai_records_corrupted", node=owner)
 
     @staticmethod
     def _fold(acc: int, runs: list[PageRun]) -> int:
@@ -90,12 +93,14 @@ class PageRecorder:
         if self.faults is not None and self.faults.record_lost(self.owner):
             # the batch never reaches the record (lost kernel update)
             self.records_lost += 1
+            self._c_lost.inc()
             return
         self._checksums[pid] = self._fold(self._checksums.get(pid, 0), runs)
         if self.faults is not None and self.faults.record_corrupt(self.owner):
             # store a perturbed first run; the checksum (computed over
             # the true runs above) no longer matches
             self.records_corrupted += 1
+            self._c_corrupted.inc()
             runs = [PageRun(runs[0].base ^ 1, runs[0].count)] + runs[1:]
         self._runs.setdefault(pid, []).extend(runs)
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.mem.page_table import PageTable
 from repro.mem.replacement import ReplacementPolicy, VictimBatch
+from repro.obs.registry import NULL_OBS
 
 
 class SelectivePageOut:
@@ -29,11 +30,24 @@ class SelectivePageOut:
 
     The currently outgoing process is set via :meth:`set_outgoing` at
     each job switch; ``None`` disables selectivity (pure fallback).
+
+    Telemetry: ``so_selective_evictions`` counts victim pages taken
+    from the outgoing process, ``so_fallback_evictions`` pages the
+    default policy had to supply, and ``so_false_evictions_avoided``
+    selective victims chosen while some *other* process still had
+    resident pages — each one a page plain LRU might have falsely
+    evicted (§3.1).
     """
 
-    def __init__(self, fallback: ReplacementPolicy) -> None:
+    def __init__(self, fallback: ReplacementPolicy, obs=NULL_OBS,
+                 node: str = "") -> None:
         self.fallback = fallback
         self.out_pid: Optional[int] = None
+        self._obs_on = obs.enabled
+        self._c_selective = obs.counter("so_selective_evictions", node=node)
+        self._c_fallback = obs.counter("so_fallback_evictions", node=node)
+        self._c_avoided = obs.counter("so_false_evictions_avoided",
+                                      node=node)
 
     def set_outgoing(self, out_pid: Optional[int]) -> None:
         """Install the outgoing process for the coming quantum."""
@@ -66,6 +80,11 @@ class SelectivePageOut:
                     batches.append(VictimBatch(table.pid, chunk))
                 remaining -= victims.size
                 chosen = victims
+                if self._obs_on and victims.size:
+                    self._c_selective.inc(int(victims.size))
+                    if any(pid != table.pid and t.resident_count > 0
+                           for pid, t in tables.items()):
+                        self._c_avoided.inc(int(victims.size))
         if remaining > 0:
             # The fallback must not re-select pages already chosen above.
             fb_protect = dict(protect) if protect else {}
@@ -76,9 +95,12 @@ class SelectivePageOut:
                     if prev is not None
                     else chosen
                 )
-            batches.extend(
-                self.fallback.select_victims(tables, remaining, cluster, fb_protect)
+            fb = self.fallback.select_victims(
+                tables, remaining, cluster, fb_protect
             )
+            if self._obs_on and fb:
+                self._c_fallback.inc(sum(int(b.pages.size) for b in fb))
+            batches.extend(fb)
         return batches
 
 

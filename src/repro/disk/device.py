@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.faults.errors import DiskFailure
 from repro.faults.plan import FaultPlan
+from repro.obs.registry import NULL_OBS
 from repro.sim.engine import Environment, Event
 
 #: Queue priority for demand faults and switch-time paging bursts.
@@ -184,6 +185,7 @@ class Disk:
         faults: Optional[FaultPlan] = None,
         max_retries: int = 4,
         retry_budget: Optional[int] = None,
+        obs=NULL_OBS,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -215,6 +217,16 @@ class Disk:
         self.retry_count = 0
         self.failed_requests = 0
         self.latency_spikes = 0
+        # telemetry (no-ops against the default NULL_OBS registry)
+        self._c_requests = obs.counter("disk_requests", node=name)
+        self._c_pages_read = obs.counter("disk_pages", node=name, op="read")
+        self._c_pages_write = obs.counter("disk_pages", node=name, op="write")
+        self._c_seeks = obs.counter("disk_seeks", node=name)
+        self._c_errors = obs.counter("disk_errors", node=name)
+        self._c_retries = obs.counter("disk_retries", node=name)
+        self._c_failed = obs.counter("disk_failed_requests", node=name)
+        self._c_spikes = obs.counter("disk_latency_spikes", node=name)
+        self._h_service = obs.histogram("disk_service_s", node=name)
 
     # -- public API ----------------------------------------------------------
     def submit(
@@ -314,14 +326,17 @@ class Disk:
                 spike = self.faults.disk_latency_factor(self.name)
                 if spike > 1.0:
                     self.latency_spikes += 1
+                    self._c_spikes.inc()
                     duration *= spike
             yield self.env.timeout(duration)
             self.total_busy_s += duration
             if self.faults is not None and self.faults.disk_error(self.name):
                 self.error_count += 1
+                self._c_errors.inc()
                 budget_out = self.retry_budget_left == 0
                 if attempt >= self.max_retries or budget_out:
                     self.failed_requests += 1
+                    self._c_failed.inc()
                     why = ("device retry budget exhausted" if budget_out
                            else f"failed after {attempt} retries")
                     req.fail(DiskFailure(
@@ -332,6 +347,7 @@ class Disk:
                     self.retry_budget_left -= 1
                 attempt += 1
                 self.retry_count += 1
+                self._c_retries.inc()
                 yield self.env.timeout(
                     self.params.positioning_s * (2 ** attempt)
                 )
@@ -344,6 +360,11 @@ class Disk:
         self.total_requests += 1
         self.total_pages[req.op] += req.npages
         self.total_seeks += seeks
+        self._c_requests.inc()
+        (self._c_pages_read if req.op == "read"
+         else self._c_pages_write).inc(req.npages)
+        self._c_seeks.inc(seeks)
+        self._h_service.observe(duration)
         req.service_time = duration
         req.seeks = seeks
         req.succeed(duration)

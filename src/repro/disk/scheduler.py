@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.disk.device import Disk, DiskParams, DiskRequest
+from repro.obs.registry import NULL_OBS
 from repro.sim.engine import Environment
 
 
@@ -52,6 +53,7 @@ class ScheduledDisk(Disk):
         faults=None,
         max_retries: int = 4,
         retry_budget=None,
+        obs=None,
     ) -> None:
         if discipline not in self.DISCIPLINES:
             raise ValueError(
@@ -60,7 +62,8 @@ class ScheduledDisk(Disk):
             )
         super().__init__(env, params, on_complete, name,
                          faults=faults, max_retries=max_retries,
-                         retry_budget=retry_budget)
+                         retry_budget=retry_budget,
+                         obs=obs if obs is not None else NULL_OBS)
         self.discipline = discipline
         # pending requests as a flat list for position-aware selection
         self._pending: list[tuple[int, int, DiskRequest]] = []

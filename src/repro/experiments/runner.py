@@ -40,6 +40,7 @@ from repro.gang.job import Job
 from repro.gang.scheduler import BatchScheduler, GangScheduler
 from repro.mem.params import MemoryParams
 from repro.metrics.collector import MetricsCollector
+from repro.obs import Registry, get_default, summary as obs_summary
 from repro.sim.engine import Environment, SimulationError
 from repro.sim.rng import RngStreams
 from repro.workloads.base import Workload
@@ -125,6 +126,8 @@ class RunResult:
     wall_s: float = 0.0
     #: process peak RSS sampled after the run, MB (nondeterministic)
     peak_rss_mb: float = 0.0
+    #: the telemetry registry used, when observability was enabled
+    obs: Optional[object] = None
 
     @property
     def avg_completion(self) -> float:
@@ -219,72 +222,93 @@ def _partial_record(cfg, env, jobs, collector, exc) -> dict:
 def run_experiment(
     cfg: GangConfig,
     partial_path: Optional[Union[str, Path]] = None,
+    obs=None,
 ) -> RunResult:
     """Run one configuration to completion and collect metrics.
 
     ``partial_path``: where to export a crash-safe partial record if the
     run dies (watchdog, injected failure, bug) — the exception still
     propagates afterwards.
+
+    ``obs``: a telemetry :class:`~repro.obs.registry.Registry` (or the
+    null registry).  ``None`` resolves the process default
+    (:func:`repro.obs.get_default`) — normally the null registry, so
+    uninstrumented runs stay zero-cost.  With a real registry the run
+    opens a run scope named after ``cfg.label()``, every counter and
+    span lands inside it, and the registry is returned on
+    ``RunResult.obs``.  Telemetry never creates simulation events, so
+    instrumented and uninstrumented runs are bit-for-bit identical in
+    makespan and event counts.
     """
     wall_start = time.perf_counter()
-    env = Environment()
-    rngs = RngStreams(cfg.seed)
-    collector = MetricsCollector()
-    plan = (
-        FaultPlan(cfg.faults, rngs.spawn("faults"))
-        if cfg.faults.active
-        else None
-    )
-    collector.attach_faults(plan)
-
-    memory_mb = cfg.memory_mb * cfg.scale
-    memory = MemoryParams.from_mb(memory_mb)
-    # keep phases comfortably below the reclaim ceiling
-    max_phase = min(
-        8192, max(64, (memory.total_frames - memory.freepages_high) // 2)
-    )
-    policy = cfg.policy if cfg.mode == "gang" else "lru"
-    nodes = [
-        Node(
-            env, f"node{i}", memory, policy, disk_params=cfg.disk,
-            # a refault = re-read within half a quantum of eviction —
-            # the §3.1 false-eviction signature at any scale
-            refault_window_s=0.5 * cfg.quantum_s * cfg.scale,
-            faults=plan,
-        )
-        for i in range(cfg.nprocs)
-    ]
-    for node in nodes:
-        collector.attach_node(node)
-
-    jobs = []
-    for j in range(cfg.njobs):
-        workloads = [_scaled_workload(cfg, max_phase) for _ in nodes]
-        jobs.append(
-            Job(f"{cfg.benchmark}#{j}", nodes, workloads,
-                rngs.spawn(f"job{j}"))
-        )
-
-    if cfg.mode == "batch":
-        sched: Union[BatchScheduler, GangScheduler] = BatchScheduler(env, jobs)
-    else:
-        sched = GangScheduler(
-            env, jobs, quantum_s=cfg.quantum_s * cfg.scale,
-            on_switch=collector.on_switch, faults=plan,
-        )
-    collector.attach_scheduler(sched)
-    sched.start()
-
+    if obs is None:
+        obs = get_default()
+    run_scope = obs.begin_run(cfg.label()) if obs.enabled else None
     try:
-        _drive(env, cfg, jobs)
-        makespan = _makespan(jobs)
-    except Exception as exc:
-        if partial_path is not None:
-            from repro.experiments.report_io import save_record
+        env = Environment()
+        rngs = RngStreams(cfg.seed)
+        collector = MetricsCollector()
+        plan = (
+            FaultPlan(cfg.faults, rngs.spawn("faults"))
+            if cfg.faults.active
+            else None
+        )
+        collector.attach_faults(plan)
+        collector.attach_registry(obs)
 
-            save_record(_partial_record(cfg, env, jobs, collector, exc),
-                        partial_path)
-        raise
+        memory_mb = cfg.memory_mb * cfg.scale
+        memory = MemoryParams.from_mb(memory_mb)
+        # keep phases comfortably below the reclaim ceiling
+        max_phase = min(
+            8192, max(64, (memory.total_frames - memory.freepages_high) // 2)
+        )
+        policy = cfg.policy if cfg.mode == "gang" else "lru"
+        nodes = [
+            Node(
+                env, f"node{i}", memory, policy, disk_params=cfg.disk,
+                # a refault = re-read within half a quantum of eviction —
+                # the §3.1 false-eviction signature at any scale
+                refault_window_s=0.5 * cfg.quantum_s * cfg.scale,
+                faults=plan, obs=obs,
+            )
+            for i in range(cfg.nprocs)
+        ]
+        for node in nodes:
+            collector.attach_node(node)
+
+        jobs = []
+        for j in range(cfg.njobs):
+            workloads = [_scaled_workload(cfg, max_phase) for _ in nodes]
+            jobs.append(
+                Job(f"{cfg.benchmark}#{j}", nodes, workloads,
+                    rngs.spawn(f"job{j}"))
+            )
+
+        if cfg.mode == "batch":
+            sched: Union[BatchScheduler, GangScheduler] = BatchScheduler(
+                env, jobs
+            )
+        else:
+            sched = GangScheduler(
+                env, jobs, quantum_s=cfg.quantum_s * cfg.scale,
+                on_switch=collector.on_switch, faults=plan, obs=obs,
+            )
+        collector.attach_scheduler(sched)
+        sched.start()
+
+        try:
+            _drive(env, cfg, jobs)
+            makespan = _makespan(jobs)
+        except Exception as exc:
+            if partial_path is not None:
+                from repro.experiments.report_io import save_record
+
+                save_record(_partial_record(cfg, env, jobs, collector, exc),
+                            partial_path)
+            raise
+    finally:
+        if run_scope is not None:
+            obs.end_run()
 
     return RunResult(
         config=cfg,
@@ -306,10 +330,11 @@ def run_experiment(
         # ru_maxrss is KB on Linux; high-water mark for the process
         peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         / 1024.0,
+        obs=obs if obs.enabled else None,
     )
 
 
-def run_cell(cfg: GangConfig) -> dict:
+def run_cell(cfg: GangConfig, obs_enabled: bool = False) -> dict:
     """Run one config and return a picklable summary dict.
 
     This is the cell function used by the parallel sweep layer
@@ -320,8 +345,21 @@ def run_cell(cfg: GangConfig) -> dict:
     reserved ``"_perf"`` sub-dict, which carries the host-dependent
     wall-clock / throughput / RSS measurements and is excluded from the
     serial-vs-parallel byte-identity guarantee.
+
+    ``obs_enabled=True`` runs the cell with a fresh telemetry registry
+    and ships its :func:`~repro.obs.export.summary` under
+    ``["_perf"]["obs"]`` — quarantined with the other per-host data so
+    obs-on and obs-off sweeps stay byte-identical outside ``"_perf"``.
     """
-    res = run_experiment(cfg)
+    obs = Registry() if obs_enabled else None
+    res = run_experiment(cfg, obs=obs)
+    perf = {
+        "wall_s": res.wall_s,
+        "events_per_sec": res.events_per_sec,
+        "peak_rss_mb": res.peak_rss_mb,
+    }
+    if res.obs is not None:
+        perf["obs"] = obs_summary(res.obs)
     return {
         "makespan": res.makespan,
         "completions": res.completions,
@@ -333,11 +371,7 @@ def run_cell(cfg: GangConfig) -> dict:
         "evicted": res.evicted,
         "fault_summary": res.fault_summary,
         "events_processed": res.events_processed,
-        "_perf": {
-            "wall_s": res.wall_s,
-            "events_per_sec": res.events_per_sec,
-            "peak_rss_mb": res.peak_rss_mb,
-        },
+        "_perf": perf,
     }
 
 

@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 from repro.faults.errors import DiskFailure
 from repro.faults.plan import FaultPlan
 from repro.gang.job import Job
+from repro.obs.registry import NULL_OBS
 from repro.sim.engine import AnyOf, Environment, Process
 
 
@@ -74,6 +75,7 @@ class GangScheduler:
         on_switch=None,
         faults: Optional[FaultPlan] = None,
         straggler_extension_cap: float = 4.0,
+        obs=NULL_OBS,
     ) -> None:
         if quantum_s <= 0:
             raise ValueError("quantum_s must be positive")
@@ -95,6 +97,11 @@ class GangScheduler:
         self._gen = 0
         self._switch_proc: Optional[Process] = None
         self.proc: Optional[Process] = None
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._c_switches = obs.counter("switches_total")
+        self._c_evicted = obs.counter("jobs_evicted")
+        self._c_extensions = obs.counter("straggler_extensions")
 
     # -- public ------------------------------------------------------------
     def start(self) -> Process:
@@ -195,12 +202,14 @@ class GangScheduler:
         slow = max((n.slowdown for n in job.nodes), default=1.0)
         if slow > 1.0:
             self.straggler_extensions += 1
+            self._c_extensions.inc()
             quantum *= min(slow, self.straggler_extension_cap)
         return quantum
 
     def _evict(self, job: Job, cause: str) -> None:
         job.terminate(cause)
         self.evictions.append(EvictionRecord(self.env.now, job.name, cause))
+        self._c_evicted.inc()
 
     # -- the coordinated switch ---------------------------------------------
     def _switch(self, out_job: Optional[Job], in_job: Job):
@@ -224,6 +233,14 @@ class GangScheduler:
             out_job=out_job.name if out_job is not None else None,
         )
         self.switches.append(rec)
+        self._c_switches.inc()
+        if self._obs_on:
+            self._obs.counter("job_switches", job=in_job.name).inc()
+            self._obs.span(
+                "switch", "scheduler", t0, env.now,
+                in_job=in_job.name,
+                out_job=out_job.name if out_job is not None else None,
+            )
         if self.on_switch is not None:
             self.on_switch(rec)
 
@@ -237,7 +254,10 @@ class GangScheduler:
             self._evict(in_job, f"{node.name}: switch paging failed: {exc}")
 
     def _switch_node_paging(self, node, out_job: Optional[Job], in_job: Job):
+        env = self.env
+        obs_on = self._obs_on
         ap = node.adaptive
+        t0 = env.now
         ap.stop_bgwrite()
         out_pid = -1
         if out_job is not None and not out_job.finished:
@@ -250,8 +270,19 @@ class GangScheduler:
                 ap.notify_descheduled(out_pid)
         in_pid = in_job.process_on(node).pid
         ws = ap.working_set_estimate(in_pid)
+        t1 = env.now
+        if obs_on:
+            self._obs.span("drain", node.name, t0, t1,
+                           in_job=in_job.name, out_pid=out_pid)
         yield from ap.adaptive_page_out(in_pid, out_pid, ws)
+        t2 = env.now
+        if obs_on:
+            self._obs.span("page_out", node.name, t1, t2,
+                           in_job=in_job.name, out_pid=out_pid)
         yield from ap.adaptive_page_in(in_pid, out_pid, ws)
+        if obs_on:
+            self._obs.span("page_in_prefetch", node.name, t2, env.now,
+                           in_job=in_job.name, in_pid=in_pid)
         ap.notify_scheduled(in_pid)
 
     # -- background-writing timer ---------------------------------------------

@@ -36,6 +36,7 @@ from repro.mem.replacement import (
     ReplacementPolicy,
     VictimBatch,
 )
+from repro.obs.registry import NULL_OBS
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
@@ -85,6 +86,7 @@ class VirtualMemoryManager:
         policy: Optional[ReplacementPolicy] = None,
         refault_window_s: float = 300.0,
         name: str = "vmm0",
+        obs=NULL_OBS,
     ) -> None:
         self.env = env
         self.params = params
@@ -115,6 +117,19 @@ class VirtualMemoryManager:
         # whether the most recent reclaim round found any candidates
         # (distinguishes "nothing evictable" from "victims went stale")
         self._reclaim_saw_candidates = False
+
+        # telemetry (no-ops against the default NULL_OBS registry);
+        # _obs_on gates the few sites that would otherwise do real work
+        # (env.now reads, span emission) when telemetry is off
+        self._obs = obs
+        self._obs_on = obs.enabled
+        self._c_minor = obs.counter("vmm_minor_faults", node=name)
+        self._c_major = obs.counter("vmm_major_faults", node=name)
+        self._c_pages_in = obs.counter("vmm_pages_swapped_in", node=name)
+        self._c_pages_out = obs.counter("vmm_pages_swapped_out", node=name)
+        self._c_discarded = obs.counter("vmm_pages_discarded", node=name)
+        self._c_evictions = obs.counter("vmm_evictions", node=name)
+        self._c_refaults = obs.counter("vmm_refaults", node=name)
 
         # -- adaptive-mechanism hook points --------------------------------
         #: when set, replaces baseline victim selection; same signature
@@ -177,6 +192,11 @@ class VirtualMemoryManager:
             )
         entry = (pid, pages)
         self._add_demand(entry)
+        # telemetry: a touch that swaps pages in from disk is a
+        # demand-fill burst (the post-switch working-set refill when
+        # adaptive page-in is off or its record was incomplete)
+        t0 = self.env.now if self._obs_on else 0.0
+        filled = 0
         try:
             # Loop: a page resident when first checked can be evicted by
             # an in-flight write that had already selected it; re-check
@@ -199,6 +219,7 @@ class VirtualMemoryManager:
                     self.frames.allocate(gpages.size)
                     if gslots is None:
                         self.stats.minor_faults += gpages.size
+                        self._c_minor.inc(gpages.size)
                         delay = gpages.size * self.params.minor_fault_s
                         if delay > 0:
                             yield self.env.timeout(delay)
@@ -216,6 +237,10 @@ class VirtualMemoryManager:
                             raise
                         self.stats.major_faults += 1
                         self.stats.pages_swapped_in += gpages.size
+                        self._c_major.inc()
+                        self._c_pages_in.inc(gpages.size)
+                        if self._obs_on:
+                            filled += gpages.size
                         self._count_refaults(pid, gpages)
                         cpu = gpages.size * self.params.major_fault_cpu_s
                         if cpu > 0:
@@ -226,6 +251,9 @@ class VirtualMemoryManager:
                     table.last_ref[gpages] = self.env.now
         finally:
             self._remove_demand(entry)
+        if filled:
+            self._obs.span("demand_fill", self.name, t0, self.env.now,
+                           pid=pid, pages=filled)
         table.record_access(pages, self.env.now, dirty)
 
     def swap_in_block(self, pid: int, groups):
@@ -263,6 +291,8 @@ class VirtualMemoryManager:
                 self._remove_demand(entry)
             self.stats.major_faults += 1
             self.stats.pages_swapped_in += pages.size
+            self._c_major.inc()
+            self._c_pages_in.inc(pages.size)
             self._count_refaults(pid, pages)
             table.make_resident(pages)
             table.last_ref[pages] = self.env.now
@@ -435,6 +465,7 @@ class VirtualMemoryManager:
                 if batch.pid not in self.tables:
                     return 0  # process exited during the write
                 self.stats.pages_swapped_out += to_write.size
+                self._c_pages_out.inc(to_write.size)
                 table.dirty[to_write] = False
                 # A fault service may have started demanding some of
                 # these pages while the write was in flight; they were
@@ -452,6 +483,8 @@ class VirtualMemoryManager:
 
             self.stats.pages_discarded += pages.size - to_write.size
             self.stats.evictions += pages.size
+            self._c_discarded.inc(pages.size - to_write.size)
+            self._c_evictions.inc(pages.size)
             if self.on_flush is not None:
                 self.on_flush(batch.pid, pages)
             self._evicted_at[batch.pid][pages] = self.env.now
@@ -467,7 +500,10 @@ class VirtualMemoryManager:
     def _count_refaults(self, pid: int, pages: np.ndarray) -> None:
         evicted = self._evicted_at[pid][pages]
         recent = self.env.now - evicted < self.refault_window_s
-        self.stats.refaults += int(np.count_nonzero(recent))
+        n = int(np.count_nonzero(recent))
+        self.stats.refaults += n
+        if n:
+            self._c_refaults.inc(n)
 
     def check_invariants(self) -> None:
         """Cross-structure consistency checks (used by property tests)."""

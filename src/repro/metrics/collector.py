@@ -33,6 +33,8 @@ class MetricsCollector:
         self.nodes: list = []
         self.scheduler = None
         self.faults = None
+        self.registry = None
+        self._registry_run: Optional[str] = None
 
     # -- wiring ----------------------------------------------------------
     def attach_node(self, node) -> None:
@@ -54,6 +56,31 @@ class MetricsCollector:
     def attach_faults(self, plan) -> None:
         """Keep a handle on the fault plan for injection accounting."""
         self.faults = plan
+
+    def attach_registry(self, registry) -> None:
+        """Use an obs :class:`~repro.obs.registry.Registry` as the
+        source for :meth:`fault_summary` counters.
+
+        The registry's *current* run scope is remembered, so a
+        multi-cell registry still yields per-run summaries.  A disabled
+        (null) registry is ignored — attribute scraping stays in effect.
+        """
+        if registry is not None and registry.enabled:
+            self.registry = registry
+            self._registry_run = registry.current_run
+        else:
+            self.registry = None
+            self._registry_run = None
+
+    def detach_all(self) -> None:
+        """Drop every attached handle (nodes, scheduler, faults,
+        registry) so the collector can be reused across runs without
+        stale references keeping dead simulations alive."""
+        self.nodes.clear()
+        self.scheduler = None
+        self.faults = None
+        self.registry = None
+        self._registry_run = None
 
     def on_switch(self, record) -> None:
         """Scheduler switch callback (pass as ``on_switch=``)."""
@@ -121,7 +148,10 @@ class MetricsCollector:
 
         ``injected`` counts draws that hit (from the fault plan);
         everything else counts the *responses* — retries, fallbacks,
-        evictions — observed on the attached nodes and scheduler.  All
+        evictions.  With a registry attached (:meth:`attach_registry`)
+        the response counts come from the telemetry counters; otherwise
+        they are scraped off the attached nodes and scheduler.  Both
+        paths agree exactly — the counters mirror the attributes.  All
         zeros (and no evictions) in a fault-free run.
         """
         summary: dict = {
@@ -139,21 +169,41 @@ class MetricsCollector:
             "straggler_extensions": 0,
             "evictions": [],
         }
-        for node in self.nodes:
-            summary["disk_retries"] += node.disk.retry_count
-            summary["disk_failed_requests"] += node.disk.failed_requests
-            summary["disk_latency_spikes"] += node.disk.latency_spikes
-            ap = node.adaptive
-            summary["ai_fallbacks"] += ap.ai_fallbacks
-            if ap.recorder is not None:
-                summary["records_lost"] += ap.recorder.records_lost
-                summary["records_corrupted"] += ap.recorder.records_corrupted
-            if ap.bgwriter is not None:
-                summary["bg_write_failures"] += ap.bgwriter.write_failures
+        if self.registry is not None:
+            reg, run = self.registry, self._registry_run
+            scope = {"run": run} if run is not None else {}
+            for key, counter in (
+                ("disk_retries", "disk_retries"),
+                ("disk_failed_requests", "disk_failed_requests"),
+                ("disk_latency_spikes", "disk_latency_spikes"),
+                ("ai_fallbacks", "ai_fallbacks"),
+                ("records_lost", "ai_records_lost"),
+                ("records_corrupted", "ai_records_corrupted"),
+                ("bg_write_failures", "bg_write_failures"),
+                ("jobs_evicted", "jobs_evicted"),
+                ("straggler_extensions", "straggler_extensions"),
+            ):
+                summary[key] = int(reg.value(counter, **scope))
+        else:
+            for node in self.nodes:
+                summary["disk_retries"] += node.disk.retry_count
+                summary["disk_failed_requests"] += node.disk.failed_requests
+                summary["disk_latency_spikes"] += node.disk.latency_spikes
+                ap = node.adaptive
+                summary["ai_fallbacks"] += ap.ai_fallbacks
+                if ap.recorder is not None:
+                    summary["records_lost"] += ap.recorder.records_lost
+                    summary["records_corrupted"] += (
+                        ap.recorder.records_corrupted
+                    )
+                if ap.bgwriter is not None:
+                    summary["bg_write_failures"] += ap.bgwriter.write_failures
+            sched = self.scheduler
+            if sched is not None and hasattr(sched, "evictions"):
+                summary["jobs_evicted"] = len(sched.evictions)
+                summary["straggler_extensions"] = sched.straggler_extensions
         sched = self.scheduler
         if sched is not None and hasattr(sched, "evictions"):
-            summary["jobs_evicted"] = len(sched.evictions)
-            summary["straggler_extensions"] = sched.straggler_extensions
             summary["evictions"] = [
                 {"at": r.at, "job": r.job, "cause": r.cause}
                 for r in sched.evictions
@@ -161,9 +211,16 @@ class MetricsCollector:
         return summary
 
     def clear(self) -> None:
-        """Drop all recorded events and switches."""
+        """Reset the collector for a fresh run.
+
+        Drops recorded events and switches *and* every attached handle —
+        previously ``nodes``/``scheduler``/``faults`` survived a clear,
+        so a reused collector double-counted old nodes in
+        :meth:`fault_summary`.
+        """
         self.paging.clear()
         self.switches.clear()
+        self.detach_all()
 
 
 __all__ = ["MetricsCollector", "PagingEvent"]

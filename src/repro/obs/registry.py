@@ -1,0 +1,304 @@
+"""The telemetry registry: counters, gauges, histograms and spans.
+
+One :class:`Registry` holds every metric a simulation emits.  Metrics
+are identified by a name plus arbitrary string labels (``node=...``,
+``job=...``, ``op=...``); asking for the same (name, labels) pair twice
+returns the same instrument, so instrumented components create their
+instruments once at construction time and pay only an attribute
+increment on the hot path.
+
+Spans record *where simulated time goes*: a span is a named interval
+``[start, end)`` on a named track (one track per node, plus a
+scheduler track), optionally carrying structured args.  The gang
+scheduler and the VMM emit the switch-phase spans (``switch`` →
+``drain`` / ``page_out`` / ``page_in_prefetch`` / ``demand_fill``) that
+make the paper's mechanism claims directly measurable per quantum.
+
+Zero-overhead guarantee
+-----------------------
+:data:`NULL_OBS` — a shared :class:`NullRegistry` — is the default
+``obs`` argument of every instrumented component.  Its factory methods
+return one shared no-op instrument and its ``span()`` does nothing, so
+a run without telemetry pays a handful of no-op method calls per disk
+request / switch and allocates nothing.  Crucially the instrumentation
+never creates simulation events or reads anything but ``env.now``, so
+instrumented and uninstrumented runs are bit-for-bit identical in
+simulated time and event counts.
+
+Run scoping
+-----------
+One registry may observe several experiment runs (e.g. the four policy
+cells of Figure 6).  :meth:`Registry.begin_run` opens a named scope:
+instruments created inside it gain an implicit ``run=<id>`` label and
+span tracks are prefixed with the run id, so cells stay separable in
+exports and in :meth:`Registry.value` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Optional
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Stores count/sum/min/max rather than buckets: enough for the
+    mechanism analyses (mean burst length, worst-case switch) without
+    per-observation allocation.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+        }
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of simulated time on one track."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: records nothing, allocates nothing.
+
+    Same trick as :class:`repro.sim.tracing.EventTracer`: components
+    are always instrumented, but against this sink the instrumentation
+    degenerates to no-op method calls.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str, track: str, start: float, end: float,
+             **args: Any) -> None:
+        pass
+
+    def begin_run(self, label: str) -> None:
+        return None
+
+    def end_run(self) -> None:
+        pass
+
+    @property
+    def current_run(self) -> None:
+        return None
+
+    def value(self, name: str, **labels: str) -> float:
+        return 0.0
+
+
+#: The process-wide disabled registry (default everywhere).
+NULL_OBS = NullRegistry()
+
+
+class Registry:
+    """A live telemetry registry (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        self.spans: list[Span] = []
+        self._run_id: Optional[str] = None
+        self._run_seq = count()
+
+    # -- run scoping -------------------------------------------------------
+    def begin_run(self, label: str) -> str:
+        """Open a run scope; returns its id (``<n>:<label>``).
+
+        Instruments created and spans emitted until :meth:`end_run`
+        carry the id (as a ``run`` label / track prefix).
+        """
+        self._run_id = f"{next(self._run_seq)}:{label}"
+        return self._run_id
+
+    def end_run(self) -> None:
+        """Close the current run scope (idempotent)."""
+        self._run_id = None
+
+    @property
+    def current_run(self) -> Optional[str]:
+        return self._run_id
+
+    # -- instruments -------------------------------------------------------
+    def _key(self, name: str, labels: dict[str, str]) -> tuple:
+        if self._run_id is not None and "run" not in labels:
+            labels["run"] = self._run_id
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = self._key(name, labels)
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = self._key(name, labels)
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = self._key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, key[1])
+        return h
+
+    # -- spans -------------------------------------------------------------
+    def span(self, name: str, track: str, start: float, end: float,
+             **args: Any) -> None:
+        """Record a completed span on ``track`` (run-prefixed if scoped)."""
+        if self._run_id is not None:
+            track = f"{self._run_id}/{track}"
+        self.spans.append(Span(name, track, start, end, args or None))
+
+    # -- queries -----------------------------------------------------------
+    def value(self, name: str, **labels: str) -> float:
+        """Sum of all counters named ``name`` whose labels ⊇ ``labels``."""
+        want = labels.items()
+        total = 0.0
+        for c in self._counters.values():
+            if c.name != name:
+                continue
+            have = dict(c.labels)
+            if all(have.get(k) == v for k, v in want):
+                total += c.value
+        return total
+
+    def counters(self) -> list[Counter]:
+        """All counters, sorted by (name, labels) for determinism."""
+        return sorted(self._counters.values(),
+                      key=lambda c: (c.name, c.labels))
+
+    def gauges(self) -> list[Gauge]:
+        return sorted(self._gauges.values(),
+                      key=lambda g: (g.name, g.labels))
+
+    def histograms(self) -> list[Histogram]:
+        return sorted(self._histograms.values(),
+                      key=lambda h: (h.name, h.labels))
+
+    def spans_named(self, name: str,
+                    run: Optional[str] = None) -> list[Span]:
+        """Spans with ``name``, optionally restricted to one run scope."""
+        out = [s for s in self.spans if s.name == name]
+        if run is not None:
+            prefix = f"{run}/"
+            out = [s for s in out if s.track.startswith(prefix)]
+        return out
+
+    def clear(self) -> None:
+        """Drop every recorded instrument and span."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+        self._run_id = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Registry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)}, spans={len(self.spans)})"
+        )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_OBS",
+    "NullRegistry",
+    "Registry",
+    "Span",
+]

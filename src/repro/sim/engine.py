@@ -461,10 +461,16 @@ class Environment:
           value (and raising its exception if it failed).
         """
         if until is None:
-            # daemon events do not keep the simulation alive
-            step = self.step
+            # daemon events do not keep the simulation alive.  ``step``
+            # is re-read from ``self`` every batch so a tracer installed
+            # mid-run (EventTracer monkey-patches ``env.step``) takes
+            # effect within 64 events instead of never.
             while self._live > 0:
-                step()
+                step = self.step
+                for _ in range(64):
+                    step()
+                    if self._live <= 0:
+                        break
             return None
 
         if isinstance(until, Event):

@@ -1,0 +1,153 @@
+"""Edge cases for MetricsCollector analysis and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MetricsCollector, PagingEvent
+
+
+def _ev(node="n0", op="read", pages=10, start=0.0, end=1.0, pid=1):
+    return PagingEvent(node, op, pages, start, end, pid)
+
+
+# -- paging_series ---------------------------------------------------------
+
+def test_paging_series_empty_events():
+    c = MetricsCollector()
+    s = c.paging_series(bin_s=10.0)
+    assert len(s["t"]) == 1
+    assert s["t"][0] == 0.0
+    assert s["read"].sum() == 0 and s["write"].sum() == 0
+
+
+def test_paging_series_empty_with_t_end():
+    c = MetricsCollector()
+    s = c.paging_series(bin_s=10.0, t_end=35.0)
+    assert len(s["t"]) == 4  # ceil(35/10)
+    assert s["read"].sum() == 0
+
+
+def test_paging_series_short_t_end_clamps_to_last_bin():
+    c = MetricsCollector()
+    c.paging.append(_ev(end=99.0, pages=7))
+    s = c.paging_series(bin_s=10.0, t_end=30.0)
+    # event completes past the horizon: lands in the final bin, not lost
+    assert len(s["t"]) == 3
+    assert s["read"][-1] == 7
+
+
+def test_paging_series_bin_boundary_event():
+    c = MetricsCollector()
+    # an event completing exactly at a bin edge belongs to that bin
+    # (floor(10.0/10) == bin 1), and one at the horizon edge clamps
+    c.paging.append(_ev(end=10.0, pages=3))
+    c.paging.append(_ev(end=20.0, pages=5, op="write"))
+    s = c.paging_series(bin_s=10.0, t_end=20.0)
+    assert len(s["t"]) == 2
+    assert s["read"][1] == 3
+    assert s["write"][1] == 5
+
+
+def test_paging_series_zero_time_event():
+    c = MetricsCollector()
+    c.paging.append(_ev(start=0.0, end=0.0, pages=4))
+    s = c.paging_series(bin_s=5.0)
+    assert len(s["t"]) == 1
+    assert s["read"][0] == 4
+
+
+def test_paging_series_node_filter_and_validation():
+    c = MetricsCollector()
+    c.paging.append(_ev(node="n0", pages=2, end=1.0))
+    c.paging.append(_ev(node="n1", pages=9, end=1.0))
+    s = c.paging_series(bin_s=1.0, node="n0")
+    assert s["read"].sum() == 2
+    with pytest.raises(ValueError):
+        c.paging_series(bin_s=0.0)
+    with pytest.raises(ValueError):
+        c.paging_series(bin_s=-1.0)
+
+
+# -- switch_paging_windows -------------------------------------------------
+
+class _Rec:
+    def __init__(self, started_at):
+        self.started_at = started_at
+
+
+def test_switch_paging_windows_no_switches():
+    c = MetricsCollector()
+    c.paging.append(_ev())
+    assert c.switch_paging_windows(10.0) == []
+
+
+def test_switch_paging_windows_boundaries_half_open():
+    c = MetricsCollector()
+    c.switches.append(_Rec(100.0))
+    c.paging.append(_ev(end=100.0, pages=1))   # at window start: in
+    c.paging.append(_ev(end=109.999, pages=2))  # inside
+    c.paging.append(_ev(end=110.0, pages=4))   # at window end: out
+    (t0, pages), = c.switch_paging_windows(10.0)
+    assert t0 == 100.0
+    assert pages == 3
+
+
+def test_switch_paging_windows_overlapping_switches_double_count():
+    c = MetricsCollector()
+    c.switches.append(_Rec(0.0))
+    c.switches.append(_Rec(5.0))
+    c.paging.append(_ev(end=6.0, pages=10))
+    wins = c.switch_paging_windows(10.0)
+    assert [p for _, p in wins] == [10, 10]
+
+
+# -- lifecycle -------------------------------------------------------------
+
+class _Node:
+    class _Disk:
+        retry_count = 3
+        failed_requests = 1
+        latency_spikes = 2
+        on_complete = None
+
+    class _Adaptive:
+        ai_fallbacks = 4
+        recorder = None
+        bgwriter = None
+
+    def __init__(self, name="n0"):
+        self.name = name
+        self.disk = self._Disk()
+        self.adaptive = self._Adaptive()
+
+
+def test_clear_detaches_stale_handles():
+    c = MetricsCollector()
+    c.attach_node(_Node())
+    c.attach_scheduler(object())
+    c.paging.append(_ev())
+    fs = c.fault_summary()
+    assert fs["disk_retries"] == 3
+    c.clear()
+    assert c.paging == [] and c.switches == []
+    assert c.nodes == [] and c.scheduler is None and c.faults is None
+    # a cleared collector no longer double-counts the old node
+    assert c.fault_summary()["disk_retries"] == 0
+
+
+def test_reused_collector_counts_only_new_nodes():
+    c = MetricsCollector()
+    c.attach_node(_Node("a"))
+    c.clear()
+    c.attach_node(_Node("b"))
+    fs = c.fault_summary()
+    assert fs["disk_retries"] == 3  # one node, not two
+
+
+def test_detach_all_keeps_recorded_events():
+    c = MetricsCollector()
+    c.attach_node(_Node())
+    c.paging.append(_ev(pages=6))
+    c.detach_all()
+    assert c.nodes == []
+    assert c.pages_moved() == 6

@@ -1,0 +1,146 @@
+"""Tests for the telemetry exporters."""
+
+import json
+
+from repro.obs import (
+    PHASE_ORDER,
+    Registry,
+    chrome_trace,
+    load_spans,
+    phase_breakdown,
+    render_phase_table,
+    summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _populated() -> Registry:
+    reg = Registry()
+    rid = reg.begin_run("cell")
+    reg.counter("disk_pages", node="n0", op="read").inc(10)
+    reg.counter("disk_pages", node="n0", op="write").inc(4)
+    reg.gauge("free", node="n0").set(7)
+    reg.histogram("svc", node="n0").observe(0.5)
+    reg.span("switch", "scheduler", 0.0, 3.0, in_job="a")
+    reg.span("drain", "n0", 0.0, 0.0)
+    reg.span("page_out", "n0", 0.0, 1.0)
+    reg.span("page_in_prefetch", "n0", 1.0, 3.0)
+    reg.span("demand_fill", "n0.vmm", 3.0, 4.0, pid=1)
+    reg.end_run()
+    return reg
+
+
+def test_summary_shape_and_determinism():
+    reg = _populated()
+    s = summary(reg)
+    assert set(s) == {"counters", "gauges", "histograms", "spans"}
+    run = f"0:cell"
+    key = f"disk_pages{{node=n0,op=read,run={run}}}"
+    assert s["counters"][key] == 10
+    assert s["spans"]["switch"]["count"] == 1
+    assert s["spans"]["switch"]["total_s"] == 3.0
+    # JSON-serializable and stable
+    assert json.dumps(s, sort_keys=True) == json.dumps(summary(_populated()),
+                                                       sort_keys=True)
+
+
+def test_chrome_trace_well_formed():
+    reg = _populated()
+    doc = chrome_trace(reg)
+    assert isinstance(doc["traceEvents"], list)
+    evs = doc["traceEvents"]
+    meta = [e for e in evs if e["ph"] == "M"]
+    spans = [e for e in evs if e["ph"] == "X"]
+    assert len(spans) == 5
+    for e in spans:
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    assert "0:cell" in names
+    threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert {"scheduler", "n0", "n0.vmm"} <= threads
+    # switch span is in µs
+    sw = next(e for e in spans if e["name"] == "switch")
+    assert sw["dur"] == 3.0e6
+    # enclosing spans precede enclosed at equal start
+    ts0 = [e for e in spans if e["ts"] == 0.0]
+    assert ts0[0]["name"] == "switch"
+
+
+def test_chrome_trace_roundtrip(tmp_path):
+    reg = _populated()
+    p = write_chrome_trace(reg, tmp_path / "t.json")
+    doc = json.loads(p.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    spans = load_spans(p)
+    assert len(spans) == 5
+    assert {s.name for s in spans} == {
+        "switch", "drain", "page_out", "page_in_prefetch", "demand_fill"
+    }
+    sw = next(s for s in spans if s.name == "switch")
+    assert sw.duration == 3.0
+
+
+def test_jsonl_roundtrip(tmp_path):
+    reg = _populated()
+    p = write_jsonl(reg, tmp_path / "t.jsonl")
+    lines = [json.loads(l) for l in p.read_text().splitlines() if l.strip()]
+    types = {l["type"] for l in lines}
+    assert types == {"counter", "gauge", "histogram", "span"}
+    spans = load_spans(p)
+    assert len(spans) == 5
+
+
+def test_phase_breakdown_orders_and_shares():
+    reg = _populated()
+    rows = phase_breakdown(reg)
+    phases = [r["phase"] for r in rows]
+    assert phases == list(PHASE_ORDER)
+    by = {r["phase"]: r for r in rows}
+    # share is relative to the switch total when switch spans exist
+    assert by["switch"]["share"] == 1.0
+    assert abs(by["page_out"]["share"] - 1.0 / 3.0) < 1e-12
+    assert by["drain"]["total_s"] == 0.0
+    assert by["page_in_prefetch"]["mean_s"] == 2.0
+
+
+def test_phase_breakdown_run_filter():
+    reg = Registry()
+    r1 = reg.begin_run("a")
+    reg.span("switch", "scheduler", 0.0, 1.0)
+    reg.end_run()
+    r2 = reg.begin_run("b")
+    reg.span("switch", "scheduler", 0.0, 5.0)
+    reg.end_run()
+    all_rows = phase_breakdown(reg)
+    assert all_rows[0]["count"] == 2
+    only = phase_breakdown(reg, run=r2)
+    assert only[0]["count"] == 1
+    assert only[0]["total_s"] == 5.0
+
+
+def test_phase_breakdown_no_switch_uses_grand_total():
+    reg = Registry()
+    reg.span("demand_fill", "n0", 0.0, 1.0)
+    reg.span("demand_fill", "n0", 1.0, 4.0)
+    rows = phase_breakdown(reg)
+    assert rows[0]["share"] == 1.0
+
+
+def test_render_phase_table():
+    reg = _populated()
+    out = render_phase_table(phase_breakdown(reg))
+    for phase in PHASE_ORDER:
+        assert phase in out
+    assert "100.0%" in out
+    assert render_phase_table([]).endswith("<no spans recorded>")
+
+
+def test_empty_registry_exports():
+    reg = Registry()
+    s = summary(reg)
+    assert s == {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+    doc = chrome_trace(reg)
+    assert doc["traceEvents"] == []
+    assert phase_breakdown(reg) == []

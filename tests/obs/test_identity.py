@@ -1,0 +1,110 @@
+"""The zero-perturbation guarantee: telemetry must not change a run.
+
+Instrumented and uninstrumented runs of the same config must be
+bit-for-bit identical in makespan, event counts and page traffic —
+telemetry only reads ``env.now``, never creates simulation events.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import GangConfig, run_cell, run_experiment
+from repro.obs import Registry, set_default
+
+CFG = GangConfig("LU", "C", nprocs=2, policy="so/ao/ai/bg", seed=1,
+                 scale=0.05)
+
+
+@pytest.fixture(autouse=True)
+def _no_default_registry():
+    set_default(None)
+    yield
+    set_default(None)
+
+
+def test_obs_run_is_bit_for_bit_identical():
+    base = run_experiment(CFG)
+    reg = Registry()
+    obs = run_experiment(CFG, obs=reg)
+    assert obs.makespan == base.makespan
+    assert obs.events_processed == base.events_processed
+    assert obs.pages_read == base.pages_read
+    assert obs.pages_written == base.pages_written
+    assert obs.switch_count == base.switch_count
+    assert obs.completions == base.completions
+    assert obs.vmm_stats == base.vmm_stats
+    assert base.obs is None
+    assert obs.obs is reg
+
+
+def test_registry_populated_with_mechanism_counters_and_spans():
+    reg = Registry()
+    run_experiment(CFG, obs=reg)
+    for name in (
+        "switches_total", "job_switches",
+        "so_selective_evictions",
+        "ao_batches", "ao_pages_evicted",
+        "ai_runs", "ai_pages_replayed",
+        "bg_bursts", "bg_pages_written",
+        "vmm_major_faults", "vmm_pages_swapped_in",
+        "disk_requests", "disk_pages",
+    ):
+        assert reg.value(name) > 0, name
+    span_names = {s.name for s in reg.spans}
+    assert {"switch", "drain", "page_out", "page_in_prefetch"} <= span_names
+    # node-phase spans nest inside the run's switch windows
+    for s in reg.spans_named("page_out"):
+        assert s.end >= s.start
+
+
+def test_demand_fill_spans_under_plain_lru():
+    reg = Registry()
+    run_experiment(GangConfig("LU", "C", nprocs=2, policy="lru", seed=1,
+                              scale=0.05), obs=reg)
+    fills = reg.spans_named("demand_fill")
+    assert fills
+    assert all(s.duration > 0 for s in fills)
+    assert reg.value("so_selective_evictions") == 0
+    assert reg.value("ai_runs") == 0
+
+
+def test_default_registry_used_when_installed():
+    reg = Registry()
+    set_default(reg)
+    res = run_experiment(CFG)
+    assert res.obs is reg
+    assert reg.value("switches_total") > 0
+
+
+def test_multi_cell_runs_stay_separable():
+    reg = Registry()
+    r1 = run_experiment(CFG, obs=reg)
+    r2 = run_experiment(
+        GangConfig("LU", "C", nprocs=2, policy="lru", seed=1, scale=0.05),
+        obs=reg,
+    )
+    runs = {dict(c.labels).get("run") for c in reg.counters()}
+    runs.discard(None)
+    assert len(runs) == 2
+    per_run = [reg.value("switches_total", run=r) for r in sorted(runs)]
+    assert sum(per_run) == reg.value("switches_total")
+    assert all(v > 0 for v in per_run)
+
+
+def test_fault_summary_registry_matches_scrape():
+    base = run_experiment(CFG)
+    obs = run_experiment(CFG, obs=Registry())
+    assert obs.fault_summary == base.fault_summary
+
+
+def test_run_cell_quarantines_obs_summary():
+    plain = run_cell(CFG)
+    with_obs = run_cell(CFG, obs_enabled=True)
+    assert "obs" not in plain["_perf"]
+    assert "obs" in with_obs["_perf"]
+    strip = lambda d: {k: v for k, v in d.items() if k != "_perf"}
+    assert (json.dumps(strip(plain), sort_keys=True, default=str)
+            == json.dumps(strip(with_obs), sort_keys=True, default=str))
+    obs_sum = with_obs["_perf"]["obs"]
+    assert obs_sum["spans"]["switch"]["count"] == plain["switch_count"]

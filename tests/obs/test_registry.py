@@ -1,0 +1,147 @@
+"""Tests for the telemetry registry core."""
+
+import pytest
+
+from repro.obs import NULL_OBS, NullRegistry, Registry, get_default, set_default
+
+
+def test_counter_memoized_and_increments():
+    reg = Registry()
+    c1 = reg.counter("reads", node="n0")
+    c2 = reg.counter("reads", node="n0")
+    assert c1 is c2
+    c1.inc()
+    c1.inc(4)
+    assert c1.value == 5
+    assert reg.value("reads") == 5
+    assert reg.value("reads", node="n0") == 5
+    assert reg.value("reads", node="n1") == 0
+
+
+def test_value_sums_across_labels():
+    reg = Registry()
+    reg.counter("pages", node="n0", op="read").inc(10)
+    reg.counter("pages", node="n1", op="read").inc(5)
+    reg.counter("pages", node="n0", op="write").inc(3)
+    assert reg.value("pages") == 18
+    assert reg.value("pages", op="read") == 15
+    assert reg.value("pages", node="n0") == 13
+    assert reg.value("pages", node="n0", op="write") == 3
+
+
+def test_gauge_and_histogram():
+    reg = Registry()
+    g = reg.gauge("free_frames", node="n0")
+    g.set(100)
+    g.set(42)
+    assert g.value == 42
+    h = reg.histogram("burst", node="n0")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 6.0
+    assert h.vmin == 1.0 and h.vmax == 3.0
+    assert h.mean == 2.0
+    snap = h.snapshot()
+    assert snap == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+
+def test_empty_histogram_snapshot():
+    reg = Registry()
+    h = reg.histogram("empty")
+    snap = h.snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] is None and snap["max"] is None
+
+
+def test_run_scoping_labels_and_tracks():
+    reg = Registry()
+    rid = reg.begin_run("cell-a")
+    assert rid == reg.current_run
+    assert rid.endswith(":cell-a")
+    reg.counter("hits", node="n0").inc(2)
+    reg.span("switch", "scheduler", 0.0, 1.0)
+    reg.end_run()
+    assert reg.current_run is None
+    rid2 = reg.begin_run("cell-b")
+    assert rid2 != rid
+    reg.counter("hits", node="n0").inc(7)
+    reg.span("switch", "scheduler", 2.0, 3.0)
+    reg.end_run()
+
+    assert reg.value("hits") == 9
+    assert reg.value("hits", run=rid) == 2
+    assert reg.value("hits", run=rid2) == 7
+    assert len(reg.spans_named("switch")) == 2
+    assert len(reg.spans_named("switch", run=rid)) == 1
+    assert reg.spans_named("switch", run=rid)[0].track == f"{rid}/scheduler"
+
+
+def test_span_duration_and_args():
+    reg = Registry()
+    reg.span("page_out", "node0", 1.5, 4.0, pid=3)
+    (s,) = reg.spans
+    assert s.duration == 2.5
+    assert s.args == {"pid": 3}
+    reg.span("drain", "node0", 1.0, 1.0)
+    assert reg.spans[1].args is None
+
+
+def test_counters_sorted_deterministically():
+    reg = Registry()
+    reg.counter("b", node="n1")
+    reg.counter("a", node="n0")
+    reg.counter("a", node="n1")
+    names = [(c.name, dict(c.labels).get("node")) for c in reg.counters()]
+    assert names == [("a", "n0"), ("a", "n1"), ("b", "n1")]
+
+
+def test_clear_resets_everything():
+    reg = Registry()
+    reg.begin_run("x")
+    reg.counter("c").inc()
+    reg.gauge("g").set(1)
+    reg.histogram("h").observe(1.0)
+    reg.span("s", "t", 0.0, 1.0)
+    reg.clear()
+    assert reg.counters() == []
+    assert reg.gauges() == []
+    assert reg.histograms() == []
+    assert reg.spans == []
+    assert reg.current_run is None
+
+
+def test_null_registry_is_inert():
+    null = NullRegistry()
+    assert null.enabled is False
+    c = null.counter("anything", node="n0")
+    c.inc()
+    c.inc(100)
+    null.gauge("g").set(5)
+    null.histogram("h").observe(1.0)
+    null.span("switch", "scheduler", 0.0, 1.0, pid=1)
+    assert null.begin_run("x") is None
+    null.end_run()
+    assert null.current_run is None
+    assert null.value("anything") == 0.0
+    # all instruments are one shared no-op object
+    assert null.counter("a") is null.histogram("b")
+    assert NULL_OBS.enabled is False
+
+
+def test_default_registry_install_and_remove():
+    assert get_default() is NULL_OBS
+    reg = Registry()
+    set_default(reg)
+    try:
+        assert get_default() is reg
+    finally:
+        set_default(None)
+    assert get_default() is NULL_OBS
+
+
+def test_registry_enabled_flag():
+    assert Registry().enabled is True
+    with pytest.raises(TypeError):
+        # labels are keyword-only strings, not positional
+        Registry().counter("x", "oops")

@@ -102,6 +102,49 @@ def test_context_manager_and_render():
     assert empty.render() == "<no events traced>"
 
 
+def test_mid_run_install_takes_effect():
+    # Environment.run(None) used to bind `step` once before the loop, so
+    # a tracer installed from *inside* the simulation recorded nothing.
+    # The loop now re-reads env.step every 64-event batch.
+    env = Environment()
+    tr = EventTracer(env)
+
+    def installer(env):
+        yield env.timeout(1.0)
+        tr.install()
+
+    def worker(env):
+        for _ in range(300):
+            yield env.timeout(0.1)
+
+    env.process(installer(env))
+    env.process(worker(env))
+    env.run()
+    assert tr.total_seen > 0
+    assert all(e.time >= 1.0 for e in tr.entries)
+
+
+def test_mid_run_remove_takes_effect():
+    env = Environment()
+    tr = EventTracer(env).install()
+
+    def remover(env):
+        yield env.timeout(1.0)
+        tr.remove()
+
+    def worker(env):
+        for _ in range(300):
+            yield env.timeout(0.1)
+
+    env.process(remover(env))
+    env.process(worker(env))
+    env.run()
+    assert tr.total_seen > 0
+    # at most one 64-event batch can slip through after removal
+    late = [e for e in tr.entries if e.time > 1.0]
+    assert len(late) <= 64
+
+
 def test_removed_tracer_sees_nothing_more():
     env = Environment()
     tr = EventTracer(env).install()
