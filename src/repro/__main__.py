@@ -7,10 +7,18 @@ Commands
 ``all``                  run every experiment in sequence
 ``replicate``            multi-seed stability check for one workload
 ``obs <trace>``          switch-phase report from a saved trace file
+``cache stats|clear``    inspect / wipe the cell result cache
 
 ``run`` and ``all`` accept ``--obs`` (collect telemetry and print the
 switch-phase breakdown) and ``--trace-out FILE`` (also write a Chrome
 trace viewable in chrome://tracing or Perfetto; implies ``--obs``).
+
+``--cache`` enables the content-addressed cell result cache
+(``results/.cellcache``): sweep cells whose code + config fingerprint
+was already produced are served from disk instead of re-simulated, so
+a warm ``python -m repro all --cache`` rerun skips every unchanged
+cell.  ``--profile`` wraps the run in cProfile and writes a ``pstats``
+dump next to the record.
 
 Examples::
 
@@ -19,7 +27,8 @@ Examples::
     python -m repro run fig6 --scale 0.1 --obs --trace-out fig6.trace.json
     python -m repro obs fig6.trace.json
     python -m repro replicate --bench CG --klass B --seeds 1 2 3
-    python -m repro all --scale 0.1
+    python -m repro all --scale 0.1 --cache
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -131,6 +140,54 @@ def _obs_finish(reg, args) -> None:
         print(f"chrome trace written to {path}")
 
 
+def _cache_begin(args):
+    """Install the process-default cell cache when ``--cache`` is on."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.perf.cache import CellCache, set_default_cache
+
+    cache = CellCache()
+    set_default_cache(cache)
+    return cache
+
+
+def _cache_finish(cache) -> None:
+    """Print session cache counters, then uninstall the default."""
+    if cache is None:
+        return
+    from repro.perf.cache import set_default_cache
+
+    set_default_cache(None)
+    s = cache.stats()
+    print(f"\ncell cache: {s['hits']} hits, {s['misses']} misses, "
+          f"{s['stores']} stores ({s['entries']} entries on disk, "
+          f"{s['bytes'] / 1024:.0f} KiB at {s['root']})")
+
+
+def _profiled(args, default_stem: str, fn):
+    """Run ``fn()``; with ``--profile``, wrap it in cProfile and write a
+    pstats dump next to the record (``<json path>.pstats`` when
+    ``--json`` is given, ``<default_stem>.pstats`` otherwise)."""
+    if not getattr(args, "profile", False):
+        return fn()
+    import cProfile
+    import pstats
+
+    out = f"{args.json}.pstats" if getattr(args, "json", None) \
+        else f"{default_stem}.pstats"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(out)
+        top = pstats.Stats(profiler)
+        print(f"\nprofile written to {out} "
+              f"({int(top.total_calls)} calls, {top.total_tt:.2f}s); "
+              f"inspect with: python -m pstats {out}")
+
+
 def cmd_run(args) -> int:
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
@@ -139,9 +196,14 @@ def cmd_run(args) -> int:
         return 2
     module, _ = entry
     reg = _obs_begin(args)
+    cache = _cache_begin(args)
     try:
-        record = module.run(**_run_kwargs(module, args))
+        record = _profiled(
+            args, args.experiment,
+            lambda: module.run(**_run_kwargs(module, args)),
+        )
     finally:
+        _cache_finish(cache)
         _obs_finish(reg, args)
     if args.json:
         from repro.experiments.report_io import save_record
@@ -153,12 +215,32 @@ def cmd_run(args) -> int:
 
 def cmd_all(args) -> int:
     reg = _obs_begin(args)
-    try:
+    cache = _cache_begin(args)
+
+    def _run_all():
         for key, (module, desc) in EXPERIMENTS.items():
             print(f"\n##### {key} — {desc}\n")
             module.run(**_run_kwargs(module, args))
+
+    try:
+        _profiled(args, "all", _run_all)
     finally:
+        _cache_finish(cache)
         _obs_finish(reg, args)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.perf.cache import CellCache
+
+    cache = CellCache(root=args.dir)
+    if args.action == "stats":
+        s = cache.stats()
+        print(f"cell cache at {s['root']}: {s['entries']} entries, "
+              f"{s['bytes'] / 1024:.0f} KiB")
+    else:  # clear
+        removed = cache.clear()
+        print(f"cleared {removed} cached cell results from {cache.root}")
     return 0
 
 
@@ -233,6 +315,13 @@ def main(argv=None) -> int:
     p_run.add_argument("--trace-out", metavar="FILE",
                        help="write a Chrome trace of the run "
                             "(implies --obs)")
+    p_run.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="serve sweep cells from the content-addressed "
+                            "result cache (results/.cellcache)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile the run with cProfile; write a "
+                            "pstats dump next to the record")
 
     p_all = sub.add_parser("all", help="run everything")
     p_all.add_argument("--scale", type=float, default=1.0)
@@ -243,6 +332,12 @@ def main(argv=None) -> int:
                        help="collect telemetry across all experiments")
     p_all.add_argument("--trace-out", metavar="FILE",
                        help="write a Chrome trace (implies --obs)")
+    p_all.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="serve sweep cells from the content-addressed "
+                            "result cache (results/.cellcache)")
+    p_all.add_argument("--profile", action="store_true",
+                       help="profile the whole invocation with cProfile")
 
     p_tr = sub.add_parser("trace", help="record an NPB workload trace")
     p_tr.add_argument("--bench", default="LU")
@@ -269,6 +364,14 @@ def main(argv=None) -> int:
     p_obs.add_argument("--run", default=None,
                        help="restrict to one run scope (trace process name)")
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or wipe the cell result cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory "
+                              "(default: results/.cellcache)")
+
     args = parser.parse_args(argv)
     return {
         "list": cmd_list,
@@ -277,6 +380,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "replicate": cmd_replicate,
         "obs": cmd_obs,
+        "cache": cmd_cache,
     }[args.command](args)
 
 

@@ -89,7 +89,7 @@ class BackgroundWriter:
         if self.active:
             if self._obs_on:
                 table = self.vmm.tables.get(self._pid)
-                if table is not None and table.dirty_resident_pages().size:
+                if table is not None and table.index.dirty_resident_pages().size:
                     self._c_misses.inc()
             self._proc.interrupt("stop_bgwrite")
         self._proc = None
@@ -102,7 +102,10 @@ class BackgroundWriter:
                 table = vmm.tables.get(pid)
                 if table is None:
                     return  # process exited
-                dirty = table.dirty_resident_pages()
+                # epoch-cached view: between polls with no intervening
+                # page-state mutation this is a dictionary lookup, not a
+                # full-array rescan
+                dirty = table.index.dirty_resident_pages()
                 if dirty.size == 0:
                     yield vmm.env.timeout(self.poll_s)
                     continue

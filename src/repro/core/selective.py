@@ -67,13 +67,17 @@ class SelectivePageOut:
         chosen: np.ndarray | None = None
         table = tables.get(self.out_pid) if self.out_pid is not None else None
         if table is not None and table.resident_count > 0:
-            eligible = table.present.copy()
+            # epoch-cached candidate snapshot instead of copying and
+            # rescanning the full present mask on every reclaim round
+            res, ages = table.index.candidates()
             if protect and table.pid in protect:
-                eligible[np.asarray(protect[table.pid], dtype=np.int64)] = False
-            res = np.flatnonzero(eligible)
+                pmask = np.zeros(table.num_pages, dtype=bool)
+                pmask[np.asarray(protect[table.pid], dtype=np.int64)] = True
+                keep = ~pmask[res]
+                res, ages = res[keep], ages[keep]
             if res.size:
                 # oldest first, as in Fig. 2 ("select oldest page of p")
-                order = np.argsort(table.last_ref[res], kind="stable")
+                order = np.argsort(ages, kind="stable")
                 victims = res[order][:remaining]
                 for i in range(0, victims.size, cluster):
                     chunk = np.sort(victims[i : i + cluster])

@@ -36,6 +36,7 @@ and whatever process awaited it sees the exception.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Callable, Optional
@@ -133,6 +134,9 @@ class DiskRequest(Event):
         self.pid = pid
         self.submitted_at = disk.env.now
         self.cancelled = False
+        #: still sitting in the wait queue (kept by the disk's O(1)
+        #: live-queue counter)
+        self._queued = False
         #: filled in when serviced
         self.service_time: Optional[float] = None
         self.seeks: Optional[int] = None
@@ -150,6 +154,9 @@ class DiskRequest(Event):
         if self.triggered or self.cancelled:
             return False
         self.cancelled = True
+        if self._queued:
+            self._queued = False
+            self.disk._live -= 1
         return True
 
 
@@ -201,6 +208,9 @@ class Disk:
         self._queue: list[tuple[int, int, DiskRequest]] = []
         self._seq = count()
         self._busy = False
+        # live (non-cancelled) queued requests, maintained incrementally
+        # so submit() does not rescan the heap
+        self._live = 0
         #: slot just past the last one transferred (head position)
         self._head = 0
         #: direction of the last transfer, for interleave accounting
@@ -218,6 +228,7 @@ class Disk:
         self.failed_requests = 0
         self.latency_spikes = 0
         # telemetry (no-ops against the default NULL_OBS registry)
+        self._obs_on = obs.enabled
         self._c_requests = obs.counter("disk_requests", node=name)
         self._c_pages_read = obs.counter("disk_pages", node=name, op="read")
         self._c_pages_write = obs.counter("disk_pages", node=name, op="write")
@@ -238,10 +249,12 @@ class Disk:
     ) -> DiskRequest:
         """Queue a transfer of ``slots``; returns an awaitable request."""
         req = DiskRequest(self, np.asarray(slots, dtype=np.int64), op, priority, pid)
+        req._queued = True
+        self._live += 1
         heapq.heappush(self._queue, (priority, next(self._seq), req))
-        self.max_queue_seen = max(
-            self.max_queue_seen, self.queue_length + (1 if self._busy else 0)
-        )
+        depth = self._live + (1 if self._busy else 0)
+        if depth > self.max_queue_seen:
+            self.max_queue_seen = depth
         if not self._busy:
             self._busy = True
             self.env.process(self._serve())
@@ -250,7 +263,7 @@ class Disk:
     @property
     def queue_length(self) -> int:
         """Live (non-cancelled) queued requests, excluding one in service."""
-        return sum(1 for _, _, r in self._queue if not r.cancelled)
+        return self._live
 
     @property
     def busy(self) -> bool:
@@ -267,20 +280,25 @@ class Disk:
         slots = request.slots
         params = self.params
         coef = params.seek_distance_coef_s
-        if slots.size > 1:
-            breaks = np.flatnonzero(np.diff(slots) != 1) + 1
-        else:
-            breaks = None
-        if breaks is None or breaks.size == 0:
+        first = int(slots[0])
+        last = int(slots[-1])
+        if last - first == slots.size - 1:
             # single contiguous run — the dominant case for swap-cluster
-            # writes and block page-ins
-            starts = [int(slots[0])]
-            ends = [int(slots[-1]) + 1]
+            # writes and block page-ins (slots are sorted and unique, so
+            # span == size-1 implies consecutive)
+            starts = [first]
+            ends = [last + 1]
         else:
-            blist = breaks.tolist()
             slist = slots.tolist()
-            starts = [slist[0], *(slist[b] for b in blist)]
-            ends = [*(slist[b - 1] + 1 for b in blist), slist[-1] + 1]
+            starts = [first]
+            ends = []
+            prev = first
+            for s in slist[1:]:
+                if s != prev + 1:
+                    ends.append(prev + 1)
+                    starts.append(s)
+                prev = s
+            ends.append(prev + 1)
 
         seeks = 0
         positioning = 0.0
@@ -299,7 +317,8 @@ class Disk:
                 seeks += 1
                 positioning += positioning_s
                 if coef > 0.0:
-                    positioning += coef * float(np.sqrt(abs(start - pos)))
+                    # math.sqrt is bitwise-identical to np.sqrt on floats
+                    positioning += coef * math.sqrt(abs(start - pos))
             pos = ends[i]
 
         duration = (
@@ -357,14 +376,16 @@ class Disk:
         self._head = int(req.slots[-1]) + 1
         self._last_op = req.op
         # statistics
+        npages = req.npages
         self.total_requests += 1
-        self.total_pages[req.op] += req.npages
+        self.total_pages[req.op] += npages
         self.total_seeks += seeks
-        self._c_requests.inc()
-        (self._c_pages_read if req.op == "read"
-         else self._c_pages_write).inc(req.npages)
-        self._c_seeks.inc(seeks)
-        self._h_service.observe(duration)
+        if self._obs_on:
+            self._c_requests.inc()
+            (self._c_pages_read if req.op == "read"
+             else self._c_pages_write).inc(npages)
+            self._c_seeks.inc(seeks)
+            self._h_service.observe(duration)
         req.service_time = duration
         req.seeks = seeks
         req.succeed(duration)
@@ -375,7 +396,9 @@ class Disk:
         while self._queue:
             _, _, req = heapq.heappop(self._queue)
             if req.cancelled:
-                continue
+                continue  # its _live slot was returned by cancel()
+            req._queued = False
+            self._live -= 1
             yield from self._service_one(req)
         self._busy = False
 

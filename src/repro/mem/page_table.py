@@ -14,11 +14,26 @@ resident page with a slot can later be discarded without disk I/O —
 this is exactly what the §3.4 background writer buys at switch time.
 Dirtying a page invalidates (but keeps) the slot; the next page-out
 rewrites it in place.
+
+Mutation epoch
+--------------
+Every mutator that changes ``present`` / ``dirty`` / ``swap_slot`` /
+``last_ref`` bumps :attr:`PageTable.epoch`; the per-table
+:class:`~repro.mem.index.PageIndex` (reachable as :attr:`PageTable.index`)
+uses the epoch to cache the resident / dirty / clean / candidate views
+between mutations instead of rescanning the arrays.  ``referenced`` and
+``clock_hand`` writes do **not** bump the epoch — no cached view reads
+them, and the clock policies clear reference bits on every sweep.
+State must therefore be mutated through the methods below (or followed
+by an explicit epoch bump), never by writing the arrays directly.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.mem import index as _index_mode
+from repro.mem.index import PageIndex
 
 
 class PageTable:
@@ -45,24 +60,42 @@ class PageTable:
         self.swap_slot = np.full(self.num_pages, -1, dtype=np.int64)
         #: per-process clock hand for sweep-style replacement
         self.clock_hand = 0
+        #: mutation epoch — bumped by every state-changing method
+        self.epoch = 0
+        # O(1) resident-set size, maintained by make_resident/evict
+        self._resident_count = 0
+        #: epoch-cached views (resident / dirty / clean / candidates)
+        self.index = PageIndex(self)
 
     # -- queries -----------------------------------------------------------
     @property
     def resident_count(self) -> int:
-        """Resident set size in pages."""
+        """Resident set size in pages (O(1) — maintained incrementally).
+
+        In scan mode (:func:`repro.mem.index.set_index_enabled` off) the
+        count is recomputed from the array, reproducing the pre-index
+        cost profile for the identity/benchmark comparison.
+        """
+        if _index_mode.INDEX_ENABLED:
+            return self._resident_count
         return int(np.count_nonzero(self.present))
 
     def resident_pages(self) -> np.ndarray:
         """Page numbers currently resident, ascending."""
-        return np.flatnonzero(self.present)
+        return self.index.resident_pages()
 
     def swapped_pages(self) -> np.ndarray:
-        """Pages that are out of memory but have a swap copy."""
+        """Pages that are out of memory but have a swap copy.
+
+        Not epoch-cached: the set changes with every page-in of the
+        faulting process, so a cache would never hit (the read-ahead
+        planner restricts the scan to the relevant slot range instead).
+        """
         return np.flatnonzero(~self.present & (self.swap_slot >= 0))
 
     def touched_pages(self) -> np.ndarray:
         """Pages the process has ever referenced."""
-        return np.flatnonzero(self.last_ref > -np.inf)
+        return self.index.touched_pages()
 
     def absent(self, pages: np.ndarray) -> np.ndarray:
         """Subset of ``pages`` (order preserved) that are not resident."""
@@ -71,20 +104,19 @@ class PageTable:
 
     def oldest_resident(self, n: int) -> np.ndarray:
         """Up to ``n`` resident pages with the smallest ``last_ref``."""
-        res = self.resident_pages()
+        res, ages = self.index.candidates()
         if res.size <= n:
             return res
-        ages = self.last_ref[res]
         idx = np.argpartition(ages, n - 1)[:n]
         return res[np.sort(idx)]
 
     def dirty_resident_pages(self) -> np.ndarray:
         """Resident pages whose swap copy is missing or stale."""
-        return np.flatnonzero(self.present & (self.dirty | (self.swap_slot < 0)))
+        return self.index.dirty_resident_pages()
 
     def clean_resident_pages(self) -> np.ndarray:
         """Resident pages discardable without I/O (valid swap copy)."""
-        return np.flatnonzero(self.present & ~self.dirty & (self.swap_slot >= 0))
+        return self.index.clean_resident_pages()
 
     # -- mutations ---------------------------------------------------------
     def record_access(self, pages: np.ndarray, now: float,
@@ -109,6 +141,15 @@ class PageTable:
             if mask.shape != pages.shape:
                 raise ValueError("dirty mask shape mismatch")
             self.dirty[pages[mask]] = True
+        self.epoch += 1
+
+    def set_last_ref(self, pages: np.ndarray, now: float) -> None:
+        """Stamp ``last_ref`` only (a fault-time reference: the freshly
+        paged-in pages must not look like the oldest in memory)."""
+        if len(pages) == 0:
+            return
+        self.last_ref[pages] = now
+        self.epoch += 1
 
     def make_resident(self, pages: np.ndarray) -> None:
         """Flip ``pages`` to present (frames must already be accounted).
@@ -123,6 +164,8 @@ class PageTable:
         self.present[pages] = True
         self.dirty[pages] = False
         self.referenced[pages] = True
+        self._resident_count += int(pages.size)
+        self.epoch += 1
 
     def evict(self, pages: np.ndarray) -> None:
         """Flip ``pages`` to non-present (slots must be assigned for any
@@ -135,6 +178,15 @@ class PageTable:
         self.present[pages] = False
         self.referenced[pages] = False
         self.dirty[pages] = False
+        self._resident_count -= int(pages.size)
+        self.epoch += 1
+
+    def mark_clean(self, pages: np.ndarray) -> None:
+        """Clear dirty bits after a successful swap write-back."""
+        if len(pages) == 0:
+            return
+        self.dirty[pages] = False
+        self.epoch += 1
 
     def assign_slots(self, pages: np.ndarray, slots: np.ndarray) -> None:
         """Record swap copies for ``pages`` living in ``slots``."""
@@ -142,7 +194,10 @@ class PageTable:
         slots = np.asarray(slots, dtype=np.int64)
         if pages.shape != slots.shape:
             raise ValueError("pages/slots shape mismatch")
+        if pages.size == 0:
+            return
         self.swap_slot[pages] = slots
+        self.epoch += 1
 
     def release_slots(self, pages: np.ndarray) -> np.ndarray:
         """Forget swap copies for ``pages``; returns the freed slot ids."""
@@ -151,10 +206,13 @@ class PageTable:
         if np.any(slots < 0):
             raise ValueError("release_slots on page without a slot")
         self.swap_slot[pages] = -1
+        if pages.size:
+            self.epoch += 1
         return slots
 
     def clear_referenced(self, pages: np.ndarray | None = None) -> None:
-        """Clear reference bits (a clock sweep step)."""
+        """Clear reference bits (a clock sweep step; no epoch bump —
+        ``referenced`` feeds no cached view)."""
         if pages is None:
             self.referenced[:] = False
         else:
@@ -176,6 +234,11 @@ class PageTable:
         # slots are unique where assigned
         slots = self.swap_slot[self.swap_slot >= 0]
         assert len(np.unique(slots)) == slots.size, "duplicate swap slot"
+        # the O(1) resident count tracks the array
+        assert self._resident_count == int(np.count_nonzero(self.present)), (
+            f"resident_count drift: cached={self._resident_count} "
+            f"actual={int(np.count_nonzero(self.present))}"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

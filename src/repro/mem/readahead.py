@@ -47,6 +47,12 @@ class FaultGroup:
 def dedupe_preserve_order(pages: np.ndarray) -> np.ndarray:
     """Drop repeated page numbers, keeping first-occurrence order."""
     pages = np.asarray(pages, dtype=np.int64)
+    if pages.size <= 1:
+        return pages
+    # Touch traces are overwhelmingly strictly ascending sweeps; those
+    # are duplicate-free by construction, so skip the unique() sort.
+    if bool((pages[1:] > pages[:-1]).all()):
+        return pages
     _, first = np.unique(pages, return_index=True)
     return pages[np.sort(first)]
 
@@ -79,15 +85,53 @@ def plan_swapins(
     if table.present[demand].any():
         raise ValueError("plan_swapins expects only absent pages")
 
-    # Reverse map of this process's swapped-out pages, ordered by slot,
-    # for the read-ahead window lookup.
-    swapped = table.swapped_pages()
-    sw_slots = table.swap_slot[swapped]
-    order = np.argsort(sw_slots)
-    sw_slots = sw_slots[order]
-    sw_pages = swapped[order]
+    demand_slots = table.swap_slot[demand]
+    slot_list = demand_slots.tolist()
 
-    planned = np.zeros(table.num_pages, dtype=bool)
+    # Reverse map of this process's swapped-out pages, ordered by slot,
+    # for the read-ahead window lookup.  Only slots inside
+    # [min demand slot, max demand slot + window) can ever fall in a
+    # read-ahead window of this plan, so the map is built over that
+    # range instead of every swapped page the process owns — with large
+    # residual swap footprints this cuts the dominant scan/argsort cost.
+    have_swap = demand_slots >= 0
+    if have_swap.any():
+        lo_slot = int(demand_slots[have_swap].min())
+        hi_slot = int(demand_slots.max()) + window
+        in_range = (
+            (~table.present)
+            & (table.swap_slot >= lo_slot)
+            & (table.swap_slot < hi_slot)
+        )
+        swapped = np.flatnonzero(in_range)
+        sw_slots = table.swap_slot[swapped]
+        order = np.argsort(sw_slots)
+        sw_slots = sw_slots[order]
+        sw_pages = swapped[order]
+        # The per-page window bounds are independent of planning order,
+        # so they are batched into two searchsorted calls up front
+        # instead of two numpy calls per faulted page.
+        los = np.searchsorted(sw_slots, demand_slots, side="left").tolist()
+        his = np.searchsorted(
+            sw_slots, demand_slots + window, side="left"
+        ).tolist()
+    else:
+        # Pure zero-fill demand: no swap copies involved at all.
+        sw_slots = sw_pages = np.empty(0, dtype=np.int64)
+        los = his = [0] * len(slot_list)
+
+    # Planned-state bookkeeping lives in *slot-index* space: every
+    # swap-backed demand page appears exactly once in the sorted slot
+    # map (slots are unique), at position ``los[i]`` (its own slot is
+    # the first >= itself).  A bytearray over the map gives C-speed
+    # scalar skip tests and slice coverage marks; zero-fill pages need
+    # no membership test at all (windows only ever absorb swap-backed
+    # pages, and the demand list is already deduplicated).
+    covered = bytearray(len(sw_pages))
+    # When the slot map is page-ascending (slots were handed out in
+    # page order — the common case), every window slice is already
+    # sorted by page and the per-group argsort is skipped.
+    page_asc = sw_pages.size < 2 or bool((np.diff(sw_pages) > 0).all())
     groups: list[FaultGroup] = []
     zero_acc: list[int] = []
 
@@ -98,33 +142,29 @@ def plan_swapins(
             )
             zero_acc.clear()
 
-    # The per-page window bounds are independent of planning order, so
-    # they are batched into two searchsorted calls up front instead of
-    # two numpy calls per faulted page (the previous hot spot here).
-    demand_slots = table.swap_slot[demand]
-    los = np.searchsorted(sw_slots, demand_slots, side="left").tolist()
-    his = np.searchsorted(sw_slots, demand_slots + window, side="left").tolist()
-    slot_list = demand_slots.tolist()
-
     for i, page in enumerate(demand.tolist()):
-        if planned[page]:
-            continue
         if slot_list[i] < 0:
             # Never touched: zero-fill.
-            planned[page] = True
             zero_acc.append(page)
+            continue
+        lo = los[i]
+        if covered[lo]:
             continue
         flush_zero()
         # Read-ahead: all absent pages with slots in [slot, slot+window).
-        lo, hi = los[i], his[i]
+        hi = his[i]
         cand_pages = sw_pages[lo:hi]
         cand_slots = sw_slots[lo:hi]
-        keep = ~planned[cand_pages]
-        cand_pages = cand_pages[keep]
-        cand_slots = cand_slots[keep]
-        planned[cand_pages] = True
-        idx = np.argsort(cand_pages)
-        groups.append(FaultGroup(cand_pages[idx], cand_slots[idx]))
+        if 1 in covered[lo:hi]:
+            keep = np.frombuffer(covered[lo:hi], dtype=np.uint8) == 0
+            cand_pages = cand_pages[keep]
+            cand_slots = cand_slots[keep]
+        covered[lo:hi] = b"\x01" * (hi - lo)
+        if page_asc:
+            groups.append(FaultGroup(cand_pages, cand_slots))
+        else:
+            idx = np.argsort(cand_pages)
+            groups.append(FaultGroup(cand_pages[idx], cand_slots[idx]))
 
     flush_zero()
     return groups

@@ -79,6 +79,22 @@ class ReplacementPolicy:
         return mask
 
     @staticmethod
+    def _drop_protected(
+        table: PageTable,
+        protect: Optional[Mapping[int, np.ndarray]],
+        pages: np.ndarray,
+        aligned: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Filter protected pages out of ``pages`` (and an aligned
+        companion array), without scanning the full address space."""
+        if not protect or table.pid not in protect or pages.size == 0:
+            return pages, aligned
+        mask = np.zeros(table.num_pages, dtype=bool)
+        mask[np.asarray(protect[table.pid], dtype=np.int64)] = True
+        keep = ~mask[pages]
+        return pages[keep], (aligned[keep] if aligned is not None else None)
+
+    @staticmethod
     def _batched(pid: int, pages: np.ndarray, cluster: int) -> list[VictimBatch]:
         """Split ``pages`` into cluster-sized batches (ascending order)."""
         out = []
@@ -99,13 +115,15 @@ class GlobalLruPolicy(ReplacementPolicy):
         pages: list[np.ndarray] = []
         ages: list[np.ndarray] = []
         for pid, table in tables.items():
-            pmask = self._protected_mask(table, protect)
-            res = np.flatnonzero(table.present & ~pmask)
+            # the epoch-cached candidate snapshot replaces the full
+            # present-mask scan + last_ref gather of the pre-index code
+            res, age = table.index.candidates()
+            res, age = self._drop_protected(table, protect, res, age)
             if res.size == 0:
                 continue
             pids.append(np.full(res.size, pid, dtype=np.int64))
             pages.append(res)
-            ages.append(table.last_ref[res])
+            ages.append(age)
         if not pages:
             return []
         if len(pages) == 1:
@@ -158,14 +176,16 @@ class LargestProcessClockPolicy(ReplacementPolicy):
             return []
         batches: list[VictimBatch] = []
         remaining = count
-        # Consider processes in decreasing RSS order; normally the first
-        # yields everything needed.
+        # Consider processes in decreasing RSS order (O(1) resident
+        # counts); normally the first yields everything needed.
         order = sorted(
             tables.values(), key=lambda t: t.resident_count, reverse=True
         )
         for table in order:
             if remaining <= 0:
                 break
+            if table.resident_count == 0:
+                continue  # nothing to sweep; skip the eligibility scan
             victims = self._sweep(table, remaining, protect)
             if victims.size:
                 batches.extend(self._batched(table.pid, victims, cluster))
@@ -252,9 +272,21 @@ class PageAgingPolicy(ReplacementPolicy):
             self._ages[table.pid] = arr
         return arr
 
+    def _reap_exited(self, tables) -> None:
+        """Drop age arrays of pids that no longer have a page table.
+
+        Without this, a long job stream grows ``_ages`` by one array per
+        process that ever ran — an unbounded leak over open-system runs.
+        """
+        if len(self._ages) <= len(tables):
+            return
+        for pid in [p for p in self._ages if p not in tables]:
+            del self._ages[pid]
+
     def select_victims(self, tables, count, cluster, protect=None):
         if count <= 0:
             return []
+        self._reap_exited(tables)
         batches: list[VictimBatch] = []
         remaining = count
         order = sorted(
@@ -263,6 +295,8 @@ class PageAgingPolicy(ReplacementPolicy):
         for table in order:
             if remaining <= 0:
                 break
+            if table.resident_count == 0:
+                continue
             victims = self._sweep(table, remaining, protect)
             if victims.size:
                 batches.extend(self._batched(table.pid, victims, cluster))

@@ -106,6 +106,13 @@ class VirtualMemoryManager:
         # be selected as victims (several touches can be in flight when
         # a stopped process is still finishing kernel-side fault work)
         self._active_demands: list[tuple[int, np.ndarray]] = []
+        # entries purged by unregister_process while their fault service
+        # was still in flight (identity set: _remove_demand must not
+        # raise when the generator finally unwinds)
+        self._purged_demands: set[int] = set()
+        # pids that have ever had a page evicted — before the first
+        # eviction the refault gather can be skipped entirely
+        self._ever_evicted: set[int] = set()
         # per-pid refcount of in-flight demand membership, mirroring
         # _active_demands: counts[page] > 0 == page is in some demand
         # set.  evict_batch consults this instead of rebuilding the
@@ -156,10 +163,23 @@ class VirtualMemoryManager:
         return table
 
     def unregister_process(self, pid: int) -> None:
-        """Tear down an exited process, releasing frames and swap."""
+        """Tear down an exited process, releasing frames and swap.
+
+        Any in-flight demand entries of the pid are purged so
+        :meth:`_active_protect` never hands a dead pid's page array to a
+        victim selector (page numbers of a dead table could even exceed
+        a successor process's address space).
+        """
         table = self.tables.pop(pid)
         self._evicted_at.pop(pid)
         self._demand_counts.pop(pid)
+        self._ever_evicted.discard(pid)
+        stale = [e for e in self._active_demands if e[0] == pid]
+        if stale:
+            self._active_demands = [
+                e for e in self._active_demands if e[0] != pid
+            ]
+            self._purged_demands.update(id(e) for e in stale)
         self.frames.release(table.resident_count)
         slots = table.swap_slot[table.swap_slot >= 0]
         if slots.size:
@@ -248,7 +268,7 @@ class VirtualMemoryManager:
                     table.make_resident(gpages)
                     # the fault itself is a reference (protects freshly
                     # faulted pages from instant LRU re-eviction)
-                    table.last_ref[gpages] = self.env.now
+                    table.set_last_ref(gpages, self.env.now)
         finally:
             self._remove_demand(entry)
         if filled:
@@ -295,7 +315,7 @@ class VirtualMemoryManager:
             self._c_pages_in.inc(pages.size)
             self._count_refaults(pid, pages)
             table.make_resident(pages)
-            table.last_ref[pages] = self.env.now
+            table.set_last_ref(pages, self.env.now)
 
     # ------------------------------------------------------------------
     # reclaim / page-out
@@ -323,6 +343,11 @@ class VirtualMemoryManager:
                 if counts is not None:
                     counts[pages] -= 1
                 return
+        if id(entry) in self._purged_demands:
+            # the owning process was unregistered mid-service; the entry
+            # (and its count array) are already gone
+            self._purged_demands.discard(id(entry))
+            return
         raise ValueError("demand entry not registered")
 
     def _active_protect(
@@ -444,11 +469,18 @@ class VirtualMemoryManager:
             if table is None:
                 return 0  # process exited while we waited
             # Re-validate: drop victims that were evicted, exited or are
-            # now part of an in-flight fault's demand set.
-            pages = batch.pages[table.present[batch.pages]]
+            # now part of an in-flight fault's demand set.  The fancy-
+            # index copies are skipped when nothing went stale — the
+            # overwhelmingly common case on this hot path.
+            pages = batch.pages
+            present = table.present[pages]
+            if not present.all():
+                pages = pages[present]
             counts = self._demand_counts[batch.pid]
             if pages.size:
-                pages = pages[counts[pages] == 0]
+                demanded = counts[pages]
+                if demanded.any():
+                    pages = pages[demanded == 0]
             if pages.size == 0:
                 return 0
 
@@ -466,13 +498,15 @@ class VirtualMemoryManager:
                     return 0  # process exited during the write
                 self.stats.pages_swapped_out += to_write.size
                 self._c_pages_out.inc(to_write.size)
-                table.dirty[to_write] = False
+                table.mark_clean(to_write)
                 # A fault service may have started demanding some of
                 # these pages while the write was in flight; they were
                 # written (wasted I/O) but must stay resident.
                 counts = self._demand_counts[batch.pid]
-                pages = pages[counts[pages] == 0]
-                to_write = to_write[counts[to_write] == 0]
+                demanded = counts[pages]
+                if demanded.any():
+                    pages = pages[demanded == 0]
+                    to_write = to_write[counts[to_write] == 0]
                 if pages.size == 0:
                     return 0
 
@@ -488,6 +522,7 @@ class VirtualMemoryManager:
             if self.on_flush is not None:
                 self.on_flush(batch.pid, pages)
             self._evicted_at[batch.pid][pages] = self.env.now
+            self._ever_evicted.add(batch.pid)
             table.evict(pages)
             self.frames.release(pages.size)
             return int(pages.size)
@@ -498,6 +533,8 @@ class VirtualMemoryManager:
     # helpers
     # ------------------------------------------------------------------
     def _count_refaults(self, pid: int, pages: np.ndarray) -> None:
+        if pid not in self._ever_evicted:
+            return  # nothing evicted yet: no gather needed
         evicted = self._evicted_at[pid][pages]
         recent = self.env.now - evicted < self.refault_window_s
         n = int(np.count_nonzero(recent))

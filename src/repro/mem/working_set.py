@@ -43,10 +43,16 @@ class WorkingSetEstimator:
         start = self._quantum_start.pop(pid, None)
         if start is None:
             # Process was never marked scheduled; fall back to everything
-            # it has ever touched.
-            referenced = int(np.count_nonzero(table.last_ref > -np.inf))
+            # it has ever touched (epoch-cached view).
+            referenced = table.index.touched_count()
         else:
-            referenced = int(np.count_nonzero(table.last_ref >= start))
+            # Gather over the touched view instead of scanning the full
+            # last_ref array: untouched pages sit at -inf < start, so the
+            # counts agree exactly.
+            touched = table.index.touched_pages()
+            referenced = int(
+                np.count_nonzero(table.last_ref[touched] >= start)
+            )
         prev = self._estimate.get(pid)
         if prev is None or prev <= 0:
             self._estimate[pid] = float(referenced)
@@ -67,7 +73,7 @@ class WorkingSetEstimator:
         if est is not None and est > 0:
             return int(round(est))
         if table is not None:
-            return int(np.count_nonzero(table.last_ref > -np.inf))
+            return table.index.touched_count()
         return 0
 
     def forget(self, pid: int) -> None:

@@ -1,5 +1,21 @@
-"""Parallel experiment execution (cell pool) and perf instrumentation."""
+"""Parallel experiment execution (cell pool), result caching and perf
+instrumentation."""
 
+from repro.perf.cache import (
+    CellCache,
+    code_version,
+    fingerprint,
+    get_default_cache,
+    set_default_cache,
+)
 from repro.perf.pool import Cell, run_cells
 
-__all__ = ["Cell", "run_cells"]
+__all__ = [
+    "Cell",
+    "CellCache",
+    "code_version",
+    "fingerprint",
+    "get_default_cache",
+    "run_cells",
+    "set_default_cache",
+]

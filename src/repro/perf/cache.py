@@ -1,0 +1,257 @@
+"""Content-addressed cell result cache.
+
+Sweep experiments re-run the same cells over and over during iterative
+work (``python -m repro all``, harness reruns, CI).  Every cell is a
+pure function of its arguments (the :mod:`repro.perf.pool` determinism
+contract), so its merged summary dict can be keyed by *content*: a
+fingerprint of
+
+* the **code version** — a digest over every ``repro/**/*.py`` source
+  file, so any code change invalidates the whole cache;
+* the cell's **function identity** (module + qualname);
+* a **canonical encoding of its kwargs** — frozen dataclasses
+  (:class:`~repro.experiments.runner.GangConfig`,
+  :class:`~repro.disk.device.DiskParams`,
+  :class:`~repro.faults.plan.FaultRates`) are encoded field by field,
+  dicts are key-sorted, floats use ``repr`` (lossless round-trip).
+
+Anything that could change a cell's deterministic output changes the
+fingerprint; anything that cannot (cell key, declaration order, job
+count) does not.
+
+Results are stored as **pickles**, one file per fingerprint, under the
+cache root (default ``results/.cellcache``).  Pickle rather than JSON
+because the identity guarantee is bit-for-bit: JSON would silently turn
+tuples into lists and integer dict keys into strings.
+
+A cache hit is annotated at ``result["_perf"]["cache"] = "hit"`` —
+``"_perf"`` is the established nondeterminism quarantine
+(:func:`repro.experiments.runner.run_cell`), excluded from every
+identity guarantee, so cached and fresh sweeps stay byte-identical
+outside it.
+
+Mirroring :mod:`repro.obs`, a process-default cache installed with
+:func:`set_default_cache` is picked up by
+:func:`repro.perf.pool.run_cells` when no explicit cache is passed —
+this is how the CLI's ``--cache`` flag reaches every sweep experiment
+without threading a parameter through each harness.
+
+Telemetry: ``cellcache_hits`` / ``cellcache_misses`` /
+``cellcache_stores`` counters are emitted through the PR 3 obs
+registry (the process default unless one is passed explicitly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+#: default cache location, next to the experiment records
+DEFAULT_CACHE_DIR = Path("results") / ".cellcache"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Any edit to the simulation/experiment code changes this value and
+    therefore every fingerprint — the cache can never serve a result
+    produced by different code.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _CODE_VERSION = h.hexdigest()
+    return _CODE_VERSION
+
+
+def _encode(obj: Any, out: list[str]) -> None:
+    """Append a canonical, unambiguous encoding of ``obj`` to ``out``.
+
+    Every supported type gets a distinct tag so values of different
+    types can never collide (``1`` vs ``1.0`` vs ``"1"`` vs ``True``).
+    """
+    if obj is None:
+        out.append("N")
+    elif isinstance(obj, bool):
+        out.append(f"b{int(obj)}")
+    elif isinstance(obj, int):
+        out.append(f"i{obj}")
+    elif isinstance(obj, float):
+        out.append(f"f{obj!r}")
+    elif isinstance(obj, str):
+        out.append(f"s{len(obj)}:{obj}")
+    elif isinstance(obj, bytes):
+        out.append(f"y{len(obj)}:")
+        out.append(obj.hex())
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out.append(f"D{cls.__module__}.{cls.__qualname__}(")
+        for f in fields(obj):
+            out.append(f"{f.name}=")
+            _encode(getattr(obj, f.name), out)
+            out.append(",")
+        out.append(")")
+    elif isinstance(obj, dict):
+        out.append("d{")
+        for k in sorted(obj, key=lambda k: (type(k).__name__, repr(k))):
+            _encode(k, out)
+            out.append(":")
+            _encode(obj[k], out)
+            out.append(",")
+        out.append("}")
+    elif isinstance(obj, (list, tuple)):
+        out.append("l[" if isinstance(obj, list) else "t[")
+        for item in obj:
+            _encode(item, out)
+            out.append(",")
+        out.append("]")
+    elif hasattr(obj, "tobytes") and hasattr(obj, "dtype"):  # ndarray
+        out.append(f"a{obj.dtype.str}{obj.shape}:")
+        out.append(obj.tobytes().hex())
+    else:
+        raise TypeError(
+            f"cell kwargs contain an unfingerprintable value of type "
+            f"{type(obj).__name__}: {obj!r}"
+        )
+
+
+def fingerprint(fn: Any, kwargs: dict) -> str:
+    """Content fingerprint of one cell: code + function + arguments."""
+    parts: list[str] = [
+        code_version(),
+        "|",
+        f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', '?')}",
+        "|",
+    ]
+    _encode(kwargs, parts)
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+
+class CellCache:
+    """Persistent fingerprint-to-summary store for sweep cells.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first store).  Defaults to
+        ``results/.cellcache``.
+    obs:
+        Telemetry registry for the hit/miss/store counters; defaults to
+        the process-default registry (:func:`repro.obs.get_default`).
+    """
+
+    def __init__(self, root: str | Path | None = None, obs=None) -> None:
+        if obs is None:
+            from repro.obs import get_default
+
+            obs = get_default()
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._c_hits = obs.counter("cellcache_hits")
+        self._c_misses = obs.counter("cellcache_misses")
+        self._c_stores = obs.counter("cellcache_stores")
+
+    # -- store ---------------------------------------------------------------
+    def _path(self, fp: str) -> Path:
+        return self.root / f"{fp}.pkl"
+
+    def get(self, fp: str) -> Any:
+        """Return the cached result for ``fp``, or ``None`` on a miss.
+
+        A hit returns a fresh unpickled object annotated at
+        ``["_perf"]["cache"] = "hit"`` (dict results only); the caller
+        owns it outright.
+        """
+        path = self._path(fp)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError):
+            self.misses += 1
+            self._c_misses.inc()
+            return None
+        self.hits += 1
+        self._c_hits.inc()
+        result = entry["result"]
+        if isinstance(result, dict):
+            result.setdefault("_perf", {})["cache"] = "hit"
+        return result
+
+    def put(self, fp: str, result: Any, label: str = "") -> None:
+        """Store ``result`` under ``fp`` (atomic write-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(fp)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump({"label": label, "result": result}, fh,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stores += 1
+        self._c_stores.inc()
+
+    # -- maintenance ---------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Cached entry files currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def stats(self) -> dict:
+        """Session counters plus on-disk footprint."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+_default_cache: Optional[CellCache] = None
+
+
+def get_default_cache() -> Optional[CellCache]:
+    """The process-wide default cache (``None`` = caching off)."""
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[CellCache]) -> None:
+    """Install (or with ``None`` remove) the process default cache."""
+    global _default_cache
+    _default_cache = cache
+
+
+__all__ = [
+    "CellCache",
+    "DEFAULT_CACHE_DIR",
+    "code_version",
+    "fingerprint",
+    "get_default_cache",
+    "set_default_cache",
+]

@@ -69,7 +69,7 @@ def _execute(cell: Cell) -> Any:
 
 
 def run_cells(
-    cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1
+    cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1, cache=None
 ) -> dict[Hashable, Any]:
     """Run ``cells`` and return ``{cell.key: result}`` in cell order.
 
@@ -77,6 +77,15 @@ def run_cells(
     fans cells across that many worker processes.  Either way the result
     mapping is built in declaration order, so iteration over the return
     value is deterministic and identical across job counts.
+
+    ``cache`` is an optional :class:`repro.perf.cache.CellCache`; when
+    omitted, the process default (installed by the CLI's ``--cache``
+    flag via :func:`repro.perf.cache.set_default_cache`) is consulted.
+    Cells are pure functions of their arguments, so a fingerprint hit
+    returns the stored summary without running the simulation — the
+    result is byte-identical to a fresh run outside the ``"_perf"``
+    quarantine (where hits are annotated).  Missed cells run (serially
+    or in the pool) and are stored back.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -86,13 +95,44 @@ def run_cells(
         seen: set = set()
         dup = next(k for k in keys if k in seen or seen.add(k))
         raise ValueError(f"duplicate cell key: {dup!r}")
-    if jobs == 1 or len(cells) <= 1:
-        results = [_execute(c) for c in cells]
+
+    if cache is None:
+        from repro.perf.cache import get_default_cache
+
+        cache = get_default_cache()
+
+    results: list[Any] = [None] * len(cells)
+    todo: list[tuple[int, Cell]] = []
+    prints: list[str] = []
+    if cache is not None:
+        from repro.perf.cache import fingerprint
+
+        prints = [fingerprint(c.fn, c.kwargs) for c in cells]
+        for i, cell in enumerate(cells):
+            hit = cache.get(prints[i])
+            if hit is not None:
+                results[i] = hit
+            else:
+                todo.append((i, cell))
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            # map() yields results in submission order regardless of
-            # which worker finishes first — the merge is deterministic.
-            results = list(pool.map(_execute, cells))
+        todo = list(enumerate(cells))
+
+    if todo:
+        if jobs == 1 or len(todo) <= 1:
+            fresh = [_execute(c) for _, c in todo]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(todo))
+            ) as pool:
+                # map() yields results in submission order regardless of
+                # which worker finishes first — the merge is
+                # deterministic.
+                fresh = list(pool.map(_execute, (c for _, c in todo)))
+        for (i, cell), result in zip(todo, fresh):
+            results[i] = result
+            if cache is not None:
+                cache.put(prints[i], result, label=repr(cell.key))
+
     return dict(zip(keys, results))
 
 

@@ -1,0 +1,63 @@
+"""The zero-perturbation guarantee for the page-state index.
+
+Runs with the incremental :class:`~repro.mem.index.PageIndex` enabled
+must be bit-for-bit identical to scan-mode runs (every view recomputed
+from the raw arrays on each call) — the index is a pure compute-saving
+cache and must never change a simulated trajectory.  Checked across
+every paper policy combination and a fault-injected configuration.
+"""
+
+import pytest
+
+from repro.core.policies import PAPER_POLICIES
+from repro.experiments.runner import GangConfig, run_experiment
+from repro.faults import FaultRates
+from repro.mem import set_index_enabled
+
+
+@pytest.fixture(autouse=True)
+def _restore_index_mode():
+    set_index_enabled(True)
+    yield
+    set_index_enabled(True)
+
+
+def _signature(result):
+    return (
+        result.makespan,
+        result.completions,
+        result.events_processed,
+        result.pages_read,
+        result.pages_written,
+        result.switch_count,
+        result.vmm_stats,
+    )
+
+
+def _run_both(cfg):
+    set_index_enabled(True)
+    indexed = run_experiment(cfg)
+    set_index_enabled(False)
+    scan = run_experiment(cfg)
+    set_index_enabled(True)
+    return indexed, scan
+
+
+@pytest.mark.parametrize("policy", PAPER_POLICIES)
+def test_indexed_and_scan_runs_identical(policy):
+    cfg = GangConfig("LU", "C", nprocs=2, policy=policy, seed=1, scale=0.05)
+    indexed, scan = _run_both(cfg)
+    assert _signature(indexed) == _signature(scan)
+
+
+def test_indexed_and_scan_identical_under_faults():
+    cfg = GangConfig(
+        "LU", "C", nprocs=2, policy="so/ao/ai/bg", seed=3, scale=0.05,
+        faults=FaultRates(
+            disk_error_rate=0.02, disk_latency_rate=0.05,
+            straggler_rate=0.1, record_loss_rate=0.1,
+        ),
+    )
+    indexed, scan = _run_both(cfg)
+    assert _signature(indexed) == _signature(scan)
+    assert indexed.fault_summary == scan.fault_summary

@@ -85,6 +85,24 @@ def test_age_state_survives_across_calls():
     assert pol._age_array(t) is after  # same backing array, not rebuilt
 
 
+def test_exited_process_age_state_reaped():
+    """Age arrays of pids with no page table are dropped on the next
+    selection call — open-system job streams must not grow ``_ages``
+    by one array per process that ever ran."""
+    pol = PageAgingPolicy()
+    tables = {pid: table_with(pid, range(8)) for pid in (1, 2, 3)}
+    for t in tables.values():
+        pol._age_array(t)
+    assert set(pol._ages) == {1, 2, 3}
+    # pids 2 and 3 exit; their tables disappear from the vmm mapping
+    del tables[2], tables[3]
+    pol.select_victims(tables, count=1, cluster=8)
+    assert set(pol._ages) == {1}
+    # a reused pid with a different address-space size gets a fresh array
+    bigger = table_with(2, range(4), n=128)
+    assert pol._age_array(bigger).size == 128
+
+
 def test_thrash_resistance_vs_clock():
     """Aging needs more sweeps than a plain clock to strip an idle set —
     the ref. [17] protection property."""

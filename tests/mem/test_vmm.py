@@ -227,6 +227,56 @@ def test_evict_batch_keep_resident_cleans_without_evicting():
     vmm.check_invariants()
 
 
+def test_unregister_mid_fault_purges_demand_entries():
+    """Killing a process while its fault service is in flight must purge
+    its demand entries: the victim-selector protect map sees no dead
+    pid, and the unwinding touch generator's ``_remove_demand`` call
+    tolerates the already-purged entry instead of raising."""
+    from repro.sim import Interrupt
+
+    env, disk, vmm = make_vmm(total_frames=64)
+    vmm.register_process(1, 128)
+    # swap a range out so re-touching it blocks on disk reads
+    drive(env, vmm.touch(1, np.arange(40), dirty=True))
+    drive(env, vmm.touch(1, np.arange(40, 80), dirty=True))
+    assert vmm.stats.pages_swapped_out > 0
+
+    def refault():
+        try:
+            yield from vmm.touch(1, np.arange(20))
+        except Interrupt:
+            pass
+
+    p = env.process(refault())
+    env.run(until=env.now + 1e-6)  # start the touch; disk I/O takes longer
+    assert any(pid == 1 for pid, _ in vmm._active_demands)
+
+    vmm.unregister_process(1)
+    assert all(pid != 1 for pid, _ in vmm._active_demands)
+    assert 1 not in vmm._active_protect()
+
+    p.interrupt("process killed mid-fault")
+    env.run(until=p)  # the finally-unwind must not raise
+    assert vmm._active_demands == []
+    assert vmm._purged_demands == set()  # purge set fully drained
+    assert vmm.frames.used == 0  # teardown + unwind returned every frame
+
+    # pid reuse after a mid-flight teardown starts from a clean slate
+    t = vmm.register_process(1, 32)
+    drive(env, vmm.touch(1, np.arange(8)))
+    assert t.resident_count == 8
+    vmm.check_invariants()
+
+
+def test_remove_demand_unknown_entry_still_raises():
+    """The purge tolerance is identity-keyed: an entry that was never
+    registered (and never purged) is still a caller bug."""
+    env, disk, vmm = make_vmm()
+    vmm.register_process(1, 16)
+    with pytest.raises(ValueError, match="not registered"):
+        vmm._remove_demand((1, np.arange(4)))
+
+
 def test_stats_snapshot():
     env, disk, vmm = make_vmm()
     vmm.register_process(1, 32)

@@ -1,0 +1,212 @@
+"""Content-addressed cell result cache: fingerprints, hit/miss flow,
+``run_cells`` integration, and the cached-vs-fresh identity guarantee."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import GangConfig, run_cell
+from repro.perf import (
+    Cell,
+    CellCache,
+    code_version,
+    fingerprint,
+    get_default_cache,
+    run_cells,
+    set_default_cache,
+)
+from repro.obs import Registry
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache():
+    set_default_cache(None)
+    yield
+    set_default_cache(None)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CellCache(root=tmp_path / "cellcache")
+
+
+def cell_fn(a=0, b=0):
+    return {"sum": a + b, "pair": (a, b)}
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+def test_fingerprint_stable_across_calls():
+    kw = {"cfg": GangConfig("LU", "C", nprocs=2, scale=0.05), "x": 1}
+    assert fingerprint(cell_fn, kw) == fingerprint(cell_fn, dict(kw))
+
+
+def test_fingerprint_sensitive_to_kwargs():
+    base = fingerprint(cell_fn, {"a": 1})
+    assert fingerprint(cell_fn, {"a": 2}) != base
+    assert fingerprint(cell_fn, {"b": 1}) != base
+    # type distinctions: 1 / 1.0 / True / "1" must not collide
+    prints = {
+        fingerprint(cell_fn, {"a": v}) for v in (1, 1.0, True, "1")
+    }
+    assert len(prints) == 4
+
+
+def test_fingerprint_sensitive_to_function_identity():
+    assert fingerprint(cell_fn, {}) != fingerprint(run_cell, {})
+
+
+def test_fingerprint_dataclass_fields_matter():
+    a = GangConfig("LU", "C", nprocs=2, seed=1, scale=0.05)
+    b = GangConfig("LU", "C", nprocs=2, seed=2, scale=0.05)
+    assert (fingerprint(cell_fn, {"cfg": a})
+            != fingerprint(cell_fn, {"cfg": b}))
+
+
+def test_fingerprint_dict_order_canonical():
+    # same mapping, different insertion order → same fingerprint
+    assert (fingerprint(cell_fn, {"a": 1, "b": 2})
+            == fingerprint(cell_fn, {"b": 2, "a": 1}))
+
+
+def test_fingerprint_ndarray_supported():
+    fp1 = fingerprint(cell_fn, {"pages": np.arange(4)})
+    fp2 = fingerprint(cell_fn, {"pages": np.arange(5)})
+    assert fp1 != fp2
+
+
+def test_unfingerprintable_kwargs_raise():
+    with pytest.raises(TypeError, match="unfingerprintable"):
+        fingerprint(cell_fn, {"bad": object()})
+
+
+def test_code_version_is_cached_and_hexdigest():
+    v = code_version()
+    assert v == code_version()
+    assert len(v) == 64 and int(v, 16) >= 0
+
+
+# ---------------------------------------------------------------------------
+# hit / miss flow
+# ---------------------------------------------------------------------------
+def test_get_miss_then_put_then_hit(cache):
+    fp = fingerprint(cell_fn, {"a": 1})
+    assert cache.get(fp) is None
+    assert (cache.hits, cache.misses, cache.stores) == (0, 1, 0)
+    cache.put(fp, {"sum": 1}, label="demo")
+    hit = cache.get(fp)
+    assert hit["sum"] == 1
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+
+def test_hit_is_annotated_in_perf_quarantine(cache):
+    fp = fingerprint(cell_fn, {"a": 2})
+    cache.put(fp, {"sum": 2})
+    hit = cache.get(fp)
+    assert hit["_perf"]["cache"] == "hit"
+    # non-dict results are returned untouched
+    fp2 = fingerprint(cell_fn, {"a": 3})
+    cache.put(fp2, [1, 2, 3])
+    assert cache.get(fp2) == [1, 2, 3]
+
+
+def test_corrupt_entry_treated_as_miss(cache):
+    fp = fingerprint(cell_fn, {"a": 4})
+    cache.put(fp, {"sum": 4})
+    cache._path(fp).write_bytes(b"not a pickle")
+    assert cache.get(fp) is None
+    assert cache.misses == 1
+
+
+def test_stats_and_clear(cache):
+    for a in range(3):
+        cache.put(fingerprint(cell_fn, {"a": a}), {"sum": a})
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["bytes"] > 0
+    assert stats["stores"] == 3
+    assert cache.clear() == 3
+    assert cache.entries() == []
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0  # idempotent on an empty/missing root
+
+
+def test_counters_reach_obs_registry(tmp_path):
+    reg = Registry()
+    cache = CellCache(root=tmp_path, obs=reg)
+    fp = fingerprint(cell_fn, {"a": 5})
+    cache.get(fp)
+    cache.put(fp, {"sum": 5})
+    cache.get(fp)
+    assert reg.value("cellcache_misses") == 1
+    assert reg.value("cellcache_hits") == 1
+    assert reg.value("cellcache_stores") == 1
+
+
+def test_put_is_atomic_no_tmp_left_behind(cache):
+    fp = fingerprint(cell_fn, {"a": 6})
+    cache.put(fp, {"sum": 6})
+    assert not list(cache.root.glob("*.tmp"))
+    # stored entry round-trips through pickle with its label
+    with cache._path(fp).open("rb") as fh:
+        entry = pickle.load(fh)
+    assert entry["result"] == {"sum": 6}
+
+
+# ---------------------------------------------------------------------------
+# run_cells integration
+# ---------------------------------------------------------------------------
+def make_cells():
+    return [
+        Cell(key=("a", i), fn=cell_fn, kwargs={"a": i, "b": 10})
+        for i in range(4)
+    ]
+
+
+def test_run_cells_explicit_cache_cold_then_warm(cache):
+    cold = run_cells(make_cells(), cache=cache)
+    assert cache.stores == 4 and cache.hits == 0
+    warm = run_cells(make_cells(), cache=cache)
+    assert cache.hits == 4 and cache.stores == 4
+    for key in cold:
+        strip = lambda d: {k: v for k, v in d.items() if k != "_perf"}
+        assert strip(warm[key]) == strip(cold[key])
+        assert warm[key]["pair"] == cold[key]["pair"]  # tuple, not list
+        assert warm[key]["_perf"]["cache"] == "hit"
+
+
+def test_run_cells_partial_hits_merge_in_declaration_order(cache):
+    run_cells(make_cells()[:2], cache=cache)
+    out = run_cells(make_cells(), cache=cache)
+    assert list(out) == [("a", i) for i in range(4)]
+    assert cache.hits == 2 and cache.stores == 4
+    assert [out[k]["sum"] for k in out] == [10, 11, 12, 13]
+
+
+def test_run_cells_uses_process_default_cache(cache):
+    set_default_cache(cache)
+    assert get_default_cache() is cache
+    run_cells(make_cells())
+    run_cells(make_cells())
+    assert cache.hits == 4
+    set_default_cache(None)
+    run_cells(make_cells())
+    assert cache.hits == 4  # untouched once uninstalled
+
+
+def test_run_cells_without_cache_never_touches_disk(tmp_path):
+    out = run_cells(make_cells(), cache=None)
+    assert out[("a", 0)]["sum"] == 10
+    assert not (tmp_path / "cellcache").exists()
+
+
+def test_cached_simulation_cell_identical_to_fresh(cache):
+    cfg = GangConfig("LU", "C", nprocs=2, policy="lru", seed=1, scale=0.05)
+    cells = [Cell(key="lru", fn=run_cell, kwargs={"cfg": cfg})]
+    fresh = run_cells(cells, cache=cache)["lru"]
+    cached = run_cells(cells, cache=cache)["lru"]
+    assert cached["_perf"]["cache"] == "hit"
+    strip = lambda d: {k: v for k, v in d.items() if k != "_perf"}
+    assert strip(cached) == strip(fresh)
