@@ -81,6 +81,14 @@ class AdaptivePaging:
         self.recorder: Optional[PageRecorder] = None
         self.bgwriter: Optional[BackgroundWriter] = None
 
+        # deadlines published by the gang scheduler for the steady-state
+        # fast path: a coalesced resident run must end strictly before
+        # the background writer arms and strictly before the quantum cap
+        # (see repro.gang.job).  inf == never published (e.g. a policy
+        # without bg); each quantum overwrites both before its job runs.
+        self.bg_arm_at = float("inf")
+        self.run_cap_at = float("inf")
+
         if policy.so:
             self.selective = SelectivePageOut(
                 fallback=vmm.policy, obs=obs, node=vmm.name
@@ -204,7 +212,17 @@ class AdaptivePaging:
             self.bgwriter.start(in_pid)
 
     def stop_bgwrite(self) -> None:
-        """Deactivate background writing (idempotent)."""
+        """Deactivate background writing (idempotent).
+
+        ``bg_arm_at`` is deliberately left alone: the switch path calls
+        this in the same timestep the scheduler publishes the coming
+        quantum's arm deadline, and the pending ``_bg_timer`` fires at
+        that published time regardless.  A leftover finite value from a
+        previous quantum is merely conservative (it can only shorten a
+        coalesced run), whereas resetting to ``inf`` here would let a
+        run span the timer's wakeup and defer page-state stamps past
+        the background writer's first scan.
+        """
         if self.bgwriter is not None:
             self.bgwriter.stop()
 

@@ -38,7 +38,6 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from itertools import count
 from typing import Callable, Optional
 
 import numpy as np
@@ -46,7 +45,8 @@ import numpy as np
 from repro.faults.errors import DiskFailure
 from repro.faults.plan import FaultPlan
 from repro.obs.registry import NULL_OBS
-from repro.sim.engine import Environment, Event
+from repro.sim import fastpath as _fastpath
+from repro.sim.engine import NORMAL, Environment, Event
 
 #: Queue priority for demand faults and switch-time paging bursts.
 PRIO_FOREGROUND = 0
@@ -112,7 +112,18 @@ ERA_DISK = DiskParams(
 
 
 class DiskRequest(Event):
-    """A queued transfer; fires (with the service time) when complete."""
+    """A queued transfer; fires (with the service time) when complete.
+
+    Carries ``__slots__`` like every other event class: tens of
+    thousands of requests per run make the per-instance dict a
+    measurable allocation cost on the paging hot path.
+    """
+
+    __slots__ = (
+        "disk", "slots", "op", "priority", "pid", "submitted_at",
+        "cancelled", "_queued", "service_time", "seeks", "completed_at",
+        "_extra_delay",
+    )
 
     def __init__(
         self,
@@ -140,6 +151,14 @@ class DiskRequest(Event):
         #: filled in when serviced
         self.service_time: Optional[float] = None
         self.seeks: Optional[int] = None
+        #: virtual time service finished (set on success; the fast path
+        #: may deliver the completion to the waiter ``_extra_delay``
+        #: later, so refault-window checks use this exact instant)
+        self.completed_at: Optional[float] = None
+        #: extra delay between service completion and the waiter seeing
+        #: the trigger (the fused major-fault CPU charge); honoured only
+        #: by the fast dispatcher
+        self._extra_delay = 0.0
 
     @property
     def npages(self) -> int:
@@ -206,7 +225,7 @@ class Disk:
         self.max_retries = max_retries
         self.retry_budget_left = retry_budget
         self._queue: list[tuple[int, int, DiskRequest]] = []
-        self._seq = count()
+        self._seq = 0
         self._busy = False
         # live (non-cancelled) queued requests, maintained incrementally
         # so submit() does not rescan the heap
@@ -246,18 +265,43 @@ class Disk:
         op: str,
         priority: int = PRIO_FOREGROUND,
         pid: Optional[int] = None,
+        extra_delay: float = 0.0,
     ) -> DiskRequest:
-        """Queue a transfer of ``slots``; returns an awaitable request."""
+        """Queue a transfer of ``slots``; returns an awaitable request.
+
+        ``extra_delay`` defers the waiter-visible completion trigger by
+        that much *after* service finishes (the device itself frees at
+        service completion).  The fault path uses it to fold the
+        per-group major-fault CPU charge into the trigger instead of a
+        separate timeout event; only the fast dispatcher honours it, so
+        callers must pass 0 when the fast path is disabled.
+        """
         req = DiskRequest(self, np.asarray(slots, dtype=np.int64), op, priority, pid)
+        req._extra_delay = extra_delay
+        if _fastpath.ENABLED and not self._busy and not self._queue:
+            # idle disk, empty heap (an empty heap implies _live == 0):
+            # the push/pop round trip the dispatcher would perform is a
+            # no-op, so start service directly.  Depth accounting and
+            # head/statistics updates are identical to the queued path.
+            if self.max_queue_seen < 1:
+                self.max_queue_seen = 1
+            self._busy = True
+            self._start_attempt(req, self.env.now, 0)
+            return req
         req._queued = True
         self._live += 1
-        heapq.heappush(self._queue, (priority, next(self._seq), req))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (priority, seq, req))
         depth = self._live + (1 if self._busy else 0)
         if depth > self.max_queue_seen:
             self.max_queue_seen = depth
         if not self._busy:
             self._busy = True
-            self.env.process(self._serve())
+            if _fastpath.ENABLED:
+                self._dispatch_next()
+            else:
+                self.env.process(self._serve())
         return req
 
     @property
@@ -285,9 +329,23 @@ class Disk:
         if last - first == slots.size - 1:
             # single contiguous run — the dominant case for swap-cluster
             # writes and block page-ins (slots are sorted and unique, so
-            # span == size-1 implies consecutive)
-            starts = [first]
-            ends = [last + 1]
+            # span == size-1 implies consecutive).  Computed without the
+            # run-decomposition lists: one compare decides whether the
+            # head streams straight into this transfer.
+            pos = self._head
+            if first == pos and self._last_op == request.op:
+                seeks = 0
+                positioning = 0.0
+            else:
+                seeks = 1
+                positioning = params.positioning_s
+                if coef > 0.0:
+                    positioning += coef * math.sqrt(abs(first - pos))
+            return (
+                params.overhead_s
+                + positioning
+                + slots.size * params.page_transfer_s
+            ), seeks
         else:
             slist = slots.tolist()
             starts = [first]
@@ -388,7 +446,16 @@ class Disk:
             self._h_service.observe(duration)
         req.service_time = duration
         req.seeks = seeks
-        req.succeed(duration)
+        req.completed_at = self.env.now
+        extra = req._extra_delay
+        if extra > 0.0:
+            # deferred trigger (see submit): the device frees now, the
+            # waiter wakes `extra` later
+            req._ok = True
+            req._value = duration
+            self.env._schedule(req, NORMAL, extra)
+        else:
+            req.succeed(duration)
         if self.on_complete is not None:
             self.on_complete(req, start, self.env.now)
 
@@ -401,6 +468,110 @@ class Disk:
             self._live -= 1
             yield from self._service_one(req)
         self._busy = False
+
+    # -- fast dispatcher ---------------------------------------------------
+    # A callback-chained rewrite of _serve/_service_one, used when the
+    # steady-state fast path is on.  Per request it schedules exactly one
+    # service Timeout (whose callback performs the completion) instead of
+    # spinning up a coroutine process per idle-disk submit — removing the
+    # Initialize and process-termination events while computing the same
+    # service times, head state, statistics and fault (RNG) draws in the
+    # same order.  Simulated timing is bit-for-bit identical; only
+    # events_processed drops.
+
+    def _dispatch_next(self) -> None:
+        queue = self._queue
+        while queue:
+            _, _, req = heapq.heappop(queue)
+            if req.cancelled:
+                continue  # its _live slot was returned by cancel()
+            req._queued = False
+            self._live -= 1
+            self._start_attempt(req, self.env.now, 0)
+            return
+        self._busy = False
+
+    def _start_attempt(self, req: DiskRequest, start: float,
+                       attempt: int) -> None:
+        duration, seeks = self.service_time(req)
+        if self.faults is not None:
+            spike = self.faults.disk_latency_factor(self.name)
+            if spike > 1.0:
+                self.latency_spikes += 1
+                self._c_spikes.inc()
+                duration *= spike
+        # bare pre-triggered event scheduled `duration` out: what
+        # Timeout() builds, minus the subclass ceremony — this runs once
+        # per disk request, the single most allocated event of a
+        # paging-heavy run
+        ev = Event(self.env)
+        ev._value = None
+        self.env._schedule(ev, NORMAL, duration)
+        ev.callbacks.append(
+            lambda _e, req=req, start=start, attempt=attempt,
+            duration=duration, seeks=seeks:
+            self._finish_attempt(req, start, attempt, duration, seeks)
+        )
+
+    def _finish_attempt(self, req: DiskRequest, start: float, attempt: int,
+                        duration: float, seeks: int) -> None:
+        self.total_busy_s += duration
+        if self.faults is not None and self.faults.disk_error(self.name):
+            self.error_count += 1
+            self._c_errors.inc()
+            budget_out = self.retry_budget_left == 0
+            if attempt >= self.max_retries or budget_out:
+                self.failed_requests += 1
+                self._c_failed.inc()
+                why = ("device retry budget exhausted" if budget_out
+                       else f"failed after {attempt} retries")
+                req.fail(DiskFailure(
+                    f"{self.name}: {req.op} of {req.npages} pages {why}"
+                ))
+                self._dispatch_next()
+                return
+            if self.retry_budget_left is not None:
+                self.retry_budget_left -= 1
+            attempt += 1
+            self.retry_count += 1
+            self._c_retries.inc()
+            backoff = self.env.timeout(
+                self.params.positioning_s * (2 ** attempt)
+            )
+            backoff.callbacks.append(
+                lambda _e, req=req, start=start, attempt=attempt:
+                self._start_attempt(req, start, attempt)
+            )
+            return
+        # update head state
+        self._head = int(req.slots[-1]) + 1
+        self._last_op = req.op
+        # statistics
+        npages = req.npages
+        self.total_requests += 1
+        self.total_pages[req.op] += npages
+        self.total_seeks += seeks
+        if self._obs_on:
+            self._c_requests.inc()
+            (self._c_pages_read if req.op == "read"
+             else self._c_pages_write).inc(npages)
+            self._c_seeks.inc(seeks)
+            self._h_service.observe(duration)
+        req.service_time = duration
+        req.seeks = seeks
+        req.completed_at = self.env.now
+        extra = req._extra_delay
+        if extra > 0.0:
+            # fused major-fault CPU charge: trigger fires `extra` later,
+            # but the device frees (and the next request starts) now
+            req._ok = True
+            req._value = duration
+            self.env._schedule(req, NORMAL, extra)
+        else:
+            req.succeed(duration)
+        if self.on_complete is not None:
+            self.on_complete(req, start, self.env.now)
+        self._dispatch_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -21,8 +21,6 @@ write never overtakes a foreground fault.
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
 from typing import Optional
 
 import numpy as np
@@ -67,14 +65,22 @@ class ScheduledDisk(Disk):
         self.discipline = discipline
         # pending requests as a flat list for position-aware selection
         self._pending: list[tuple[int, int, DiskRequest]] = []
+        if discipline == "fifo":
+            # fifo delegates straight to the base device; binding the
+            # base implementation onto the instance removes one Python
+            # frame from every submit on the paging hot path
+            self.submit = Disk.submit.__get__(self, type(self))
 
     # -- overrides ---------------------------------------------------------
-    def submit(self, slots, op, priority=0, pid=None):
+    def submit(self, slots, op, priority=0, pid=None, extra_delay=0.0):
         if self.discipline == "fifo":
-            return super().submit(slots, op, priority, pid)
+            return super().submit(slots, op, priority, pid, extra_delay)
         req = DiskRequest(self, np.asarray(slots, dtype=np.int64), op,
                           priority, pid)
-        self._pending.append((priority, next(self._seq), req))
+        req._extra_delay = extra_delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending.append((priority, seq, req))
         self.max_queue_seen = max(
             self.max_queue_seen, self.queue_length + (1 if self._busy else 0)
         )

@@ -139,6 +139,13 @@ class GangScheduler:
                 current = nxt
             self._gen += 1
             quantum = self._degraded_quantum(current)
+            # publish the quantum cap for the steady-state fast path:
+            # a coalesced resident run must not contain a chunk starting
+            # at/after this time (per-chunk slowdown re-reads would see
+            # the boundary's slowdown reset).  Same float expression as
+            # the timeout below, so cap and wakeup agree bit-for-bit.
+            for node in current.nodes:
+                node.adaptive.run_cap_at = env.now + quantum
             self._arm_bgwrite(current, self._gen, quantum)
             yield AnyOf(env, [env.timeout(quantum), current.done])
             for node in current.nodes:
@@ -294,6 +301,15 @@ class GangScheduler:
             return
         frac = nodes[0].adaptive.policy.bg_fraction
         delay = quantum_s * (1.0 - frac)
+        # publish the arm deadline for the steady-state fast path (same
+        # float expression as the timer's wakeup: _bg_timer starts at
+        # this same timestep, so its timeout resolves env.now + delay
+        # identically).  Never reset: each bg-policy quantum overwrites
+        # it before its job is continued, and stop_bgwrite must not
+        # clear it (the switch stops the writer in the same timestep
+        # this publication happens).
+        for node in nodes:
+            node.adaptive.bg_arm_at = self.env.now + delay
         self.env.process(self._bg_timer(job, gen, delay))
 
     def _bg_timer(self, job: Job, gen: int, delay: float):

@@ -83,7 +83,9 @@ class ProcessControl:
         across any stop/cont cycles."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        remaining = duration
+        yield from self._cpu_loop(duration)
+
+    def _cpu_loop(self, remaining: float):
         while remaining > 0:
             yield from self.wait_runnable()
             start = self.env.now
@@ -98,6 +100,25 @@ class ProcessControl:
                 remaining -= used
             finally:
                 self._in_cpu = False
+
+    def cpu_until(self, when: float):
+        """Process fragment: one *interruptible* sleep to exactly ``when``.
+
+        The steady-state fast path's coalesced burst primitive: no
+        ``cpu_consumed_s`` accounting happens here (the caller stamps
+        per-chunk amounts afterwards, so the books match the per-chunk
+        path bit-for-bit).  Returns ``None`` on completion, or the
+        interrupt time when a stop() lands mid-burst — the caller then
+        rolls the run state back to that instant.
+        """
+        self._in_cpu = True
+        try:
+            yield self.env.timeout_at(when)
+            return None
+        except Interrupt:
+            return self.env.now
+        finally:
+            self._in_cpu = False
 
 
 __all__ = ["ProcessControl"]

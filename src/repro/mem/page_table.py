@@ -143,6 +143,40 @@ class PageTable:
             self.dirty[pages[mask]] = True
         self.epoch += 1
 
+    def record_access_runs(
+        self,
+        runs: list[tuple[np.ndarray, float, "bool | np.ndarray"]],
+    ) -> None:
+        """Apply a batch of :meth:`record_access` updates in one epoch bump.
+
+        ``runs`` is a list of ``(pages, now, dirty)`` tuples in access
+        order; later stamps overwrite earlier ones exactly as the
+        per-chunk calls would.  Callers (the steady-state fast path)
+        have already verified residency via the vectorised probe, so the
+        per-call ``present`` validation is skipped.  The single epoch
+        bump at the end preserves the PageIndex contract: cached views
+        are only consulted *between* mutations, and the batch is applied
+        atomically from the simulation's point of view (no event can
+        observe a half-applied run).
+        """
+        if not runs:
+            return
+        referenced = self.referenced
+        last_ref = self.last_ref
+        dirty_arr = self.dirty
+        for pages, now, dirty in runs:
+            referenced[pages] = True
+            last_ref[pages] = now
+            if np.isscalar(dirty) or isinstance(dirty, bool):
+                if dirty:
+                    dirty_arr[pages] = True
+            else:
+                mask = np.asarray(dirty, dtype=bool)
+                if mask.shape != pages.shape:
+                    raise ValueError("dirty mask shape mismatch")
+                dirty_arr[pages[mask]] = True
+        self.epoch += 1
+
     def set_last_ref(self, pages: np.ndarray, now: float) -> None:
         """Stamp ``last_ref`` only (a fault-time reference: the freshly
         paged-in pages must not look like the oldest in memory)."""

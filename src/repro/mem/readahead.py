@@ -142,17 +142,51 @@ def plan_swapins(
             )
             zero_acc.clear()
 
-    for i, page in enumerate(demand.tolist()):
-        if slot_list[i] < 0:
+    # When the swap-backed demand slots ascend (touch order follows
+    # slot order — the dominant case for sequential sweeps), the chosen
+    # windows [lo, hi) appear with strictly increasing bounds, so the
+    # union of earlier windows is exactly [0, last_hi): the coverage
+    # test collapses to one integer compare and no window can partially
+    # overlap earlier coverage — the bytearray bookkeeping disappears.
+    swap_slots_seq = demand_slots[have_swap]
+    monotone = swap_slots_seq.size < 2 or bool(
+        (swap_slots_seq[1:] > swap_slots_seq[:-1]).all()
+    )
+
+    # single zip drive: three scalar list indexings per page replaced
+    # by tuple unpacking (this loop runs once per demanded page and is
+    # the planner's dominant cost at thrash scale)
+    if monotone:
+        last_hi = 0
+        for page, slot, lo, hi in zip(demand.tolist(), slot_list,
+                                      los, his):
+            if slot < 0:
+                # Never touched: zero-fill.
+                zero_acc.append(page)
+                continue
+            if lo < last_hi:
+                continue
+            flush_zero()
+            last_hi = hi
+            cand_pages = sw_pages[lo:hi]
+            cand_slots = sw_slots[lo:hi]
+            if page_asc:
+                groups.append(FaultGroup(cand_pages, cand_slots))
+            else:
+                idx = np.argsort(cand_pages)
+                groups.append(FaultGroup(cand_pages[idx], cand_slots[idx]))
+        flush_zero()
+        return groups
+
+    for page, slot, lo, hi in zip(demand.tolist(), slot_list, los, his):
+        if slot < 0:
             # Never touched: zero-fill.
             zero_acc.append(page)
             continue
-        lo = los[i]
         if covered[lo]:
             continue
         flush_zero()
         # Read-ahead: all absent pages with slots in [slot, slot+window).
-        hi = his[i]
         cand_pages = sw_pages[lo:hi]
         cand_slots = sw_slots[lo:hi]
         if 1 in covered[lo:hi]:

@@ -98,8 +98,14 @@ class ReplacementPolicy:
     def _batched(pid: int, pages: np.ndarray, cluster: int) -> list[VictimBatch]:
         """Split ``pages`` into cluster-sized batches (ascending order)."""
         out = []
-        for i in range(0, pages.size, cluster):
-            out.append(VictimBatch(pid, np.sort(pages[i : i + cluster])))
+        # row-wise sort of the full chunks in one call (identical to
+        # sorting each chunk separately), tail chunk sorted on its own
+        full = pages.size - pages.size % cluster
+        if full:
+            for row in np.sort(pages[:full].reshape(-1, cluster), axis=1):
+                out.append(VictimBatch(pid, row))
+        if full < pages.size:
+            out.append(VictimBatch(pid, np.sort(pages[full:])))
         return out
 
 
@@ -153,10 +159,20 @@ class GlobalLruPolicy(ReplacementPolicy):
             bounds = [0, *change.tolist(), n]
         for a, b in zip(bounds[:-1], bounds[1:]):
             pid = int(sel_pids[a])
-            for i in range(a, b, cluster):
-                batches.append(
-                    VictimBatch(pid, np.sort(sel_pages[i:min(i + cluster, b)]))
+            # all full cluster chunks of this run are sorted in one
+            # vectorised call (a row-wise sort of the reshaped block is
+            # exactly the per-chunk np.sort); only the tail chunk needs
+            # its own sort
+            n_run = b - a
+            full = n_run - n_run % cluster
+            if full:
+                block = np.sort(
+                    sel_pages[a:a + full].reshape(-1, cluster), axis=1
                 )
+                for row in block:
+                    batches.append(VictimBatch(pid, row))
+            if full < n_run:
+                batches.append(VictimBatch(pid, np.sort(sel_pages[a + full:b])))
         return batches
 
 

@@ -37,6 +37,7 @@ from repro.mem.replacement import (
     VictimBatch,
 )
 from repro.obs.registry import NULL_OBS
+from repro.sim import fastpath as _fastpath
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
@@ -190,6 +191,53 @@ class VirtualMemoryManager:
         return sum(t.resident_count for t in self.tables.values())
 
     # ------------------------------------------------------------------
+    # the steady-state fast path (see repro.sim.fastpath)
+    # ------------------------------------------------------------------
+    def resident_all(self, pid: int, pages: np.ndarray) -> bool:
+        """One vectorised probe: is the whole chunk already resident?"""
+        return bool(self.tables[pid].present[pages].all())
+
+    def touch_fast(self, pid: int, pages: np.ndarray,
+                   dirty: bool | np.ndarray = False) -> bool:
+        """Service a fully-resident chunk without the generator fault path.
+
+        Returns ``True`` when every page of ``pages`` (already deduped by
+        :func:`~repro.workloads.base.expand_phase`) is resident: the
+        chunk is then referenced via :meth:`PageTable.record_access` and
+        no demand entry, swap-in plan, or simulation event is created.
+        This is invisible to the rest of the simulation because the
+        legacy :meth:`touch` performs *zero yields* for a fully-resident
+        chunk — same page-state writes, same timestamps, no time passes
+        either way.  Returns ``False`` (having touched nothing) when any
+        page is absent; the caller must then fall back to :meth:`touch`.
+        """
+        table = self.tables[pid]
+        if pages.size > self.params.total_frames - self.params.freepages_high:
+            raise ValueError(
+                f"phase demands {pages.size} pages; node has only "
+                f"{self.params.total_frames} frames (chunk the phase)"
+            )
+        if not table.present[pages].all():
+            return False
+        table.record_access(pages, self.env.now, dirty)
+        return True
+
+    def fastpath_quiescent(self) -> bool:
+        """True when no fault service or eviction is in flight.
+
+        The resident-run batching in :mod:`repro.gang.job` defers
+        page-reference stamping to the end of a coalesced CPU burst;
+        that is only sound while nothing else can read or mutate page
+        state mid-run.  In-flight demand sets and a held (or contended)
+        eviction lock are exactly the situations where a concurrent
+        process fragment is awake between our events.
+        """
+        lock = self._evict_lock
+        return (not self._active_demands
+                and lock.in_use == 0
+                and lock.queue_length == 0)
+
+    # ------------------------------------------------------------------
     # the demand-paging fault path
     # ------------------------------------------------------------------
     def touch(self, pid: int, pages: np.ndarray,
@@ -228,14 +276,28 @@ class VirtualMemoryManager:
                 for group in plan_swapins(
                     table, absent, self.params.readahead_pages
                 ):
-                    # a group page may have been brought in meanwhile
-                    mask = ~table.present[group.pages]
-                    gpages = group.pages[mask]
-                    if gpages.size == 0:
-                        continue
-                    gslots = group.slots[mask] if group.slots is not None \
-                        else None
-                    yield from self._ensure_frames(gpages.size)
+                    # a group page may have been brought in meanwhile;
+                    # when none was (the overwhelmingly common case) the
+                    # planned arrays are used as-is, skipping the mask
+                    # inversion and two fancy-index copies
+                    gpages = group.pages
+                    pres = table.present[gpages]
+                    if pres.any():
+                        mask = ~pres
+                        gpages = gpages[mask]
+                        if gpages.size == 0:
+                            continue
+                        gslots = group.slots[mask] \
+                            if group.slots is not None else None
+                    else:
+                        gslots = group.slots
+                    # inline guard: _ensure_frames returns without
+                    # yielding when the watermark already holds, so
+                    # replicating its first check here skips a generator
+                    # per group with no behavioural difference
+                    if (self.frames.free < gpages.size
+                            or self.frames.below_min(gpages.size)):
+                        yield from self._ensure_frames(gpages.size)
                     self.frames.allocate(gpages.size)
                     if gslots is None:
                         self.stats.minor_faults += gpages.size
@@ -244,8 +306,16 @@ class VirtualMemoryManager:
                         if delay > 0:
                             yield self.env.timeout(delay)
                     else:
+                        cpu = gpages.size * self.params.major_fault_cpu_s
+                        # fast path: fold the post-read CPU charge into
+                        # the request's completion trigger (the device
+                        # still frees at service completion Tc; our
+                        # wakeup just moves from Tc -> Tc + cpu, saving
+                        # one Timeout event per read group)
+                        fused = _fastpath.ENABLED and cpu > 0
                         req = self.disk.submit(
-                            gslots, "read", PRIO_FOREGROUND, pid=pid
+                            gslots, "read", PRIO_FOREGROUND, pid=pid,
+                            extra_delay=cpu if fused else 0.0,
                         )
                         try:
                             yield req
@@ -261,9 +331,12 @@ class VirtualMemoryManager:
                         self._c_pages_in.inc(gpages.size)
                         if self._obs_on:
                             filled += gpages.size
-                        self._count_refaults(pid, gpages)
-                        cpu = gpages.size * self.params.major_fault_cpu_s
-                        if cpu > 0:
+                        # refault detection is keyed on the *service
+                        # completion* time, which in fused mode is cpu
+                        # earlier than env.now
+                        self._count_refaults(pid, gpages,
+                                             now=req.completed_at)
+                        if cpu > 0 and not fused:
                             yield self.env.timeout(cpu)
                     table.make_resident(gpages)
                     # the fault itself is a reference (protects freshly
@@ -298,7 +371,9 @@ class VirtualMemoryManager:
             self._add_demand(entry)
             allocated = False
             try:
-                yield from self._ensure_frames(pages.size)
+                if (self.frames.free < pages.size
+                        or self.frames.below_min(pages.size)):
+                    yield from self._ensure_frames(pages.size)
                 self.frames.allocate(pages.size)
                 allocated = True
                 req = self.disk.submit(slots, "read", PRIO_FOREGROUND, pid=pid)
@@ -463,7 +538,16 @@ class VirtualMemoryManager:
         pages actually evicted (0 in keep-resident mode).
         """
         lock = self._evict_lock.request()
-        yield lock
+        try:
+            yield lock
+        except BaseException:
+            # An interrupt can land while we are suspended at this yield
+            # *after* the resource already granted the slot (grants are
+            # synchronous; the wakeup event is still in the queue).  The
+            # slot must not leak: release() cancels a pending request and
+            # frees a granted one, so both states are safe here.
+            self._evict_lock.release(lock)
+            raise
         try:
             table = self.tables.get(batch.pid)
             if table is None:
@@ -484,10 +568,14 @@ class VirtualMemoryManager:
             if pages.size == 0:
                 return 0
 
-            needs_write = table.dirty[pages] | (table.swap_slot[pages] < 0)
+            no_slot_mask = table.swap_slot[pages] < 0
+            needs_write = table.dirty[pages] | no_slot_mask
             to_write = pages[needs_write]
             if to_write.size:
-                no_slot = to_write[table.swap_slot[to_write] < 0]
+                # a page with no swap copy always needs a write, so the
+                # no-slot subset of `pages` equals the no-slot subset of
+                # `to_write` (same order) — one gather instead of two
+                no_slot = pages[no_slot_mask]
                 if no_slot.size:
                     new_slots = self.swap.allocate(no_slot.size)
                     table.assign_slots(no_slot, new_slots)
@@ -532,11 +620,14 @@ class VirtualMemoryManager:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _count_refaults(self, pid: int, pages: np.ndarray) -> None:
+    def _count_refaults(self, pid: int, pages: np.ndarray,
+                        now: Optional[float] = None) -> None:
         if pid not in self._ever_evicted:
             return  # nothing evicted yet: no gather needed
+        if now is None:
+            now = self.env.now
         evicted = self._evicted_at[pid][pages]
-        recent = self.env.now - evicted < self.refault_window_s
+        recent = now - evicted < self.refault_window_s
         n = int(np.count_nonzero(recent))
         self.stats.refaults += n
         if n:

@@ -16,6 +16,8 @@ Public surface
 :class:`Resource`     — FIFO shared resource with finite capacity.
 :class:`PriorityResource` — resource whose queue is priority-ordered.
 :class:`RngStreams`   — named, independently seeded random streams.
+:func:`set_fast_path_enabled` — toggle the steady-state fast path
+(:mod:`repro.sim.fastpath`).
 """
 
 from repro.sim.engine import (
@@ -28,6 +30,7 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.fastpath import fast_path_enabled, set_fast_path_enabled
 from repro.sim.resources import PriorityResource, Resource
 from repro.sim.rng import RngStreams
 
@@ -43,4 +46,6 @@ __all__ = [
     "RngStreams",
     "SimulationError",
     "Timeout",
+    "fast_path_enabled",
+    "set_fast_path_enabled",
 ]

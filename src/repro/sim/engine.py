@@ -14,7 +14,6 @@ simulation with a fixed seed always replays identically.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
 # Scheduling priorities: URGENT entries at the same timestamp run before
@@ -60,7 +59,7 @@ class Event:
     ``__slots__`` gets a dict as usual.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_daemon")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -70,6 +69,10 @@ class Event:
         #: set True when a failure value has been retrieved or defused,
         #: so unhandled failures can be detected.
         self._defused = False
+        #: daemon events do not keep Environment.run() alive.  The flag
+        #: lives on the event (not in the heap entry): an event is
+        #: scheduled at most once, so the heap can carry lean 4-tuples.
+        self._daemon = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -367,8 +370,10 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event, bool]] = []
-        self._seq = count()
+        self._queue: list[tuple[float, int, int, Event]] = []
+        # plain int sequence counter: cheaper than itertools.count and
+        # trivially resettable state for the hot _schedule path
+        self._seq = 0
         self._active_process: Optional[Process] = None
         #: scheduled entries that are NOT daemons (keep run() alive)
         self._live = 0
@@ -407,6 +412,24 @@ class Environment:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value, daemon=daemon)
 
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """Create an event firing at the *absolute* virtual time ``when``.
+
+        Unlike ``timeout(when - now)`` this places the event at exactly
+        ``when`` on the heap — float subtraction then re-addition does
+        not round-trip, and the coalesced-run fast path needs its burst
+        to end at the exact per-chunk accumulated time.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"timeout_at into the past: {when!r} < {self._now!r}"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._schedule_at(ev, NORMAL, when)
+        return ev
+
     def process(self, generator: Generator) -> Process:
         """Start a new coroutine process from ``generator``."""
         return Process(self, generator)
@@ -422,11 +445,23 @@ class Environment:
     # -- scheduling / execution ------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0, daemon: bool = False) -> None:
-        heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._seq), event, daemon),
-        )
-        if not daemon:
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
+        if daemon:
+            event._daemon = True
+        else:
+            self._live += 1
+
+    def _schedule_at(self, event: Event, priority: int, when: float,
+                     daemon: bool = False) -> None:
+        """Schedule ``event`` at the absolute time ``when`` (exact)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (when, priority, seq, event))
+        if daemon:
+            event._daemon = True
+        else:
             self._live += 1
 
     def peek(self) -> float:
@@ -438,8 +473,8 @@ class Environment:
         queue = self._queue
         if not queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event, daemon = heappop(queue)
-        if not daemon:
+        when, _prio, _seq, event = heappop(queue)
+        if not event._daemon:
             self._live -= 1
         self._now = when
         self.events_processed += 1

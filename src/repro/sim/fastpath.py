@@ -1,0 +1,48 @@
+"""The steady-state execution fast-path switch.
+
+Between gang switches a job's reference stream is hit-dominated; the
+fast path removes per-chunk simulation machinery that provably cannot
+change any simulated outcome:
+
+* :meth:`~repro.mem.vmm.VirtualMemoryManager.touch_fast` services a
+  fully-resident chunk without entering the generator fault path;
+* the job execution loop coalesces consecutive fully-resident chunks
+  into a single CPU timeout (:mod:`repro.gang.job`);
+* the disk dispatches requests through a callback chain instead of one
+  coroutine process per request, and folds the per-group major-fault
+  CPU charge into the request's completion trigger.
+
+All of these are pure compute-saving transforms: with the fast path on,
+every simulation *output* (makespan, paging/fault counters, metrics
+records, mechanism counters) stays bit-for-bit identical, while
+``Environment.events_processed`` legitimately drops because fewer
+bookkeeping events exist.  ``set_fast_path_enabled(False)`` restores
+the per-chunk/per-process event structure exactly, reproducing the
+historical event stream (the documented re-baseline for pinned event
+counts is keyed on this switch — see docs/architecture.md).
+
+Like :func:`repro.mem.index.set_index_enabled`, the switch is read at
+run time so identity tests can compare both modes; toggle it *between*
+simulation runs, never while an environment is mid-run (a half-switched
+run would mix event structures).
+"""
+
+from __future__ import annotations
+
+#: Module-level switch consulted by the hot paths.  Mutate only through
+#: :func:`set_fast_path_enabled`.
+ENABLED = True
+
+
+def set_fast_path_enabled(enabled: bool) -> None:
+    """Globally enable/disable the steady-state fast path."""
+    global ENABLED
+    ENABLED = bool(enabled)
+
+
+def fast_path_enabled() -> bool:
+    """Whether the steady-state fast path is active."""
+    return ENABLED
+
+
+__all__ = ["ENABLED", "fast_path_enabled", "set_fast_path_enabled"]

@@ -10,7 +10,7 @@ from repro.disk import (
     DiskParams,
     DiskRequest,
 )
-from repro.sim import Environment
+from repro.sim import Environment, fastpath
 
 P = DiskParams()  # defaults: seek 8 ms, rot 4 ms, 20 MB/s, 4 KiB pages
 
@@ -204,8 +204,9 @@ def test_queue_length_tracks():
     disk.submit(np.arange(0, 64), "read")
     disk.submit(np.array([1000]), "read")
     disk.submit(np.array([2000]), "read")
-    # dispatcher has not started yet (runs at the next engine step)
-    assert disk.queue_length == 3
+    # the fast dispatcher pops the first request synchronously at submit;
+    # the legacy coroutine server only starts at the next engine step
+    assert disk.queue_length == (2 if fastpath.ENABLED else 3)
     assert disk.busy
     env.run()
     assert disk.queue_length == 0
