@@ -41,9 +41,17 @@ fast path:
 * the fast-mode wall clock of the CI smoke cell, stored as the floor
   for the perf-regression warning a later ``--smoke`` run emits.
 
+``BENCH_PR6.json`` (``--pr6-out``) covers resilient sweep execution:
+the chaos benchmark runs the multi-seed sweep twice — a fault-free
+serial baseline, then supervised (``repro.perf.supervisor``) under a
+seeded :class:`~repro.faults.worker.WorkerFaultPlan` that crashes
+workers mid-sweep — and asserts the supervised run absorbed at least
+one pool rebuild, quarantined nothing, and merged to byte-identical
+output.
+
 Each benchmark section writes one BENCH file; ``--section`` selects
 which sections run.  It defaults to the *current* PR's section so
-routine full runs refresh only ``BENCH_PR5.json`` and stop rewriting
+routine full runs refresh only ``BENCH_PR6.json`` and stop rewriting
 the historical reports; ``--section all`` reproduces everything.
 
 Usage::
@@ -413,6 +421,82 @@ def bench_fastpath(cfg: GangConfig, repeats: int = 3) -> dict:
     }
 
 
+def bench_chaos(scale: float, seeds, jobs: int = 2,
+                max_retries: int = 8) -> dict:
+    """Fault-free serial baseline vs supervised sweep under crashes.
+
+    Seed-searches a :class:`~repro.faults.worker.WorkerFaultPlan`
+    whose schedule makes quarantine provably impossible: 1–3 crashes
+    at attempt 0 and **clean draws on every retry attempt any cell can
+    reach**.  The latter matters because a spontaneous pool break
+    charges every in-flight cell one attempt — with slow simulation
+    cells, every crash taxes ``jobs - 1`` innocents too — so with at
+    most 3 breaks no cell can ever see an attempt past 4, all draws
+    through attempt 5 are clean by construction, and the retry budget
+    of 8 is never exhausted.  Crash-only by design: crash containment
+    is timing-independent, so the verdict is stable on noisy CI
+    runners (hang cancellation is deadline-driven and covered by
+    ``tests/perf/test_supervisor.py``).
+    """
+    from repro.faults.worker import WorkerFaultPlan
+    from repro.perf.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        set_default_supervisor,
+    )
+
+    base = GangConfig("LU", "B", nprocs=1, scale=scale)
+    n_cells = 3 * len(seeds)  # replicate runs 3 policies per seed
+    plan = schedule = None
+    for seed in range(50000):
+        cand = WorkerFaultPlan(crash_rate=0.1, seed=seed)
+        sched = cand.injections(n_cells)
+        if not 1 <= len(sched) <= 3:
+            continue
+        if any(cand.decide(i, a) is not None
+               for i in range(n_cells) for a in range(1, 6)):
+            continue
+        plan, schedule = cand, sched
+        break
+    if plan is None:  # pragma: no cover - search window is generous
+        raise RuntimeError("no suitable chaos seed in search window")
+
+    t0 = time.perf_counter()
+    baseline = multi_seed.replicate(base, seeds=seeds, jobs=1)
+    baseline_s = time.perf_counter() - t0
+
+    supervisor = Supervisor(SupervisorConfig(
+        max_retries=max_retries, worker_faults=plan,
+        backoff_base_s=0.0, backoff_max_s=0.0, poll_interval_s=0.02))
+    set_default_supervisor(supervisor)
+    try:
+        t0 = time.perf_counter()
+        chaos = multi_seed.replicate(base, seeds=seeds, jobs=jobs)
+        chaos_s = time.perf_counter() - t0
+    finally:
+        set_default_supervisor(None)
+
+    identical = (
+        json.dumps(_sanitise(baseline), sort_keys=True)
+        == json.dumps(_sanitise(chaos), sort_keys=True)
+    )
+    stats = dict(supervisor.stats)
+    return {
+        "label": f"multi_seed {base.label()} seeds={list(seeds)}",
+        "cells": n_cells,
+        "jobs": jobs,
+        "fault_plan": {"crash_rate": plan.crash_rate, "seed": plan.seed},
+        "injected_crashes": len(schedule),
+        "max_retries": max_retries,
+        "baseline_wall_s": baseline_s,
+        "chaos_wall_s": chaos_s,
+        "supervisor_stats": stats,
+        "survived_rebuilds": stats["rebuilds"] >= 1,
+        "zero_quarantined": stats["quarantined"] == 0,
+        "chaos_identical": identical,
+    }
+
+
 def bench_fastpath_smoke_floor(repeats: int = 3) -> dict:
     """Fast-mode wall clock of the CI smoke cell, min-of-N.
 
@@ -476,8 +560,8 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="tiny scale, correctness only; for CI")
     ap.add_argument(
-        "--section", choices=("pr2", "pr3", "pr4", "pr5", "all"),
-        default="pr5",
+        "--section", choices=("pr2", "pr3", "pr4", "pr5", "pr6", "all"),
+        default="pr6",
         help="benchmark section(s) to run; defaults to the current "
              "PR's section so routine runs refresh only its BENCH "
              "file instead of rewriting the historical reports")
@@ -485,6 +569,7 @@ def main(argv=None) -> int:
     ap.add_argument("--obs-out", default=str(REPO_ROOT / "BENCH_PR3.json"))
     ap.add_argument("--pr4-out", default=str(REPO_ROOT / "BENCH_PR4.json"))
     ap.add_argument("--pr5-out", default=str(REPO_ROOT / "BENCH_PR5.json"))
+    ap.add_argument("--pr6-out", default=str(REPO_ROOT / "BENCH_PR6.json"))
     ap.add_argument("--jobs", type=int, default=4)
     ap.add_argument(
         "--repeats", type=int, default=3,
@@ -493,7 +578,7 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     wanted = {s: args.section in (s, "all")
-              for s in ("pr2", "pr3", "pr4", "pr5")}
+              for s in ("pr2", "pr3", "pr4", "pr5", "pr6")}
     mode = "smoke" if args.smoke else "full"
 
     def emit(report: dict, path: str) -> None:
@@ -619,6 +704,35 @@ def main(argv=None) -> int:
         if not fast_bench["events_dropped"]:
             print("FAIL: fast path processed as many events as slow "
                   "mode — it never engaged", file=sys.stderr)
+            return 1
+
+    if wanted["pr6"]:
+        if args.smoke:
+            chaos_bench = bench_chaos(scale=0.05, seeds=(1, 2), jobs=2)
+        else:
+            chaos_bench = bench_chaos(scale=0.1, seeds=(1, 2, 3, 4),
+                                      jobs=args.jobs)
+        emit({
+            "bench": "PR6 resilient sweep execution (supervisor)",
+            "mode": mode,
+            "host_cpu_count": os.cpu_count(),
+            "chaos": chaos_bench,
+        }, args.pr6_out)
+        if not chaos_bench["chaos_identical"]:
+            print("FAIL: fault-injected supervised sweep diverged from "
+                  "the fault-free serial run", file=sys.stderr)
+            return 1
+        if not chaos_bench["zero_quarantined"]:
+            print(
+                f"FAIL: supervised sweep quarantined "
+                f"{chaos_bench['supervisor_stats']['quarantined']} "
+                f"cells under the injected crash plan",
+                file=sys.stderr,
+            )
+            return 1
+        if not chaos_bench["survived_rebuilds"]:
+            print("FAIL: no pool rebuild happened — the crash plan "
+                  "never engaged", file=sys.stderr)
             return 1
 
     return 0

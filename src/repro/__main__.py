@@ -13,6 +13,17 @@ Commands
 switch-phase breakdown) and ``--trace-out FILE`` (also write a Chrome
 trace viewable in chrome://tracing or Perfetto; implies ``--obs``).
 
+``run``, ``all`` and ``replicate`` accept the resilient-sweep flags:
+``--max-retries N`` (bounded per-cell retries with exponential
+backoff), ``--cell-timeout SECONDS`` (fixed per-cell deadline; hung
+workers are killed and the cell rescheduled) and ``--resume`` (skip
+cells a previous interrupted run already completed, via the journal
+under ``results/.sweepjournal``).  Any of them installs the sweep
+supervisor (``repro.perf.supervisor``): worker crashes rebuild the
+pool instead of sinking the sweep, and cells that exhaust their
+retries are quarantined under the reserved ``"_failed"`` key of the
+merged record.
+
 ``--cache`` enables the content-addressed cell result cache
 (``results/.cellcache``): sweep cells whose code + config fingerprint
 was already produced are served from disk instead of re-simulated, so
@@ -92,6 +103,23 @@ EXPERIMENTS = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an int that is at least 1.
+
+    Mirrors the ``run_cells(jobs=...)`` validation so a bad value dies
+    at the parser with a clear message instead of deep in the pool.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (got {value}); jobs counts worker processes"
+        )
+    return value
+
+
 def cmd_list(_args) -> int:
     width = max(len(k) for k in EXPERIMENTS)
     for key, (_mod, desc) in EXPERIMENTS.items():
@@ -164,6 +192,52 @@ def _cache_finish(cache) -> None:
           f"{s['bytes'] / 1024:.0f} KiB at {s['root']})")
 
 
+def _supervisor_begin(args):
+    """Install the process-default sweep supervisor when any of the
+    resilience flags (``--max-retries``, ``--cell-timeout``,
+    ``--resume``, hidden ``--chaos``) was given."""
+    retries = getattr(args, "max_retries", None)
+    timeout = getattr(args, "cell_timeout", None)
+    resume = getattr(args, "resume", False)
+    chaos = getattr(args, "chaos", None)
+    if retries is None and timeout is None and not resume \
+            and chaos is None:
+        return None
+    from repro.perf.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        set_default_supervisor,
+    )
+
+    kwargs: dict = {"journal": True, "resume": resume}
+    if retries is not None:
+        kwargs["max_retries"] = retries
+    if timeout is not None:
+        kwargs["cell_timeout_s"] = timeout
+    if chaos:
+        from repro.faults.worker import WorkerFaultPlan
+
+        kwargs["worker_faults"] = WorkerFaultPlan.parse(chaos)
+    supervisor = Supervisor(SupervisorConfig(**kwargs))
+    set_default_supervisor(supervisor)
+    return supervisor
+
+
+def _supervisor_finish(supervisor) -> None:
+    """Print the supervision summary, then uninstall the default."""
+    if supervisor is None:
+        return
+    from repro.perf.supervisor import set_default_supervisor
+
+    set_default_supervisor(None)
+    s = supervisor.stats
+    print(f"\nsupervisor: {s['completed']} cells completed, "
+          f"{s['resumed']} resumed, {s['retries']} retries, "
+          f"{s['rebuilds']} pool rebuilds, {s['timeouts']} timeouts, "
+          f"{s['deadline_extensions']} deadline extensions, "
+          f"{s['quarantined']} quarantined")
+
+
 def _profiled(args, default_stem: str, fn):
     """Run ``fn()``; with ``--profile``, wrap it in cProfile and write a
     pstats dump next to the record (``<json path>.pstats`` when
@@ -197,12 +271,14 @@ def cmd_run(args) -> int:
     module, _ = entry
     reg = _obs_begin(args)
     cache = _cache_begin(args)
+    supervisor = _supervisor_begin(args)
     try:
         record = _profiled(
             args, args.experiment,
             lambda: module.run(**_run_kwargs(module, args)),
         )
     finally:
+        _supervisor_finish(supervisor)
         _cache_finish(cache)
         _obs_finish(reg, args)
     if args.json:
@@ -216,6 +292,7 @@ def cmd_run(args) -> int:
 def cmd_all(args) -> int:
     reg = _obs_begin(args)
     cache = _cache_begin(args)
+    supervisor = _supervisor_begin(args)
 
     def _run_all():
         for key, (module, desc) in EXPERIMENTS.items():
@@ -225,6 +302,7 @@ def cmd_all(args) -> int:
     try:
         _profiled(args, "all", _run_all)
     finally:
+        _supervisor_finish(supervisor)
         _cache_finish(cache)
         _obs_finish(reg, args)
     return 0
@@ -284,8 +362,12 @@ def cmd_replicate(args) -> int:
 
     cfg = GangConfig(args.bench, args.klass, nprocs=args.nodes,
                      scale=args.scale)
-    record = replicate(cfg, policy=args.policy, seeds=args.seeds,
-                       jobs=args.jobs)
+    supervisor = _supervisor_begin(args)
+    try:
+        record = replicate(cfg, policy=args.policy, seeds=args.seeds,
+                           jobs=args.jobs)
+    finally:
+        _supervisor_finish(supervisor)
     print(render(record, label=cfg.label()))
     return 0
 
@@ -300,13 +382,34 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show available experiments")
 
+    def add_resilience_flags(p) -> None:
+        """The supervised-sweep flags shared by run/all/replicate."""
+        p.add_argument("--max-retries", type=int, default=None,
+                       metavar="N",
+                       help="re-execute a failed sweep cell up to N "
+                            "times (exponential backoff) before "
+                            "quarantining it under '_failed'")
+        p.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock deadline; a hung "
+                            "worker is killed and the cell rescheduled")
+        p.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep: skip cells "
+                            "the journal under results/.sweepjournal "
+                            "already marks completed")
+        # hidden: deterministic host fault injection for chaos testing,
+        # e.g. --chaos crash=0.3,hang=0.1,seed=7 (see
+        # repro.faults.worker.WorkerFaultPlan.parse)
+        p.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
+
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment", help="experiment key (see `list`)")
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=1)
-    p_run.add_argument("--jobs", type=int, default=1,
+    p_run.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for sweep experiments "
                             "(1 = serial; results are identical)")
+    add_resilience_flags(p_run)
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the structured record as JSON")
     p_run.add_argument("--obs", action="store_true",
@@ -326,8 +429,9 @@ def main(argv=None) -> int:
     p_all = sub.add_parser("all", help="run everything")
     p_all.add_argument("--scale", type=float, default=1.0)
     p_all.add_argument("--seed", type=int, default=1)
-    p_all.add_argument("--jobs", type=int, default=1,
+    p_all.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for sweep experiments")
+    add_resilience_flags(p_all)
     p_all.add_argument("--obs", action="store_true",
                        help="collect telemetry across all experiments")
     p_all.add_argument("--trace-out", metavar="FILE",
@@ -354,8 +458,9 @@ def main(argv=None) -> int:
     p_rep.add_argument("--policy", default="so/ao/ai/bg")
     p_rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     p_rep.add_argument("--scale", type=float, default=0.2)
-    p_rep.add_argument("--jobs", type=int, default=1,
+    p_rep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for the seed sweep")
+    add_resilience_flags(p_rep)
 
     p_obs = sub.add_parser(
         "obs", help="switch-phase report from a saved trace file"
@@ -373,15 +478,24 @@ def main(argv=None) -> int:
                               "(default: results/.cellcache)")
 
     args = parser.parse_args(argv)
-    return {
-        "list": cmd_list,
-        "run": cmd_run,
-        "all": cmd_all,
-        "trace": cmd_trace,
-        "replicate": cmd_replicate,
-        "obs": cmd_obs,
-        "cache": cmd_cache,
-    }[args.command](args)
+    from repro.perf.supervisor import QuarantinedCells
+
+    try:
+        return {
+            "list": cmd_list,
+            "run": cmd_run,
+            "all": cmd_all,
+            "trace": cmd_trace,
+            "replicate": cmd_replicate,
+            "obs": cmd_obs,
+            "cache": cmd_cache,
+        }[args.command](args)
+    except QuarantinedCells as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: raise --max-retries / --cell-timeout, or rerun "
+              "with --resume to retry only the failed cells",
+              file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from repro.experiments.runner import GangConfig, run_cell
 from repro.faults.plan import FaultRates
 from repro.metrics.report import format_table
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import require_ok
 
 #: intensity multipliers applied to BASE_RATES (0 = fault-free)
 INTENSITIES = (0.0, 1.0, 2.0, 4.0)
@@ -96,7 +97,8 @@ def cell_grid(base: GangConfig) -> list[Cell]:
 def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
         jobs: int = 1) -> dict:
     base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
-    results = run_cells(cell_grid(base), jobs=jobs)
+    results = require_ok(run_cells(cell_grid(base), jobs=jobs),
+                         context="fault sweep")
     records: dict = {"sweep": {}, "crash_demo": {}}
 
     for x in INTENSITIES:

@@ -24,6 +24,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import format_table
 from repro.metrics.timeline import render_breakdown
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import require_ok
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
 from repro.workloads.npb import make_npb
@@ -102,7 +103,8 @@ def cell_grid(scale: float, seed: int) -> list[Cell]:
 
 def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
         jobs: int = 1) -> dict:
-    results = run_cells(cell_grid(scale, seed), jobs=jobs)
+    results = require_ok(run_cells(cell_grid(scale, seed), jobs=jobs),
+                         context="extension matrix")
     records = {pol: results[(pol,)] for pol in POLICIES}
     if not quiet:
         print(render(records))

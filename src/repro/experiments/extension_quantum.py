@@ -18,6 +18,7 @@ from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction
 from repro.metrics.report import format_table, percent
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import require_ok
 
 QUANTA_S = (75.0, 150.0, 300.0, 600.0, 1200.0)
 POLICIES = ("lru", "so/ao/ai/bg")
@@ -40,7 +41,8 @@ def cell_grid(base: GangConfig, quanta) -> list[Cell]:
 def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
         quanta=QUANTA_S, jobs: int = 1) -> dict:
     base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
-    results = run_cells(cell_grid(base, quanta), jobs=jobs)
+    results = require_ok(run_cells(cell_grid(base, quanta), jobs=jobs),
+                         context="quantum sweep")
     batch = results[("batch",)]["makespan"]
     records: dict = {"_batch_s": batch}
     for q in quanta:

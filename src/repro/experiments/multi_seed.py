@@ -18,6 +18,7 @@ from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction, paging_reduction
 from repro.metrics.report import format_table
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import require_ok
 
 
 @dataclass(frozen=True)
@@ -81,7 +82,9 @@ def replicate(
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = run_cells(cell_grid(base, policy, seeds), jobs=jobs)
+    results = require_ok(
+        run_cells(cell_grid(base, policy, seeds), jobs=jobs),
+        context="multi_seed replicate")
     overhead_lru: list[float] = []
     overhead_pol: list[float] = []
     reduction: list[float] = []

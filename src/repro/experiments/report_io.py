@@ -47,8 +47,14 @@ def save_record(record: dict, path: str | Path) -> Path:
     The write is atomic (temp file + ``os.replace``): a crash mid-write
     leaves either the previous file or the new one, never a truncated
     JSON — which matters for the partial records exported while an
-    experiment is dying.
+    experiment is dying.  The containing directory is fsynced after the
+    rename: ``os.replace`` makes the *data* durable but the directory
+    entry pointing at it lives in the parent, and a host crash between
+    the rename and the directory flush could otherwise lose the record
+    (or a freshly created sweep journal) despite the atomic dance.
     """
+    from repro.perf.journal import fsync_dir
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
@@ -59,6 +65,7 @@ def save_record(record: dict, path: str | Path) -> Path:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
     return path

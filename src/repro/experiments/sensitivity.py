@@ -24,6 +24,7 @@ from repro.experiments.runner import GangConfig, run_cell
 from repro.metrics.analysis import overhead_fraction, paging_reduction
 from repro.metrics.report import format_table, percent
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import require_ok
 
 #: fast "modern" disk for the speed axis
 FAST_DISK = DiskParams(seek_s=0.004, rotational_s=0.002,
@@ -70,7 +71,8 @@ def run(scale: float = 1.0, seed: int = 1, quiet: bool = False,
         axes: dict | None = None, jobs: int = 1) -> dict:
     axes = axes if axes is not None else AXES
     base = GangConfig("LU", "B", nprocs=1, seed=seed, scale=scale)
-    results = run_cells(cell_grid(base, axes), jobs=jobs)
+    results = require_ok(run_cells(cell_grid(base, axes), jobs=jobs),
+                         context="sensitivity sweep")
     records: dict[str, dict] = {}
     for axis, points in axes.items():
         records[axis] = {}

@@ -27,6 +27,7 @@ from repro.faults.errors import (
     WatchdogTimeout,
 )
 from repro.faults.plan import FAULT_FREE, FaultPlan, FaultRates
+from repro.faults.worker import WorkerFaultPlan
 
 __all__ = [
     "DiskFailure",
@@ -37,4 +38,5 @@ __all__ = [
     "NodeCrashed",
     "RecordCorrupted",
     "WatchdogTimeout",
+    "WorkerFaultPlan",
 ]

@@ -1,5 +1,5 @@
-"""Parallel experiment execution (cell pool), result caching and perf
-instrumentation."""
+"""Parallel experiment execution (cell pool), supervised resilient
+sweeps, result caching and perf instrumentation."""
 
 from repro.perf.cache import (
     CellCache,
@@ -8,14 +8,36 @@ from repro.perf.cache import (
     get_default_cache,
     set_default_cache,
 )
+from repro.perf.journal import SweepJournal, fsync_dir, sweep_id
 from repro.perf.pool import Cell, run_cells
+from repro.perf.supervisor import (
+    FAILED_KEY,
+    QuarantinedCells,
+    Supervisor,
+    SupervisorConfig,
+    get_default_supervisor,
+    quarantined,
+    require_ok,
+    set_default_supervisor,
+)
 
 __all__ = [
     "Cell",
     "CellCache",
+    "FAILED_KEY",
+    "QuarantinedCells",
+    "Supervisor",
+    "SupervisorConfig",
+    "SweepJournal",
     "code_version",
     "fingerprint",
+    "fsync_dir",
     "get_default_cache",
+    "get_default_supervisor",
+    "quarantined",
+    "require_ok",
     "run_cells",
     "set_default_cache",
+    "set_default_supervisor",
+    "sweep_id",
 ]

@@ -163,9 +163,11 @@ class CellCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         self._c_hits = obs.counter("cellcache_hits")
         self._c_misses = obs.counter("cellcache_misses")
         self._c_stores = obs.counter("cellcache_stores")
+        self._c_corrupt = obs.counter("cellcache_corrupt")
 
     # -- store ---------------------------------------------------------------
     def _path(self, fp: str) -> Path:
@@ -177,18 +179,39 @@ class CellCache:
         A hit returns a fresh unpickled object annotated at
         ``["_perf"]["cache"] = "hit"`` (dict results only); the caller
         owns it outright.
+
+        A *corrupt* entry — the file exists but does not unpickle into
+        a ``{"result": ...}`` record — degrades to a miss **and is
+        deleted**: leaving the bad pickle on disk would make every
+        future lookup of this fingerprint re-parse garbage, and the
+        slot can never heal until the miss path stores a fresh result
+        over it.  Deletions are counted (``cellcache_corrupt``).
+        Transient I/O errors other than absence are a plain miss — the
+        entry may be fine next time, so it is left alone.
         """
         path = self._path(fp)
         try:
             with path.open("rb") as fh:
                 entry = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError):
+            result = entry["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            self._c_misses.inc()
+            return None
+        except OSError:
+            self.misses += 1
+            self._c_misses.inc()
+            return None
+        except (pickle.PickleError, EOFError, KeyError, TypeError,
+                AttributeError, ImportError, IndexError, MemoryError):
+            self.corrupt += 1
+            self._c_corrupt.inc()
+            path.unlink(missing_ok=True)
             self.misses += 1
             self._c_misses.inc()
             return None
         self.hits += 1
         self._c_hits.inc()
-        result = entry["result"]
         if isinstance(result, dict):
             result.setdefault("_perf", {})["cache"] = "hit"
         return result
@@ -222,6 +245,7 @@ class CellCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
     def clear(self) -> int:

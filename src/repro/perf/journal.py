@@ -1,0 +1,172 @@
+"""Sweep checkpoint journal: crash-safe completion log for resumable sweeps.
+
+A supervised sweep (:mod:`repro.perf.supervisor`) appends one JSONL line
+per settled cell to ``results/.sweepjournal/<sweep_id>.jsonl``.  When
+the sweep process dies — SIGKILL, OOM, host crash — a later run with
+resume enabled replays the journal and executes only the cells that
+never completed.
+
+Design
+------
+* **Sweep identity.**  ``sweep_id`` hashes the declaration-ordered list
+  of PR 4 cell fingerprints.  Fingerprints already cover the code
+  version, the cell function and a canonical kwargs encoding, so a
+  journal can only ever be resumed by *the same sweep on the same
+  code*: any source edit or config change yields a fresh id and the
+  stale journal is simply never read.
+* **Completion, not results.**  A ``done`` line records that a cell's
+  fingerprint settled (plus key label, attempts, wall seconds); the
+  result bytes themselves live in the content-addressed cell store
+  (:class:`repro.perf.cache.CellCache` — the process cache when one is
+  active, otherwise a journal-scoped store).  The journal composes
+  with the cache instead of duplicating it.
+* **Torn-write tolerance.**  Appends are single short writes followed
+  by ``fsync``; the enclosing directory is fsynced when the journal
+  file is created so the *name* survives a host crash too (same
+  guarantee :func:`repro.experiments.report_io.save_record` gives
+  records).  ``load`` skips a truncated trailing line instead of
+  failing, so a crash mid-append costs at most one cell re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable, Optional
+
+#: default journal location, next to the experiment records
+DEFAULT_JOURNAL_DIR = Path("results") / ".sweepjournal"
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a freshly created/renamed entry survives a
+    host crash.
+
+    ``os.replace``/append only makes the *data* durable; the directory
+    entry pointing at it needs its own fsync.  Best-effort: platforms
+    or filesystems that cannot fsync a directory are silently skipped
+    (the write itself already happened).
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def sweep_id(fingerprints: Iterable[str]) -> str:
+    """Stable identity of one sweep: hash of its cell fingerprints.
+
+    Order-sensitive (declaration order is part of the sweep's identity)
+    and code-sensitive (each fingerprint embeds the code version), so a
+    resumed journal is guaranteed to describe the same cells produced
+    by the same code.
+    """
+    h = hashlib.sha256()
+    for fp in fingerprints:
+        h.update(fp.encode())
+        h.update(b"\n")
+    return h.hexdigest()[:24]
+
+
+class SweepJournal:
+    """Append-only JSONL completion log for one sweep.
+
+    Entries are dicts with an ``event`` field:
+
+    * ``{"event": "done", "fp": ..., "key": ..., "attempts": n,
+      "wall_s": ...}`` — the cell settled successfully and its result
+      is retrievable from the cell store by fingerprint;
+    * ``{"event": "failed", "fp": ..., "key": ..., "attempts": n,
+      "error": ...}`` — the cell exhausted its retries and was
+      quarantined.  Failed cells are *re-executed* on resume (a crash
+      environment is exactly when a previous failure may have been the
+      host's fault).
+    """
+
+    def __init__(self, sweep: str,
+                 root: str | Path | None = None) -> None:
+        self.sweep = sweep
+        self.root = Path(root) if root is not None else DEFAULT_JOURNAL_DIR
+        self.path = self.root / f"{sweep}.jsonl"
+        self._fh: Optional[IO[str]] = None
+
+    # -- writing -----------------------------------------------------------
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            existed = self.path.exists()
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+            if not existed:
+                # make the new directory entry durable, not just the data
+                fsync_dir(self.root)
+        return self._fh
+
+    def append(self, entry: dict) -> None:
+        """Durably append one entry (single write + fsync)."""
+        fh = self._handle()
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def record_done(self, fp: str, key: str, attempts: int,
+                    wall_s: float) -> None:
+        self.append({"event": "done", "fp": fp, "key": key,
+                     "attempts": attempts, "wall_s": wall_s})
+
+    def record_failed(self, fp: str, key: str, attempts: int,
+                      error: str) -> None:
+        self.append({"event": "failed", "fp": fp, "key": key,
+                     "attempts": attempts, "error": error})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- reading -----------------------------------------------------------
+    def load(self) -> dict[str, dict]:
+        """Latest entry per fingerprint; ``{}`` when no journal exists.
+
+        A torn trailing line (crash mid-append) is skipped, not fatal:
+        the cell it described simply re-executes.
+        """
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        entries: dict[str, dict] = {}
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn append — ignore
+            fp = entry.get("fp")
+            if isinstance(fp, str):
+                entries[fp] = entry
+        return entries
+
+    def completed(self) -> set[str]:
+        """Fingerprints whose latest entry is a successful ``done``."""
+        return {fp for fp, e in self.load().items()
+                if e.get("event") == "done"}
+
+    def clear(self) -> None:
+        """Delete this sweep's journal file (store entries untouched)."""
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SweepJournal({self.sweep!r}, path={str(self.path)!r})"
+
+
+__all__ = ["DEFAULT_JOURNAL_DIR", "SweepJournal", "fsync_dir", "sweep_id"]

@@ -68,8 +68,19 @@ def _execute(cell: Cell) -> Any:
     return cell.fn(**cell.kwargs)
 
 
+def _check_cells(cells: Sequence[Cell]) -> list[Hashable]:
+    """Validate a cell list (unique keys); returns the key list."""
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        seen: set = set()
+        dup = next(k for k in keys if k in seen or seen.add(k))
+        raise ValueError(f"duplicate cell key: {dup!r}")
+    return keys
+
+
 def run_cells(
-    cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1, cache=None
+    cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1, cache=None,
+    supervisor=None,
 ) -> dict[Hashable, Any]:
     """Run ``cells`` and return ``{cell.key: result}`` in cell order.
 
@@ -86,15 +97,29 @@ def run_cells(
     result is byte-identical to a fresh run outside the ``"_perf"``
     quarantine (where hits are annotated).  Missed cells run (serially
     or in the pool) and are stored back.
+
+    ``supervisor`` is an optional
+    :class:`repro.perf.supervisor.Supervisor`; when omitted, the
+    process default (installed by the CLI's ``--max-retries`` /
+    ``--cell-timeout`` / ``--resume`` flags via
+    :func:`repro.perf.supervisor.set_default_supervisor`) is consulted.
+    With a supervisor the sweep gains retries, per-cell deadlines,
+    pool rebuilds, poison-cell quarantine and checkpoint/resume; the
+    merge contract is unchanged.  Without one, this bare path keeps
+    its historical fail-fast semantics: the first cell exception
+    propagates.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     cells = list(cells)
-    keys = [c.key for c in cells]
-    if len(set(keys)) != len(keys):
-        seen: set = set()
-        dup = next(k for k in keys if k in seen or seen.add(k))
-        raise ValueError(f"duplicate cell key: {dup!r}")
+    keys = _check_cells(cells)
+
+    if supervisor is None:
+        from repro.perf.supervisor import get_default_supervisor
+
+        supervisor = get_default_supervisor()
+    if supervisor is not None:
+        return supervisor.run(cells, jobs=jobs, cache=cache)
 
     if cache is None:
         from repro.perf.cache import get_default_cache
@@ -136,4 +161,4 @@ def run_cells(
     return dict(zip(keys, results))
 
 
-__all__ = ["Cell", "run_cells", "_execute"]
+__all__ = ["Cell", "run_cells", "_check_cells", "_execute"]

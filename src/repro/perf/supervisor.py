@@ -1,0 +1,580 @@
+"""Supervised sweep execution: retries, deadlines, rebuilds, quarantine,
+checkpoint/resume.
+
+:func:`repro.perf.pool.run_cells` assumes a well-behaved host: a worker
+crash raises ``BrokenProcessPool`` and loses the whole sweep, a hung
+worker stalls the merge forever, and a killed run restarts from zero.
+:class:`Supervisor` wraps the same cell model with production traffic
+semantics — the host-layer mirror of what :mod:`repro.faults` did for
+the *simulated* system in PR 1:
+
+* **Deadlines.**  Every in-flight cell gets a wall-clock deadline
+  derived from a running (exponential moving average) estimate of cell
+  cost, clamped to a configurable floor/cap — or a fixed
+  ``cell_timeout_s``.  A cell that overruns gets one grace extension
+  (mirroring the gang scheduler's straggler quantum extension), then is
+  treated as hung: its workers are killed and the cell is rescheduled.
+* **Retries.**  A failed attempt (worker crash, in-cell exception,
+  deadline kill) is retried with exponential backoff, up to
+  ``max_retries`` re-executions.  Cells are pure functions of their
+  kwargs and every attempt goes through the same
+  :func:`~repro.perf.pool._execute` global-state reset, so a retry is
+  re-seeded-identical: a surviving attempt produces the same bytes the
+  first attempt would have.
+* **Pool rebuilds.**  ``BrokenProcessPool`` no longer sinks the sweep:
+  finished results are harvested, the pool is rebuilt, and interrupted
+  cells are resubmitted.  The crash cannot be attributed to one cell,
+  so every interrupted cell is charged one attempt (the in-flight
+  window is at most ``jobs`` cells wide).
+* **Quarantine.**  A cell that fails ``max_retries + 1`` attempts is
+  *blacklisted* — borrowing the idea from the Blacklisting Memory
+  Scheduler: misbehaving streams are isolated rather than allowed to
+  stall everyone.  Its slot in the merged record becomes
+  ``{"_failed": {...}}`` (exception text, attempt count, per-attempt
+  timings) and the rest of the sweep completes normally.  ``"_failed"``
+  is a reserved key like ``"_perf"``: excluded from identity
+  guarantees, never produced by healthy runs.
+* **Checkpoint/resume.**  With journaling on, every settled cell is
+  recorded in ``results/.sweepjournal/<sweep_id>.jsonl``
+  (:mod:`repro.perf.journal`) and its result stored in a
+  content-addressed cell store — the process
+  :class:`~repro.perf.cache.CellCache` when one is active, otherwise a
+  journal-scoped store.  A later run with ``resume=True`` re-executes
+  only the cells the journal does not mark done, and merges to the
+  byte-identical record an uninterrupted run would have produced
+  (outside the ``"_perf"`` quarantine, where served cells are
+  annotated).
+
+Determinism
+-----------
+The merge remains in declaration order and every cell result is a pure
+function of its kwargs, so a supervised sweep — even one that suffered
+injected crashes, hangs and rebuilds — merges to the same bytes as a
+plain serial ``run_cells`` (enforced by
+``tests/perf/test_supervisor.py``).  Host fault injection for tests and
+the chaos benchmark comes from
+:class:`~repro.faults.worker.WorkerFaultPlan`.
+
+Telemetry: ``supervisor_*`` counters (``completed``, ``retries``,
+``rebuilds``, ``timeouts``, ``deadline_extensions``, ``quarantined``,
+``resumed``) flow through the :mod:`repro.obs` registry, and the same
+values are always available on :attr:`Supervisor.stats`.
+
+Mirroring the cache and obs subsystems, a process-default supervisor
+installed with :func:`set_default_supervisor` is picked up by
+:func:`repro.perf.pool.run_cells` — this is how the CLI's
+``--max-retries`` / ``--cell-timeout`` / ``--resume`` flags reach every
+sweep experiment without threading a parameter through each harness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable, Optional
+
+from repro.faults.worker import WorkerFaultPlan
+from repro.perf.journal import DEFAULT_JOURNAL_DIR, SweepJournal, sweep_id
+from repro.perf.pool import Cell, _check_cells, _execute
+
+#: reserved key marking a quarantined cell in the merged record
+FAILED_KEY = "_failed"
+
+#: sentinel exit code used by injected worker crashes (diagnostic only)
+_CRASH_EXIT_CODE = 13
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision policy for one sweep."""
+
+    #: re-executions allowed per cell after its first failed attempt
+    max_retries: int = 3
+    #: fixed per-cell deadline; ``None`` = adaptive from the running
+    #: cost estimate (the cap alone until the first cell completes)
+    cell_timeout_s: Optional[float] = None
+    #: adaptive deadline = clamp(multiplier * estimate, floor, cap)
+    timeout_floor_s: float = 2.0
+    timeout_cap_s: float = 900.0
+    timeout_multiplier: float = 8.0
+    #: one grace extension of ``grace_factor * budget`` before a cell
+    #: is declared hung (the straggler gets a second chance first)
+    grace_factor: float = 0.5
+    #: exponential retry backoff: base * factor**(attempt-1), capped
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    #: watchdog poll period (host wall clock)
+    poll_interval_s: float = 0.05
+    #: record settled cells in the sweep journal
+    journal: bool = False
+    #: where journals (and journal-scoped result stores) live
+    journal_dir: str | Path = DEFAULT_JOURNAL_DIR
+    #: skip cells a previous journal marks done (implies journaling)
+    resume: bool = False
+    #: host fault injection (tests / hidden ``--chaos`` flag only)
+    worker_faults: Optional[WorkerFaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive when set")
+        if self.timeout_floor_s <= 0 or self.timeout_cap_s <= 0:
+            raise ValueError("timeout floor/cap must be positive")
+        if self.timeout_floor_s > self.timeout_cap_s:
+            raise ValueError("timeout_floor_s must be <= timeout_cap_s")
+        if self.timeout_multiplier < 1.0:
+            raise ValueError("timeout_multiplier must be >= 1")
+        if self.grace_factor < 0.0:
+            raise ValueError("grace_factor must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    @property
+    def journaling(self) -> bool:
+        return self.journal or self.resume
+
+
+def _supervised_execute(cell: Cell, index: int, attempt: int,
+                        plan: Optional[WorkerFaultPlan]) -> Any:
+    """Worker-side shim: apply any injected host fault, then run the cell.
+
+    Runs in the worker process.  The injected behaviours model the real
+    failures the supervisor exists to absorb: ``os._exit`` is a
+    fail-stop crash (no exception crosses the pipe, the executor
+    breaks), a long sleep is a hang (only the parent's deadline
+    watchdog can end it), a short sleep is a straggling start.
+    """
+    if plan is not None and plan.active:
+        kind = plan.decide(index, attempt)
+        if kind == "crash":
+            os._exit(_CRASH_EXIT_CODE)
+        elif kind == "hang":
+            time.sleep(plan.hang_s)
+        elif kind == "slow":
+            time.sleep(plan.slow_start_s)
+    return _execute(cell)
+
+
+class _CellState:
+    """Supervision bookkeeping for one incomplete cell."""
+
+    __slots__ = ("index", "cell", "fp", "attempts", "timeout_kills",
+                 "errors", "timings", "ready_at", "submitted_at",
+                 "budget", "deadline", "extended")
+
+    def __init__(self, index: int, cell: Cell, fp: str) -> None:
+        self.index = index
+        self.cell = cell
+        self.fp = fp
+        #: failed attempts so far
+        self.attempts = 0
+        #: attempts killed by the deadline watchdog (drives escalation)
+        self.timeout_kills = 0
+        #: one message per failed attempt
+        self.errors: list[str] = []
+        #: wall seconds of every attempt (failed and successful)
+        self.timings: list[float] = []
+        #: earliest host time the next attempt may be submitted
+        self.ready_at = 0.0
+        self.submitted_at = 0.0
+        #: deadline budget for the in-flight attempt (None = disarmed)
+        self.budget: Optional[float] = None
+        self.deadline: Optional[float] = None
+        #: grace extension already granted to the in-flight attempt
+        self.extended = False
+
+
+class Supervisor:
+    """Run sweep cells to completion under failures (see module docs)."""
+
+    _STATS = ("completed", "retries", "rebuilds", "timeouts",
+              "deadline_extensions", "quarantined", "resumed")
+
+    def __init__(self, config: Optional[SupervisorConfig] = None,
+                 obs=None) -> None:
+        self.config = config or SupervisorConfig()
+        if obs is None:
+            from repro.obs import get_default
+
+            obs = get_default()
+        self.stats: dict[str, int] = {k: 0 for k in self._STATS}
+        self._counters = {
+            k: obs.counter(f"supervisor_{k}") for k in self._STATS
+        }
+        #: running EMA of successful-attempt wall seconds
+        self._estimate: Optional[float] = None
+
+    # -- counters ----------------------------------------------------------
+    def _count(self, key: str, n: int = 1) -> None:
+        self.stats[key] += n
+        self._counters[key].inc(n)
+
+    # -- public API --------------------------------------------------------
+    def run(self, cells, jobs: int = 1, cache=None) -> dict[Hashable, Any]:
+        """Run ``cells`` under supervision; returns ``{key: result}``.
+
+        Same contract as :func:`repro.perf.pool.run_cells` — results
+        merge in declaration order for any ``jobs`` — except that
+        quarantined cells yield ``{"_failed": {...}}`` instead of
+        raising, and (with journaling) completed cells survive a dead
+        process.  Unlike plain ``run_cells``, *every* execution happens
+        in a worker process (``jobs=1`` builds a one-worker pool):
+        isolation is what makes crash containment and hung-worker
+        cancellation possible at all.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        cells = list(cells)
+        keys = _check_cells(cells)
+
+        from repro.perf.cache import CellCache, fingerprint, \
+            get_default_cache
+
+        if cache is None:
+            cache = get_default_cache()
+        prints = [fingerprint(c.fn, c.kwargs) for c in cells]
+
+        results: list[Any] = [None] * len(cells)
+        settled = [False] * len(cells)
+
+        journal = store = None
+        journaled: set[str] = set()
+        if self.config.journaling:
+            journal = SweepJournal(sweep_id(prints),
+                                   root=self.config.journal_dir)
+            # the result store backing resume: the active cache when
+            # there is one (composition, not duplication), otherwise a
+            # journal-scoped content-addressed store
+            store = cache if cache is not None else CellCache(
+                root=Path(self.config.journal_dir)
+                / f"{journal.sweep}.store"
+            )
+            done_before = journal.completed()
+            journaled = set(done_before)
+            if self.config.resume and done_before:
+                for i, fp in enumerate(prints):
+                    if fp not in done_before:
+                        continue
+                    hit = store.get(fp)
+                    if hit is not None:
+                        results[i] = hit
+                        settled[i] = True
+                        self._count("resumed")
+                    # a done entry whose stored result vanished simply
+                    # re-executes — the journal is an index, the store
+                    # is the source of truth
+
+        # cache pre-pass, as in run_cells; hits are journaled too so a
+        # resume does not depend on the cache staying warm elsewhere
+        if cache is not None:
+            for i, cell in enumerate(cells):
+                if settled[i]:
+                    continue
+                hit = cache.get(prints[i])
+                if hit is not None:
+                    results[i] = hit
+                    settled[i] = True
+                    if journal is not None and prints[i] not in journaled:
+                        journal.record_done(prints[i], repr(cell.key),
+                                            attempts=0, wall_s=0.0)
+                        journaled.add(prints[i])
+
+        todo = [i for i in range(len(cells)) if not settled[i]]
+        if todo:
+            try:
+                self._run_supervised(cells, prints, results, todo, jobs,
+                                     cache, store, journal, journaled)
+            finally:
+                if journal is not None:
+                    journal.close()
+        elif journal is not None:
+            journal.close()
+        return dict(zip(keys, results))
+
+    # -- core loop ---------------------------------------------------------
+    def _run_supervised(self, cells, prints, results, todo, jobs,
+                        cache, store, journal, journaled) -> None:
+        cfg = self.config
+        states = {i: _CellState(i, cells[i], prints[i]) for i in todo}
+        waiting: list[int] = list(todo)
+        workers = min(jobs, len(todo))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        inflight: dict[Future, _CellState] = {}
+
+        def settle_success(st: _CellState, result) -> None:
+            wall = time.monotonic() - st.submitted_at
+            st.timings.append(wall)
+            self._observe(wall)
+            results[st.index] = result
+            self._count("completed")
+            if cache is not None:
+                cache.put(st.fp, result, label=repr(st.cell.key))
+            if store is not None and store is not cache:
+                store.put(st.fp, result, label=repr(st.cell.key))
+            if journal is not None and st.fp not in journaled:
+                journal.record_done(st.fp, repr(st.cell.key),
+                                    attempts=st.attempts + 1,
+                                    wall_s=wall)
+                journaled.add(st.fp)
+
+        def settle_failure(st: _CellState, error: str,
+                           charge: bool = True) -> None:
+            """Record a failed attempt; requeue or quarantine."""
+            if charge:
+                st.attempts += 1
+                st.errors.append(error)
+                st.timings.append(time.monotonic() - st.submitted_at)
+            if not charge or st.attempts <= cfg.max_retries:
+                if charge:
+                    self._count("retries")
+                    backoff = min(
+                        cfg.backoff_max_s,
+                        cfg.backoff_base_s
+                        * cfg.backoff_factor ** (st.attempts - 1),
+                    )
+                    st.ready_at = time.monotonic() + backoff
+                waiting.append(st.index)
+                return
+            # poison cell: blacklist it into the merged record so the
+            # rest of the sweep survives
+            self._count("quarantined")
+            results[st.index] = {
+                FAILED_KEY: {
+                    "key": repr(st.cell.key),
+                    "error": st.errors[-1],
+                    "errors": list(st.errors),
+                    "attempts": st.attempts,
+                    "attempt_s": list(st.timings),
+                }
+            }
+            if journal is not None:
+                journal.record_failed(st.fp, repr(st.cell.key),
+                                      attempts=st.attempts,
+                                      error=st.errors[-1])
+
+        def harvest(fut: Future, st: _CellState) -> bool:
+            """Consume one completed future; True if the pool broke."""
+            try:
+                result = fut.result()
+            except BrokenProcessPool:
+                settle_failure(st, "worker crashed (BrokenProcessPool)")
+                return True
+            except Exception as exc:  # raised inside the cell function
+                settle_failure(st, f"{type(exc).__name__}: {exc}")
+                return False
+            settle_success(st, result)
+            return False
+
+        def rebuild(hung: tuple[_CellState, ...] = ()) -> None:
+            """Kill the pool, salvage finished work, requeue the rest.
+
+            ``hung`` cells were already settled by the watchdog; every
+            other unfinished in-flight cell is requeued.  When the
+            rebuild was *caused* by the watchdog (``hung`` non-empty)
+            the innocent bystanders are requeued without an attempt
+            charge — the supervisor killed them, they did nothing
+            wrong.  A spontaneous break charges everyone in flight (the
+            culprit is unattributable).
+            """
+            nonlocal pool
+            self._count("rebuilds")
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - defensive
+                pass
+            # mark the dead pool's wakeup pipe closed so the
+            # concurrent.futures atexit hook does not try to write to
+            # its already-broken fd at interpreter shutdown
+            wakeup = getattr(pool, "_executor_manager_thread_wakeup",
+                             None)
+            if wakeup is not None:
+                try:
+                    wakeup.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            for fut, st in list(inflight.items()):
+                if st in hung:
+                    continue
+                if fut.done() and not fut.cancelled():
+                    harvest(fut, st)
+                else:
+                    settle_failure(
+                        st, "worker crashed (BrokenProcessPool)",
+                        charge=not hung,
+                    )
+            inflight.clear()
+            pool = ProcessPoolExecutor(max_workers=workers)
+
+        try:
+            while waiting or inflight:
+                now = time.monotonic()
+                # submit every ready cell a worker is free for
+                waiting.sort(key=lambda i: (states[i].ready_at, i))
+                while waiting and len(inflight) < workers \
+                        and states[waiting[0]].ready_at <= now:
+                    st = states[waiting.pop(0)]
+                    st.submitted_at = time.monotonic()
+                    st.budget, st.deadline = self._deadline(st)
+                    st.extended = False
+                    fut = pool.submit(_supervised_execute, st.cell,
+                                      st.index, st.attempts,
+                                      cfg.worker_faults)
+                    inflight[fut] = st
+
+                if not inflight:
+                    # everything is backing off; sleep to the earliest
+                    time.sleep(max(0.0, min(
+                        states[i].ready_at for i in waiting) - now))
+                    continue
+
+                done, _ = wait(set(inflight),
+                               timeout=cfg.poll_interval_s,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for fut in done:
+                    st = inflight.pop(fut)
+                    broken |= harvest(fut, st)
+                if broken:
+                    rebuild()
+                    continue
+
+                # deadline watchdog
+                now = time.monotonic()
+                hung: list[_CellState] = []
+                for st in inflight.values():
+                    if st.deadline is None or now <= st.deadline:
+                        continue
+                    if not st.extended and cfg.grace_factor > 0.0:
+                        # one straggler grace, then the axe
+                        st.extended = True
+                        st.deadline = now + cfg.grace_factor * st.budget
+                        self._count("deadline_extensions")
+                    else:
+                        hung.append(st)
+                if hung:
+                    for st in hung:
+                        self._count("timeouts")
+                        st.timeout_kills += 1
+                        settle_failure(
+                            st,
+                            f"deadline exceeded "
+                            f"({time.monotonic() - st.submitted_at:.2f}s"
+                            f" > budget {st.budget:.2f}s)",
+                        )
+                    rebuild(hung=tuple(hung))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- deadline policy ---------------------------------------------------
+    def _observe(self, wall_s: float) -> None:
+        """Fold one successful attempt into the running cost estimate."""
+        if self._estimate is None:
+            self._estimate = wall_s
+        else:
+            self._estimate = 0.7 * self._estimate + 0.3 * wall_s
+
+    def _deadline(self, st: _CellState
+                  ) -> tuple[Optional[float], Optional[float]]:
+        """(budget, absolute deadline) for the attempt just submitted.
+
+        Adaptive budgets clamp ``multiplier * estimate`` to
+        ``[floor, cap]``; before any cell has completed the cap itself
+        is the budget, so even a hang in the very first batch is
+        eventually cancelled.  A cell the watchdog already killed gets
+        its budget doubled per kill (past the cap if need be): a
+        merely-slow cell converges to a budget it fits in instead of
+        being killed identically on every retry and quarantined as a
+        false positive — a real hang still dies, just later.
+        """
+        cfg = self.config
+        if cfg.cell_timeout_s is not None:
+            budget = cfg.cell_timeout_s
+        elif self._estimate is None:
+            budget = cfg.timeout_cap_s
+        else:
+            budget = min(cfg.timeout_cap_s,
+                         max(cfg.timeout_floor_s,
+                             cfg.timeout_multiplier * self._estimate))
+        budget *= 2.0 ** st.timeout_kills
+        return budget, st.submitted_at + budget
+
+
+_default_supervisor: Optional[Supervisor] = None
+
+
+def get_default_supervisor() -> Optional[Supervisor]:
+    """The process-wide default supervisor (``None`` = unsupervised)."""
+    return _default_supervisor
+
+
+def set_default_supervisor(supervisor: Optional[Supervisor]) -> None:
+    """Install (or with ``None`` remove) the process default supervisor."""
+    global _default_supervisor
+    _default_supervisor = supervisor
+
+
+def quarantined(merged: dict) -> dict[Hashable, dict]:
+    """The quarantined entries of a merged record: ``{key: failure}``."""
+    return {
+        k: v[FAILED_KEY]
+        for k, v in merged.items()
+        if isinstance(v, dict) and FAILED_KEY in v
+    }
+
+
+class QuarantinedCells(RuntimeError):
+    """A sweep completed but some cells were quarantined.
+
+    Raised by aggregators that need every cell's real result; carries
+    the ``{key: failure}`` mapping so callers (and tracebacks) name
+    the poisoned cells instead of dying on a ``KeyError`` deep inside
+    the aggregation.
+    """
+
+    def __init__(self, failures: dict, context: str = "sweep"):
+        self.failures = failures
+        lines = ", ".join(
+            f"{k!r}: {f.get('error', '?')} after {f.get('attempts', '?')}"
+            f" attempt(s)"
+            for k, f in failures.items()
+        )
+        super().__init__(
+            f"{context}: {len(failures)} cell(s) quarantined — {lines}"
+        )
+
+
+def require_ok(merged: dict, context: str = "sweep") -> dict:
+    """Return ``merged`` unchanged, or raise :class:`QuarantinedCells`
+    if any cell carries a ``"_failed"`` quarantine entry."""
+    failures = quarantined(merged)
+    if failures:
+        raise QuarantinedCells(failures, context)
+    return merged
+
+
+__all__ = [
+    "FAILED_KEY",
+    "QuarantinedCells",
+    "Supervisor",
+    "SupervisorConfig",
+    "get_default_supervisor",
+    "quarantined",
+    "require_ok",
+    "set_default_supervisor",
+]

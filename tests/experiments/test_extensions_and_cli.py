@@ -115,3 +115,48 @@ def test_cli_run_small(capsys):
     assert main(["run", "false-eviction", "--scale", "0.04"]) == 0
     out = capsys.readouterr().out
     assert "refaults" in out
+
+
+def test_cli_rejects_non_positive_jobs(capsys):
+    from repro.__main__ import main
+
+    for argv in (
+        ["run", "false-eviction", "--jobs", "0"],
+        ["replicate", "--jobs", "-2"],
+        ["all", "--jobs", "two"],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2  # argparse usage error, at the parser
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_cli_resilience_flags_run_supervised(capsys, tmp_path, monkeypatch):
+    from repro.__main__ import main
+
+    monkeypatch.chdir(tmp_path)  # journal lands under tmp results/
+    assert main(["replicate", "--bench", "LU", "--klass", "B",
+                 "--seeds", "1", "2", "--scale", "0.04",
+                 "--max-retries", "2", "--cell-timeout", "600"]) == 0
+    out = capsys.readouterr().out
+    assert "supervisor:" in out
+    assert "0 quarantined" in out
+    assert (tmp_path / "results" / ".sweepjournal").is_dir()
+
+
+def test_cli_quarantined_sweep_fails_with_named_cells(capsys, tmp_path,
+                                                      monkeypatch):
+    # every attempt of every cell crashes the worker: the sweep must
+    # end with a clear named-cell error and exit 1, not a KeyError
+    # from deep inside the aggregation
+    from repro.__main__ import main
+
+    monkeypatch.chdir(tmp_path)
+    rc = main(["replicate", "--bench", "LU", "--klass", "B",
+               "--seeds", "5", "--scale", "0.04", "--max-retries", "0",
+               "--chaos", "crash=1.0,seed=1"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "quarantined" in captured.err
+    assert "(5, 'lru')" in captured.err
+    assert "--resume" in captured.err  # recovery hint

@@ -1,0 +1,103 @@
+"""Unit tests for host-level worker fault injection
+(repro.faults.worker.WorkerFaultPlan)."""
+
+import pytest
+
+from repro.faults.worker import WorkerFaultPlan
+
+
+def test_default_plan_is_inert():
+    plan = WorkerFaultPlan()
+    assert not plan.active
+    assert all(plan.decide(i, a) is None
+               for i in range(10) for a in range(3))
+    assert plan.injections(10) == {}
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError, match="crash_rate"):
+        WorkerFaultPlan(crash_rate=1.5)
+    with pytest.raises(ValueError, match="hang_rate"):
+        WorkerFaultPlan(hang_rate=-0.1)
+    with pytest.raises(ValueError, match="slow_start_rate"):
+        WorkerFaultPlan(slow_start_rate=2.0)
+    with pytest.raises(ValueError, match="hang_s"):
+        WorkerFaultPlan(hang_s=0.0)
+    with pytest.raises(ValueError, match="slow_start_s"):
+        WorkerFaultPlan(slow_start_s=-1.0)
+
+
+def test_decisions_are_deterministic():
+    a = WorkerFaultPlan(crash_rate=0.4, hang_rate=0.2, seed=7)
+    b = WorkerFaultPlan(crash_rate=0.4, hang_rate=0.2, seed=7)
+    for i in range(50):
+        for attempt in range(4):
+            assert a.decide(i, attempt) == b.decide(i, attempt)
+
+
+def test_seed_changes_schedule():
+    schedules = {
+        frozenset(WorkerFaultPlan(crash_rate=0.5, seed=s)
+                  .injections(40).items())
+        for s in range(5)
+    }
+    assert len(schedules) > 1
+
+
+def test_attempt_changes_draw():
+    # a crash on attempt 0 must not deterministically recur forever:
+    # somewhere in a modest window the retry draw clears
+    plan = WorkerFaultPlan(crash_rate=0.5, seed=3)
+    for index in plan.injections(20):
+        assert any(plan.decide(index, a) != "crash" for a in range(1, 16))
+
+
+def test_full_rate_always_fires():
+    plan = WorkerFaultPlan(crash_rate=1.0, seed=0)
+    assert all(plan.decide(i, a) == "crash"
+               for i in range(10) for a in range(3))
+
+
+def test_priority_crash_over_hang_over_slow():
+    plan = WorkerFaultPlan(crash_rate=1.0, hang_rate=1.0,
+                           slow_start_rate=1.0)
+    assert plan.decide(0, 0) == "crash"
+    plan = WorkerFaultPlan(hang_rate=1.0, slow_start_rate=1.0)
+    assert plan.decide(0, 0) == "hang"
+    plan = WorkerFaultPlan(slow_start_rate=1.0)
+    assert plan.decide(0, 0) == "slow"
+
+
+def test_injections_matches_decide():
+    plan = WorkerFaultPlan(crash_rate=0.3, hang_rate=0.3, seed=11)
+    sched = plan.injections(30)
+    for i in range(30):
+        assert sched.get(i) == plan.decide(i, 0)
+
+
+def test_parse_round_trip():
+    plan = WorkerFaultPlan.parse("crash=0.3, hang=0.1, slow=0.2, "
+                                 "hang_s=5, slow_s=0.01, seed=7")
+    assert plan == WorkerFaultPlan(
+        crash_rate=0.3, hang_rate=0.1, slow_start_rate=0.2,
+        hang_s=5.0, slow_start_s=0.01, seed=7,
+    )
+    assert WorkerFaultPlan.parse("") == WorkerFaultPlan()
+
+
+def test_parse_rejects_bad_specs():
+    with pytest.raises(ValueError, match="chaos spec"):
+        WorkerFaultPlan.parse("bogus=1")
+    with pytest.raises(ValueError, match="chaos spec"):
+        WorkerFaultPlan.parse("crash")
+    with pytest.raises(ValueError, match="chaos spec"):
+        WorkerFaultPlan.parse("crash=lots")
+    with pytest.raises(ValueError, match="crash_rate"):
+        WorkerFaultPlan.parse("crash=7")
+
+
+def test_plan_is_picklable():
+    import pickle
+
+    plan = WorkerFaultPlan(crash_rate=0.25, seed=9)
+    assert pickle.loads(pickle.dumps(plan)) == plan

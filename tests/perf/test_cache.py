@@ -120,6 +120,64 @@ def test_corrupt_entry_treated_as_miss(cache):
     assert cache.misses == 1
 
 
+def test_corrupt_entry_deleted_so_slot_can_heal(cache):
+    fp = fingerprint(cell_fn, {"a": 7})
+    cache.put(fp, {"sum": 7})
+    cache._path(fp).write_bytes(b"not a pickle")
+    assert cache.get(fp) is None
+    # the bad pickle is gone, not left to re-parse on every lookup
+    assert not cache._path(fp).exists()
+    assert cache.corrupt == 1
+    assert cache.stats()["corrupt"] == 1
+    # the miss path stores a fresh result over the healed slot
+    cache.put(fp, {"sum": 7})
+    assert cache.get(fp)["sum"] == 7
+    assert cache.corrupt == 1  # no further corruption seen
+
+
+def test_truncated_pickle_is_corrupt_and_deleted(cache):
+    fp = fingerprint(cell_fn, {"a": 8})
+    cache.put(fp, {"sum": 8})
+    blob = cache._path(fp).read_bytes()
+    cache._path(fp).write_bytes(blob[: len(blob) // 2])
+    assert cache.get(fp) is None
+    assert not cache._path(fp).exists()
+    assert cache.corrupt == 1
+
+
+def test_wrong_shape_entry_is_corrupt_and_deleted(cache):
+    fp = fingerprint(cell_fn, {"a": 9})
+    cache.root.mkdir(parents=True, exist_ok=True)
+    with cache._path(fp).open("wb") as fh:  # valid pickle, wrong shape
+        pickle.dump([1, 2, 3], fh)
+    assert cache.get(fp) is None
+    assert not cache._path(fp).exists()
+    assert cache.corrupt == 1
+
+
+def test_transient_io_error_is_plain_miss_not_corruption(cache):
+    # an unreadable-but-present entry may be fine next time: degrade to
+    # a miss without deleting anything
+    fp = fingerprint(cell_fn, {"a": 10})
+    cache.root.mkdir(parents=True, exist_ok=True)
+    cache._path(fp).mkdir()  # open("rb") raises IsADirectoryError
+    assert cache.get(fp) is None
+    assert cache.misses == 1
+    assert cache.corrupt == 0
+    assert cache._path(fp).exists()
+
+
+def test_corrupt_counter_reaches_obs_registry(tmp_path):
+    reg = Registry()
+    cache = CellCache(root=tmp_path, obs=reg)
+    fp = fingerprint(cell_fn, {"a": 11})
+    cache._path(fp).parent.mkdir(parents=True, exist_ok=True)
+    cache._path(fp).write_bytes(b"garbage")
+    cache.get(fp)
+    assert reg.value("cellcache_corrupt") == 1
+    assert reg.value("cellcache_misses") == 1
+
+
 def test_stats_and_clear(cache):
     for a in range(3):
         cache.put(fingerprint(cell_fn, {"a": a}), {"sum": a})

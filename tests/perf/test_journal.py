@@ -1,0 +1,94 @@
+"""Unit tests for the sweep checkpoint journal (repro.perf.journal)."""
+
+import json
+
+from repro.perf.journal import SweepJournal, fsync_dir, sweep_id
+
+
+def test_sweep_id_is_order_and_content_sensitive():
+    a = sweep_id(["fp1", "fp2"])
+    assert a == sweep_id(["fp1", "fp2"])
+    assert a != sweep_id(["fp2", "fp1"])
+    assert a != sweep_id(["fp1", "fp2", "fp3"])
+    assert a != sweep_id(["fp1"])
+    assert len(a) == 24 and int(a, 16) >= 0
+
+
+def test_append_load_round_trip(tmp_path):
+    j = SweepJournal("deadbeef", root=tmp_path)
+    j.record_done("fpA", "('a', 0)", attempts=1, wall_s=0.5)
+    j.record_failed("fpB", "('a', 1)", attempts=4, error="boom")
+    j.close()
+
+    entries = SweepJournal("deadbeef", root=tmp_path).load()
+    assert entries["fpA"]["event"] == "done"
+    assert entries["fpA"]["attempts"] == 1
+    assert entries["fpB"]["event"] == "failed"
+    assert entries["fpB"]["error"] == "boom"
+
+
+def test_latest_entry_per_fingerprint_wins(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.record_failed("fp", "k", attempts=4, error="boom")
+    j.record_done("fp", "k", attempts=5, wall_s=1.0)
+    j.close()
+    assert j.load()["fp"]["event"] == "done"
+    assert j.completed() == {"fp"}
+
+
+def test_completed_excludes_failures(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.record_done("ok", "k1", attempts=1, wall_s=0.1)
+    j.record_failed("bad", "k2", attempts=4, error="boom")
+    j.close()
+    # failed cells re-execute on resume: only "done" counts
+    assert j.completed() == {"ok"}
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.record_done("fpA", "k", attempts=1, wall_s=0.1)
+    j.close()
+    with j.path.open("a", encoding="utf-8") as fh:
+        fh.write('{"event": "done", "fp": "fpB", "atte')  # crash mid-append
+    assert j.completed() == {"fpA"}
+
+
+def test_non_dict_and_blank_lines_tolerated(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.path.parent.mkdir(parents=True, exist_ok=True)
+    j.path.write_text('\n{"event": "done", "fp": "fpA"}\n\nnot json\n')
+    assert j.completed() == {"fpA"}
+
+
+def test_load_missing_journal_is_empty(tmp_path):
+    j = SweepJournal("missing", root=tmp_path / "nowhere")
+    assert j.load() == {}
+    assert j.completed() == set()
+
+
+def test_clear_removes_file(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.record_done("fp", "k", attempts=1, wall_s=0.1)
+    j.close()
+    assert j.path.exists()
+    j.clear()
+    assert not j.path.exists()
+    j.clear()  # idempotent
+
+
+def test_appends_are_one_line_of_sorted_json(tmp_path):
+    j = SweepJournal("s", root=tmp_path)
+    j.record_done("fp", "k", attempts=2, wall_s=0.25)
+    j.close()
+    lines = j.path.read_text().splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    assert entry == {"event": "done", "fp": "fp", "key": "k",
+                     "attempts": 2, "wall_s": 0.25}
+    assert lines[0] == json.dumps(entry, sort_keys=True)
+
+
+def test_fsync_dir_tolerates_missing_path(tmp_path):
+    fsync_dir(tmp_path)  # real directory: no error
+    fsync_dir(tmp_path / "does-not-exist")  # best-effort: no error
