@@ -49,9 +49,27 @@ workers mid-sweep — and asserts the supervised run absorbed at least
 one pool rebuild, quarantined nothing, and merged to byte-identical
 output.
 
+``BENCH_PR7.json`` (``--pr7-out``) covers the vectorized batch-advance
+event core:
+
+* batch-advance vs scalar-dispatch (``repro.sim
+  .set_batch_advance_enabled``) wall clock on the Figure-6 LRU cell,
+  with a bit-for-bit identity verdict that *includes*
+  ``events_simulated`` — unlike the PR 5 fast path, batch-advance only
+  absorbs dispatches, so the logical event count must match exactly
+  while ``events_dispatched`` drops,
+* per-PR target bookkeeping (``speedup_target`` / ``meets_target``
+  against the recorded PR 5 baseline) plus the cumulative
+  ``fig6_trajectory`` (seed → this PR) that every BENCH file now
+  carries,
+* the fig6 LRU floor for the *hard* smoke regression gate: a
+  ``--smoke`` run re-measures the cell and exits non-zero when it
+  exceeds the committed floor by more than
+  :data:`SMOKE_REGRESSION_FACTOR`.
+
 Each benchmark section writes one BENCH file; ``--section`` selects
 which sections run.  It defaults to the *current* PR's section so
-routine full runs refresh only ``BENCH_PR6.json`` and stop rewriting
+routine full runs refresh only ``BENCH_PR7.json`` and stop rewriting
 the historical reports; ``--section all`` reproduces everything.
 
 Usage::
@@ -64,11 +82,14 @@ Usage::
 parallel pool fails (pickling regression, worker crash), its output
 diverges from serial, an instrumented run diverges from an
 uninstrumented one, or a fast-path run diverges from a slow-mode run —
-no timing assertions, so it is load-tolerant.  The one timing check it
-performs is advisory: when the smoke cell's fast-mode wall clock
-exceeds the floor recorded in the committed ``BENCH_PR5.json`` by more
-than :data:`SMOKE_REGRESSION_FACTOR`, it prints a GitHub-actions
-``::warning::`` line and still exits zero.
+mostly without timing assertions, so it is load-tolerant.  Two timing
+checks remain.  The PR 5 one is advisory: when the smoke cell's
+fast-mode wall clock exceeds the floor recorded in the committed
+``BENCH_PR5.json`` by more than :data:`SMOKE_REGRESSION_FACTOR`, it
+prints a GitHub-actions ``::warning::`` line and still exits zero.
+The PR 7 one is a hard gate: when the fig6 LRU cell exceeds the floor
+recorded in the committed ``BENCH_PR7.json`` by more than the same
+factor, it prints ``::error::`` and exits non-zero.
 """
 
 from __future__ import annotations
@@ -119,6 +140,43 @@ BASELINE_PR3_SINGLE_CELL_WALL_S = 1.326
 #: host load; as with the other baselines, re-measure rather than
 #: trusting the absolute number when conditions change.
 BASELINE_PR4_SINGLE_CELL_WALL_S = 1.1086018349997175
+
+#: the same cell on the PR 5 code (post resident-run batching, before
+#: the PR 7 batch-advance core) — the ``fast_wall_s_min`` recorded in
+#: ``BENCH_PR5.json`` and the denominator of the PR 7 speedup claim
+BASELINE_PR5_SINGLE_CELL_WALL_S = 0.958194470997114
+
+#: the Figure-6 LRU cell's wall-time trajectory across the perf PRs
+#: (min-of-N on the same host lineage).  Every BENCH file carries this
+#: forward — with the current PR's measurement appended — so a
+#: regression is visible in any single report without diffing the
+#: historical files.
+FIG6_TRAJECTORY = (
+    ("seed", BASELINE_SINGLE_CELL_WALL_S),
+    ("PR3", BASELINE_PR3_SINGLE_CELL_WALL_S),
+    ("PR4", BASELINE_PR4_SINGLE_CELL_WALL_S),
+    ("PR5", BASELINE_PR5_SINGLE_CELL_WALL_S),
+)
+
+
+def fig6_trajectory(current_pr: str = None,
+                    current_wall_s: float = None) -> list:
+    """The recorded fig6 wall-time trajectory, optionally extended with
+    the measurement the calling section just took."""
+    traj = [
+        {"pr": pr, "wall_s": wall,
+         "speedup_vs_seed": BASELINE_SINGLE_CELL_WALL_S / wall}
+        for pr, wall in FIG6_TRAJECTORY
+    ]
+    if current_wall_s is not None:
+        traj.append({
+            "pr": current_pr,
+            "wall_s": current_wall_s,
+            "speedup_vs_seed": BASELINE_SINGLE_CELL_WALL_S
+            / current_wall_s,
+        })
+    return traj
+
 
 #: warm-cache reruns must serve at least this fraction of cells from
 #: the cache (they serve all of them; the slack absorbs future
@@ -413,11 +471,145 @@ def bench_fastpath(cfg: GangConfig, repeats: int = 3) -> dict:
         "speedup_target": 1.5,
         "meets_target": speedup_vs_pr4 >= 1.5,
         "simulation_identical": identical,
-        "events_fast": fast_res.events_processed,
-        "events_slow": slow_res.events_processed,
-        "events_dropped": fast_res.events_processed
-        < slow_res.events_processed,
+        # two counters, two questions: *dispatched* (loop iterations)
+        # legitimately drops when batching engages; *simulated*
+        # (logical events, dispatched + absorbed) must stay identical
+        # or events really were lost
+        "events_fast": fast_res.events_dispatched,
+        "events_slow": slow_res.events_dispatched,
+        "events_dropped": fast_res.events_dispatched
+        < slow_res.events_dispatched,
+        "events_simulated_fast": fast_res.events_simulated,
+        "events_simulated_slow": slow_res.events_simulated,
         "makespan_s": fast_res.makespan,
+    }
+
+
+def bench_batch_advance(cfg: GangConfig, repeats: int = 3) -> dict:
+    """Batch-advance vs scalar-dispatch wall clock on one cell.
+
+    Scalar mode (:func:`repro.sim.set_batch_advance_enabled` off) keeps
+    the PR 5 fast path but dispatches every event through the heap loop,
+    so the comparison isolates the batch-advance tier itself.  Identity
+    covers every simulation output *plus* ``events_simulated`` — the
+    logical count (dispatched + absorbed) must be mode-invariant, which
+    is exactly the accounting that lets ``events_dispatched`` drop
+    without reading as event loss.
+    """
+    from repro.gang.job import Job
+    from repro.sim import (
+        compiled_enabled,
+        have_numba,
+        set_batch_advance_enabled,
+    )
+
+    batch_walls, scalar_walls = [], []
+    batch_res = scalar_res = None
+    try:
+        for _ in range(repeats):
+            set_batch_advance_enabled(True)
+            Job._next_jid = 1
+            t0 = time.perf_counter()
+            batch_res = run_experiment(cfg)
+            batch_walls.append(time.perf_counter() - t0)
+
+            set_batch_advance_enabled(False)
+            Job._next_jid = 1
+            t0 = time.perf_counter()
+            scalar_res = run_experiment(cfg)
+            scalar_walls.append(time.perf_counter() - t0)
+    finally:
+        set_batch_advance_enabled(True)
+
+    identical = (
+        batch_res.makespan == scalar_res.makespan
+        and batch_res.completions == scalar_res.completions
+        and batch_res.pages_read == scalar_res.pages_read
+        and batch_res.pages_written == scalar_res.pages_written
+        and batch_res.switch_count == scalar_res.switch_count
+        and batch_res.vmm_stats == scalar_res.vmm_stats
+        and batch_res.evicted == scalar_res.evicted
+        and batch_res.fault_summary == scalar_res.fault_summary
+        and batch_res.events_simulated == scalar_res.events_simulated
+    )
+    batch_best, scalar_best = min(batch_walls), min(scalar_walls)
+    speedup_vs_pr5 = BASELINE_PR5_SINGLE_CELL_WALL_S / batch_best
+    return {
+        "label": cfg.label(),
+        "scale": cfg.scale,
+        "repeats": repeats,
+        "fast_wall_s_min": batch_best,
+        "scalar_wall_s_min": scalar_best,
+        "batch_vs_scalar_speedup": scalar_best / batch_best,
+        "baseline_pr5_wall_s": BASELINE_PR5_SINGLE_CELL_WALL_S,
+        "speedup_vs_pr5_baseline": speedup_vs_pr5,
+        "speedup_target": 5.0,
+        "meets_target": speedup_vs_pr5 >= 5.0,
+        "simulation_identical": identical,
+        "events_simulated": batch_res.events_simulated,
+        "events_dispatched_fast": batch_res.events_dispatched,
+        "events_dispatched_scalar": scalar_res.events_dispatched,
+        "events_batched": batch_res.events_dispatched
+        < scalar_res.events_dispatched,
+        "numba_available": have_numba(),
+        "compiled_tier_on": compiled_enabled(),
+        "makespan_s": batch_res.makespan,
+    }
+
+
+def bench_fig6_smoke_floor(repeats: int = 3) -> dict:
+    """Batch-advance wall clock of the fig6 LRU cell, min-of-N.
+
+    Stored in ``BENCH_PR7.json`` by full runs; a ``--smoke --section
+    pr7`` run re-measures the same cell and **fails** (unlike the
+    advisory PR 5 gate) when it regresses past the floor by more than
+    :data:`SMOKE_REGRESSION_FACTOR`.
+    """
+    from repro.gang.job import Job
+
+    walls = []
+    for _ in range(repeats):
+        Job._next_jid = 1
+        t0 = time.perf_counter()
+        run_experiment(FIG6_LRU)
+        walls.append(time.perf_counter() - t0)
+    return {
+        "label": FIG6_LRU.label(),
+        "scale": FIG6_LRU.scale,
+        "repeats": repeats,
+        "floor_wall_s": min(walls),
+        "regression_factor": SMOKE_REGRESSION_FACTOR,
+    }
+
+
+def check_fig6_regression(measured_wall_s: float) -> dict:
+    """Hard perf gate: compare a fig6 measurement to the PR 7 floor.
+
+    Reads the floor from the *committed* ``BENCH_PR7.json`` at the repo
+    root and fails the smoke run (``::error::`` + non-zero exit in
+    ``main``) on regression beyond :data:`SMOKE_REGRESSION_FACTOR`.
+    Missing or malformed floors disarm the gate silently — a fresh
+    checkout without a recorded floor must not fail CI.
+    """
+    ref = REPO_ROOT / "BENCH_PR7.json"
+    try:
+        floor = json.loads(ref.read_text())["smoke_floor"]["floor_wall_s"]
+    except (OSError, KeyError, TypeError, ValueError):
+        return {"fig6_wall_s": measured_wall_s, "floor_wall_s": None,
+                "regressed": False}
+    limit = floor * SMOKE_REGRESSION_FACTOR
+    regressed = measured_wall_s > limit
+    if regressed:
+        print(
+            f"::error::fig6 LRU cell took {measured_wall_s:.3f}s, above "
+            f"the recorded floor {floor:.3f}s x{SMOKE_REGRESSION_FACTOR} "
+            f"= {limit:.3f}s — performance regression"
+        )
+    return {
+        "fig6_wall_s": measured_wall_s,
+        "floor_wall_s": floor,
+        "limit_wall_s": limit,
+        "regressed": regressed,
     }
 
 
@@ -560,8 +752,9 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="tiny scale, correctness only; for CI")
     ap.add_argument(
-        "--section", choices=("pr2", "pr3", "pr4", "pr5", "pr6", "all"),
-        default="pr6",
+        "--section",
+        choices=("pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "all"),
+        default="pr7",
         help="benchmark section(s) to run; defaults to the current "
              "PR's section so routine runs refresh only its BENCH "
              "file instead of rewriting the historical reports")
@@ -570,6 +763,7 @@ def main(argv=None) -> int:
     ap.add_argument("--pr4-out", default=str(REPO_ROOT / "BENCH_PR4.json"))
     ap.add_argument("--pr5-out", default=str(REPO_ROOT / "BENCH_PR5.json"))
     ap.add_argument("--pr6-out", default=str(REPO_ROOT / "BENCH_PR6.json"))
+    ap.add_argument("--pr7-out", default=str(REPO_ROOT / "BENCH_PR7.json"))
     ap.add_argument("--jobs", type=int, default=4)
     ap.add_argument(
         "--repeats", type=int, default=3,
@@ -578,10 +772,13 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     wanted = {s: args.section in (s, "all")
-              for s in ("pr2", "pr3", "pr4", "pr5", "pr6")}
+              for s in ("pr2", "pr3", "pr4", "pr5", "pr6", "pr7")}
     mode = "smoke" if args.smoke else "full"
 
     def emit(report: dict, path: str) -> None:
+        # every BENCH file carries the fig6 trajectory (see
+        # fig6_trajectory) unless the section appended its own
+        report.setdefault("fig6_trajectory", fig6_trajectory())
         out = Path(path)
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
@@ -733,6 +930,55 @@ def main(argv=None) -> int:
         if not chaos_bench["survived_rebuilds"]:
             print("FAIL: no pool rebuild happened — the crash plan "
                   "never engaged", file=sys.stderr)
+            return 1
+
+    if wanted["pr7"]:
+        if args.smoke:
+            # cheap identity check on the smoke cell, then a hard
+            # regression gate on the real fig6 cell against the
+            # committed floor (before --pr7-out possibly overwrites it)
+            ba_bench = bench_batch_advance(SMOKE_CELL, repeats=1)
+            ba_bench.pop("baseline_pr5_wall_s")
+            ba_bench.pop("speedup_vs_pr5_baseline")
+            ba_bench.pop("speedup_target")
+            ba_bench.pop("meets_target")
+            gate = check_fig6_regression(
+                bench_fig6_smoke_floor(repeats=2)["floor_wall_s"])
+            report = {
+                "bench": "PR7 vectorized batch-advance event core",
+                "mode": mode,
+                "host_cpu_count": os.cpu_count(),
+                "batch_advance": ba_bench,
+                "regression_gate": gate,
+            }
+        else:
+            ba_bench = bench_batch_advance(FIG6_LRU, repeats=args.repeats)
+            gate = None
+            report = {
+                "bench": "PR7 vectorized batch-advance event core",
+                "mode": mode,
+                "host_cpu_count": os.cpu_count(),
+                "batch_advance": ba_bench,
+                "smoke_floor": bench_fig6_smoke_floor(),
+                "fig6_trajectory": fig6_trajectory(
+                    "PR7", ba_bench["fast_wall_s_min"]),
+            }
+        emit(report, args.pr7_out)
+        if not ba_bench["simulation_identical"]:
+            print("FAIL: batch-advance run diverged from scalar-dispatch "
+                  "run", file=sys.stderr)
+            return 1
+        if ba_bench["events_batched"] <= 0:
+            print("FAIL: batch-advance dispatched as many events as the "
+                  "scalar loop — it never engaged", file=sys.stderr)
+            return 1
+        if gate is not None and gate["regressed"]:
+            print(
+                f"FAIL: fig6 LRU cell took {gate['fig6_wall_s']:.3f}s, "
+                f"over the {gate['limit_wall_s']:.3f}s regression limit "
+                f"({SMOKE_REGRESSION_FACTOR}x the committed floor)",
+                file=sys.stderr,
+            )
             return 1
 
     return 0

@@ -45,6 +45,7 @@ import numpy as np
 from repro.faults.errors import DiskFailure
 from repro.faults.plan import FaultPlan
 from repro.obs.registry import NULL_OBS
+from repro.sim import compiled as _compiled
 from repro.sim import fastpath as _fastpath
 from repro.sim.engine import NORMAL, Environment, Event
 
@@ -179,6 +180,43 @@ class DiskRequest(Event):
         return True
 
 
+class _EagerRequest:
+    """Completed-transfer record for the batch-advance tier.
+
+    The eager service path (:meth:`Disk.service_eager`,
+    :meth:`Disk.commit_eager_run`) never enqueues or dispatches, so it
+    does not need an :class:`~repro.sim.engine.Event`; this carries just
+    the fields completion hooks and the VMM read back.  ``slots`` must
+    already be sorted ascending (plan groups and eviction batches are).
+    """
+
+    __slots__ = (
+        "slots", "op", "priority", "pid", "submitted_at",
+        "service_time", "seeks", "completed_at",
+    )
+
+    def __init__(
+        self,
+        slots: np.ndarray,
+        op: str,
+        priority: int,
+        pid: Optional[int],
+        submitted_at: float,
+    ) -> None:
+        self.slots = slots
+        self.op = op
+        self.priority = priority
+        self.pid = pid
+        self.submitted_at = submitted_at
+        self.service_time: Optional[float] = None
+        self.seeks: Optional[int] = None
+        self.completed_at: Optional[float] = None
+
+    @property
+    def npages(self) -> int:
+        return int(self.slots.size)
+
+
 class Disk:
     """A single paging device shared by everything on one node.
 
@@ -221,6 +259,11 @@ class Disk:
         self.params = params
         self.name = name
         self.on_complete = on_complete
+        #: optional run-aware observer ``f(op, sizes, starts, ends,
+        #: pid)`` taking a whole eager run in one call; when set it
+        #: replaces ``on_complete`` for bulk commits (the collector
+        #: installs both)
+        self.on_complete_run: Optional[Callable] = None
         self.faults = faults
         self.max_retries = max_retries
         self.retry_budget_left = retry_budget
@@ -314,14 +357,21 @@ class Disk:
         return self._busy
 
     def service_time(self, request: DiskRequest) -> tuple[float, int]:
-        """Compute (duration, seeks) for ``request`` given head state.
+        """Compute (duration, seeks) for ``request`` given head state."""
+        return self.service_time_for(request.slots, request.op)
+
+    def service_time_for(self, slots: np.ndarray, op: str) -> tuple[float, int]:
+        """(duration, seeks) for a transfer of ``slots`` starting now.
 
         Pure function of the current head position / direction; used by
-        the dispatcher and directly unit-testable.  Runs once per disk
-        request, so the run decomposition stays on plain Python ints —
-        per-element numpy indexing here showed up in profiles.
+        the dispatcher, the batch-advance tier and directly
+        unit-testable.  Runs once per disk request, so the run
+        decomposition stays on plain Python ints — per-element numpy
+        indexing here showed up in profiles.  When the compiled-kernel
+        tier is on, the multi-run decomposition is delegated to the
+        (numba-jitted) :func:`repro.sim.compiled.run_positioning`
+        kernel, which accumulates in the identical order.
         """
-        slots = request.slots
         params = self.params
         coef = params.seek_distance_coef_s
         first = int(slots[0])
@@ -333,7 +383,7 @@ class Disk:
             # run-decomposition lists: one compare decides whether the
             # head streams straight into this transfer.
             pos = self._head
-            if first == pos and self._last_op == request.op:
+            if first == pos and self._last_op == op:
                 seeks = 0
                 positioning = 0.0
             else:
@@ -346,6 +396,12 @@ class Disk:
                 + positioning
                 + slots.size * params.page_transfer_s
             ), seeks
+
+        if _compiled.COMPILED_ENABLED:
+            seeks, positioning = _compiled.run_positioning(
+                slots, self._head, self._last_op == op,
+                params.positioning_s, coef,
+            )
         else:
             slist = slots.tolist()
             starts = [first]
@@ -358,26 +414,25 @@ class Disk:
                 prev = s
             ends.append(prev + 1)
 
-        seeks = 0
-        positioning = 0.0
-        positioning_s = params.positioning_s
-        pos = self._head
-        op = request.op
-        last_op = self._last_op
-        for i, start in enumerate(starts):
-            # A run is free of positioning cost if it exactly continues
-            # the previous transfer (sequential streaming).  A direction
-            # change (read->write or write->read) always seeks on the
-            # first run: page-in and page-out streams target different
-            # areas/queues.
-            continues = start == pos and (i > 0 or last_op == op)
-            if not continues:
-                seeks += 1
-                positioning += positioning_s
-                if coef > 0.0:
-                    # math.sqrt is bitwise-identical to np.sqrt on floats
-                    positioning += coef * math.sqrt(abs(start - pos))
-            pos = ends[i]
+            seeks = 0
+            positioning = 0.0
+            positioning_s = params.positioning_s
+            pos = self._head
+            last_op = self._last_op
+            for i, start in enumerate(starts):
+                # A run is free of positioning cost if it exactly
+                # continues the previous transfer (sequential
+                # streaming).  A direction change (read->write or
+                # write->read) always seeks on the first run: page-in
+                # and page-out streams target different areas/queues.
+                continues = start == pos and (i > 0 or last_op == op)
+                if not continues:
+                    seeks += 1
+                    positioning += positioning_s
+                    if coef > 0.0:
+                        # math.sqrt is bitwise-identical to np.sqrt
+                        positioning += coef * math.sqrt(abs(start - pos))
+                pos = ends[i]
 
         duration = (
             params.overhead_s
@@ -572,6 +627,199 @@ class Disk:
         if self.on_complete is not None:
             self.on_complete(req, start, self.env.now)
         self._dispatch_next()
+
+    # -- batch-advance (eager) service -------------------------------------
+    # Used by the batch-advance tier (repro.sim.fastpath.BATCH_ENABLED):
+    # while the VMM holds a quiescence proof for the node (idle disk, no
+    # competing demand, deadline slack, no fault plan), requests are
+    # serviced synchronously under a caller-maintained local clock.
+    # Every head-model computation, statistic, telemetry update and
+    # completion-hook timestamp matches what the dispatcher would have
+    # produced at the same virtual times; the service/trigger events that
+    # would have existed are tallied on ``env.events_absorbed``.
+
+    def eager_ready(self) -> bool:
+        """Whether the batch-advance tier may bypass the dispatcher.
+
+        Requires an idle device with an empty queue (so eager service
+        cannot reorder against queued work), no fault plan (injection
+        points are interaction boundaries), FIFO discipline (the
+        elevator disciplines queue through their own pending list), and
+        the flat-seek model (the reclaim-bound arithmetic in the VMM
+        assumes one ``positioning_s`` upper-bounds any seek).
+        """
+        return (
+            not self._busy
+            and not self._queue
+            and self.faults is None
+            and getattr(self, "discipline", "fifo") == "fifo"
+            and self.params.seek_distance_coef_s == 0.0
+        )
+
+    def service_eager(
+        self,
+        slots: np.ndarray,
+        op: str,
+        t: float,
+        priority: int = PRIO_FOREGROUND,
+        pid: Optional[int] = None,
+    ) -> _EagerRequest:
+        """Service one transfer synchronously, starting at local time ``t``.
+
+        Mirrors ``_start_attempt`` + ``_finish_attempt`` for a
+        fault-free device: same service-time arithmetic against the
+        current head state, same statistics, and the completion hook
+        fires with the exact (start, end) window the dispatcher would
+        have used.  Absorbs the service timeout and completion trigger
+        (two events).
+        """
+        slots = np.sort(np.asarray(slots, dtype=np.int64))
+        req = _EagerRequest(slots, op, priority, pid, t)
+        duration, seeks = self.service_time_for(slots, op)
+        if self.max_queue_seen < 1:
+            self.max_queue_seen = 1
+        self.total_busy_s += duration
+        self._head = int(slots[-1]) + 1
+        self._last_op = op
+        npages = req.npages
+        self.total_requests += 1
+        self.total_pages[op] += npages
+        self.total_seeks += seeks
+        if self._obs_on:
+            self._c_requests.inc()
+            (self._c_pages_read if op == "read"
+             else self._c_pages_write).inc(npages)
+            self._c_seeks.inc(seeks)
+            self._h_service.observe(duration)
+        req.service_time = duration
+        req.seeks = seeks
+        completed = t + duration
+        req.completed_at = completed
+        self.env.events_absorbed += 2
+        if self.on_complete is not None:
+            self.on_complete(req, t, completed)
+        return req
+
+    def eager_run_times(
+        self, firsts: np.ndarray, sizes: np.ndarray, op: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Head-model (durations, seeks) for back-to-back contiguous runs.
+
+        Vectorized equivalent of calling :meth:`service_time_for` once
+        per group with the head advancing in between: group ``i``
+        streams free of positioning cost iff it starts exactly where
+        group ``i-1`` ended (group 0 compares against the current head
+        position *and* last direction).  Only valid under
+        :meth:`eager_ready` (flat-seek model) and for single-run groups.
+        """
+        params = self.params
+        pos = np.empty(firsts.size, dtype=np.int64)
+        pos[0] = self._head
+        if firsts.size > 1:
+            np.add(firsts[:-1], sizes[:-1], out=pos[1:])
+        continues = firsts == pos
+        if self._last_op != op:
+            continues[0] = False
+        seeks = np.where(continues, 0, 1)
+        positioning = np.where(continues, 0.0, params.positioning_s)
+        durations = (
+            (params.overhead_s + positioning)
+            + sizes * params.page_transfer_s
+        )
+        return durations, seeks
+
+    def eager_times_list(
+        self, slots_list: list, op: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Head-model (durations, seeks) for back-to-back transfers of
+        arbitrary shape.
+
+        General-shape companion of :meth:`eager_run_times`: each entry
+        of ``slots_list`` is one request's *sorted* slot array,
+        serviced in order with the head advancing in between.
+        Discontiguous slot sets pay the same per-run positioning walk
+        as :meth:`service_time_for`.  Flat-seek model only — valid
+        under :meth:`eager_ready`.
+        """
+        params = self.params
+        n = len(slots_list)
+        durations = np.empty(n)
+        seeks = np.empty(n, dtype=np.int64)
+        head = self._head
+        last_same = self._last_op == op
+        for i, slots in enumerate(slots_list):
+            sk, positioning = _compiled.run_positioning(
+                slots, head, last_same, params.positioning_s, 0.0
+            )
+            durations[i] = (
+                params.overhead_s
+                + positioning
+                + slots.size * params.page_transfer_s
+            )
+            seeks[i] = sk
+            head = int(slots[-1]) + 1
+            last_same = True
+        return durations, seeks
+
+    def commit_eager_run(
+        self,
+        slots_list: list,
+        sizes: np.ndarray,
+        durations: np.ndarray,
+        seeks: np.ndarray,
+        starts: np.ndarray,
+        completions: np.ndarray,
+        op: str,
+        priority: int = PRIO_FOREGROUND,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Apply the bookkeeping of a whole eager run in one pass.
+
+        ``starts``/``completions`` are the per-group service windows the
+        caller derived from :meth:`eager_run_times` (waiter-visible
+        fused CPU charges excluded — the device frees at service
+        completion, exactly as the dispatcher's deferred trigger does).
+        """
+        n = len(slots_list)
+        if self.max_queue_seen < 1:
+            self.max_queue_seen = 1
+        # strict left-fold accumulation: bit-identical to n scalar adds
+        self.total_busy_s = float(np.add.accumulate(
+            np.concatenate(([self.total_busy_s], durations)))[-1])
+        last = slots_list[-1]
+        self._head = int(last[-1]) + 1
+        self._last_op = op
+        npages = int(sizes.sum())
+        nseeks = int(seeks.sum())
+        self.total_requests += n
+        self.total_pages[op] += npages
+        self.total_seeks += nseeks
+        if self._obs_on:
+            self._c_requests.inc(n)
+            (self._c_pages_read if op == "read"
+             else self._c_pages_write).inc(npages)
+            self._c_seeks.inc(nseeks)
+            self._h_service.observe_many(durations)
+        self.env.events_absorbed += 2 * n
+        run_hook = self.on_complete_run
+        if run_hook is not None:
+            # run-aware observer: one call for the whole run (the
+            # per-request facts it needs, without request objects)
+            run_hook(op, sizes.tolist(), starts.tolist(),
+                     completions.tolist(), pid)
+            return
+        hook = self.on_complete
+        if hook is not None:
+            st = durations.tolist()
+            sk = seeks.tolist()
+            t0 = starts.tolist()
+            t1 = completions.tolist()
+            for i in range(n):
+                req = _EagerRequest(slots_list[i], op, priority, pid, t0[i])
+                req.service_time = st[i]
+                req.seeks = sk[i]
+                req.completed_at = t1[i]
+                hook(req, t0[i], t1[i])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

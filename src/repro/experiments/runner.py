@@ -121,8 +121,18 @@ class RunResult:
     evicted: dict[str, str] = field(default_factory=dict)
     #: injection and graceful-response counters (all zero when fault-free)
     fault_summary: dict = field(default_factory=dict)
-    #: simulation events processed (deterministic per config)
+    #: simulation events processed (deterministic per config); kept as
+    #: the *dispatched* count for backward compatibility — equal to
+    #: ``events_dispatched``
     events_processed: int = 0
+    #: logical events (dispatched + absorbed by the batch-advance
+    #: tier): comparable across PRs and identical across execution
+    #: modes
+    events_simulated: int = 0
+    #: scalar dispatcher loop iterations: *drops* when batch-advance
+    #: engages, so a lower count here is evidence of batching, not of
+    #: event loss
+    events_dispatched: int = 0
     #: host wall-clock seconds spent in the run (nondeterministic)
     wall_s: float = 0.0
     #: process peak RSS sampled after the run, MB (nondeterministic)
@@ -168,10 +178,13 @@ def _drive(env: Environment, cfg: GangConfig, jobs: Sequence[Job]) -> None:
             raise WatchdogTimeout(_watchdog_report(
                 cfg, env, jobs, f"sim time {env.now:.1f}s > {cfg.max_sim_s}s"
             ))
-        if cfg.max_events is not None and env.events_processed > cfg.max_events:
+        # the limit is on *logical* events (dispatched + absorbed by
+        # the batch-advance tier), so a runaway run trips at the same
+        # point regardless of execution mode
+        if cfg.max_events is not None and env.events_simulated > cfg.max_events:
             raise WatchdogTimeout(_watchdog_report(
                 cfg, env, jobs,
-                f"{env.events_processed} events > {cfg.max_events}",
+                f"{env.events_simulated} events > {cfg.max_events}",
             ))
         env.step()
 
@@ -205,7 +218,10 @@ def _partial_record(cfg, env, jobs, collector, exc) -> dict:
         "label": cfg.label(),
         "config": cfg,
         "sim_time_s": env.now,
-        "events_processed": env.events_processed,
+        # logical count (dispatched + absorbed): comparable across
+        # execution modes, and what the max_events watchdog trips on
+        "events_processed": env.events_simulated,
+        "events_dispatched": env.events_processed,
         "jobs": {
             j.name: {
                 "completed_at": j.completed_at,
@@ -338,6 +354,8 @@ def run_experiment(
         evicted={j.name: j.failure for j in jobs if j.failed},
         fault_summary=collector.fault_summary(),
         events_processed=env.events_processed,
+        events_simulated=env.events_simulated,
+        events_dispatched=env.events_processed,
         wall_s=time.perf_counter() - wall_start,
         # ru_maxrss is KB on Linux; high-water mark for the process
         peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -383,6 +401,8 @@ def run_cell(cfg: GangConfig, obs_enabled: bool = False) -> dict:
         "evicted": res.evicted,
         "fault_summary": res.fault_summary,
         "events_processed": res.events_processed,
+        "events_simulated": res.events_simulated,
+        "events_dispatched": res.events_dispatched,
         "_perf": perf,
     }
 

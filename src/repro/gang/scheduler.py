@@ -108,6 +108,12 @@ class GangScheduler:
         """Launch the scheduler's control loop."""
         if self.proc is not None:
             raise RuntimeError("scheduler already started")
+        # opt the nodes into the batch-advance tier: from here on the
+        # scheduler owns every node and publishes its wakeup deadlines
+        # (AdaptivePaging.bg_arm_at / run_cap_at) before each quantum
+        for job in self.jobs:
+            for node in job.nodes:
+                node.vmm.deadlines = node.adaptive
         self.proc = self.env.process(self._run())
         return self.proc
 
@@ -335,6 +341,11 @@ class BatchScheduler:
         """Launch the sequential run-to-completion loop."""
         if self.proc is not None:
             raise RuntimeError("scheduler already started")
+        # batch scheduling never preempts mid-run, so the default
+        # infinite deadlines let fills advance eagerly in full
+        for job in self.jobs:
+            for node in job.nodes:
+                node.vmm.deadlines = node.adaptive
         self.proc = self.env.process(self._run())
         return self.proc
 

@@ -185,6 +185,19 @@ class PageTable:
         self.last_ref[pages] = now
         self.epoch += 1
 
+    def set_last_ref_values(self, pages: np.ndarray,
+                            values: np.ndarray) -> None:
+        """Per-page :meth:`set_last_ref` stamps in one epoch bump.
+
+        The batch-advance tier applies a whole run of fault groups at
+        once; each group's pages get that group's waiter-resume time,
+        exactly as the per-group calls would have stamped them.
+        """
+        if len(pages) == 0:
+            return
+        self.last_ref[pages] = values
+        self.epoch += 1
+
     def make_resident(self, pages: np.ndarray) -> None:
         """Flip ``pages`` to present (frames must already be accounted).
 

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.mem.page_table import PageTable
+from repro.sim import compiled as _compiled
 
 
 @dataclass
@@ -34,6 +35,12 @@ class FaultGroup:
 
     pages: np.ndarray          # ascending page numbers
     slots: Optional[np.ndarray]  # matching swap slots, or None for zero-fill
+    #: the slot *set* is one consecutive run [slot0, slot0+count) — an
+    #: exact judgement the planner makes for free from its slot-sorted
+    #: view (``slots`` itself is in page order, where a span test alone
+    #: is unsound); the batch-advance tier keys its bulk commits on it
+    contig: bool = False
+    slot0: int = -1            # first slot of the run when contig
 
     @property
     def is_zero_fill(self) -> bool:
@@ -57,6 +64,89 @@ def dedupe_preserve_order(pages: np.ndarray) -> np.ndarray:
     return pages[np.sort(first)]
 
 
+class MonotonePlan:
+    """Array form of a monotone :func:`plan_swapins` plan.
+
+    At thrash scale a single touch plans thousands of fault groups;
+    materialising a :class:`FaultGroup` per group is the planner's
+    dominant cost, and the batch-advance tier immediately re-derives
+    arrays from the objects anyway.  The monotone branch therefore
+    describes the whole plan with a few arrays; the tier consumes them
+    directly (:meth:`VirtualMemoryManager._advance_eager_plan`) and
+    :meth:`materialize` builds the exact scalar group list on demand —
+    the full list for the scalar path, or just the uncommitted tail
+    when the eager driver stops early.
+
+    Group sequence: zero-fill bucket ``k`` (pages
+    ``zf_pages[zf_bounds[k]:zf_bounds[k+1]]``, pre-sorted) precedes
+    swap group ``k``, which reads slot-map positions
+    ``[los[k], his[k])``; bucket ``n_swap`` trails the last group.
+    ``firsts``/``sizes``/``contig`` are the per-group head-model
+    ingredients (``contig`` is exact: the map is slot-sorted, so
+    span == size-1 means one consecutive run).
+    """
+
+    __slots__ = ("sw_pages", "sw_slots", "los", "his", "zf_pages",
+                 "zf_bounds", "page_asc", "firsts", "sizes", "contig")
+
+    def __init__(self, sw_pages, sw_slots, los, his, zf_pages,
+                 zf_bounds, page_asc):
+        self.sw_pages = sw_pages
+        self.sw_slots = sw_slots
+        self.los = los
+        self.his = his
+        self.zf_pages = zf_pages
+        self.zf_bounds = zf_bounds
+        self.page_asc = page_asc
+        self.firsts = sw_slots[los]
+        self.sizes = his - los
+        self.contig = (sw_slots[his - 1] - self.firsts) == (self.sizes - 1)
+
+    @property
+    def n_swap(self) -> int:
+        return int(self.los.size)
+
+    def materialize(self, k_swap: int = 0,
+                    zf_from: Optional[int] = None) -> list[FaultGroup]:
+        """Group list from swap group ``k_swap`` on, exactly as the
+        scalar emission loop would have built it.  ``zf_from`` is the
+        first unconsumed zero-fill bucket (defaults to ``k_swap``)."""
+        if zf_from is None:
+            zf_from = k_swap
+        groups: list[FaultGroup] = []
+        sw_pages = self.sw_pages
+        sw_slots = self.sw_slots
+        los = self.los.tolist()
+        his = self.his.tolist()
+        contig_l = self.contig.tolist()
+        firsts_l = self.firsts.tolist()
+        zb = self.zf_bounds
+        zbl = zb.tolist() if zb is not None else None
+        page_asc = self.page_asc
+        n = len(los)
+        for k in range(k_swap, n):
+            if zbl is not None and k >= zf_from and zbl[k] != zbl[k + 1]:
+                groups.append(
+                    FaultGroup(self.zf_pages[zbl[k]:zbl[k + 1]], None)
+                )
+            lo = los[k]
+            hi = his[k]
+            cand_pages = sw_pages[lo:hi]
+            cand_slots = sw_slots[lo:hi]
+            if page_asc:
+                groups.append(FaultGroup(cand_pages, cand_slots,
+                                         contig_l[k], firsts_l[k]))
+            else:
+                idx = np.argsort(cand_pages)
+                groups.append(FaultGroup(cand_pages[idx], cand_slots[idx],
+                                         contig_l[k], firsts_l[k]))
+        if zbl is not None and zf_from <= n and zbl[n] != zbl[n + 1]:
+            groups.append(
+                FaultGroup(self.zf_pages[zbl[n]:zbl[n + 1]], None)
+            )
+        return groups
+
+
 def plan_swapins(
     table: PageTable, demand: np.ndarray, window: int
 ) -> list[FaultGroup]:
@@ -77,6 +167,21 @@ def plan_swapins(
     Groups in touch order.  Groups are pairwise disjoint; their union
     covers ``demand`` and possibly extra read-ahead pages.
     """
+    plan = plan_swapins_fused(table, demand, window)
+    if isinstance(plan, MonotonePlan):
+        return plan.materialize()
+    return plan
+
+
+def plan_swapins_fused(
+    table: PageTable, demand: np.ndarray, window: int
+):
+    """:func:`plan_swapins` returning the array form where possible.
+
+    The monotone fast case comes back as a :class:`MonotonePlan` (call
+    :meth:`~MonotonePlan.materialize` for the group list); everything
+    else is a plain group list.
+    """
     if window <= 0:
         raise ValueError("read-ahead window must be positive")
     demand = dedupe_preserve_order(demand)
@@ -86,7 +191,6 @@ def plan_swapins(
         raise ValueError("plan_swapins expects only absent pages")
 
     demand_slots = table.swap_slot[demand]
-    slot_list = demand_slots.tolist()
 
     # Reverse map of this process's swapped-out pages, ordered by slot,
     # for the read-ahead window lookup.  Only slots inside
@@ -111,14 +215,33 @@ def plan_swapins(
         # The per-page window bounds are independent of planning order,
         # so they are batched into two searchsorted calls up front
         # instead of two numpy calls per faulted page.
-        los = np.searchsorted(sw_slots, demand_slots, side="left").tolist()
-        his = np.searchsorted(
-            sw_slots, demand_slots + window, side="left"
-        ).tolist()
+        los = np.searchsorted(sw_slots, demand_slots, side="left")
+        his = np.searchsorted(sw_slots, demand_slots + window, side="left")
     else:
         # Pure zero-fill demand: no swap copies involved at all.
         sw_slots = sw_pages = np.empty(0, dtype=np.int64)
-        los = his = [0] * len(slot_list)
+        los = his = np.zeros(demand.size, dtype=np.int64)
+
+    # When the slot map is page-ascending (slots were handed out in
+    # page order — the common case), every window slice is already
+    # sorted by page and the per-group argsort is skipped.
+    page_asc = sw_pages.size < 2 or bool((np.diff(sw_pages) > 0).all())
+
+    # When the swap-backed demand slots ascend (touch order follows
+    # slot order — the dominant case for sequential sweeps), the chosen
+    # windows [lo, hi) appear with strictly increasing bounds, so the
+    # union of earlier windows is exactly [0, last_hi): the coverage
+    # test collapses to one integer compare and no window can partially
+    # overlap earlier coverage — the bytearray bookkeeping disappears,
+    # and the whole plan is built by array ops (one jump per *group*
+    # instead of one loop iteration per demanded page).
+    swap_slots_seq = demand_slots[have_swap]
+    monotone = swap_slots_seq.size < 2 or bool(
+        (swap_slots_seq[1:] > swap_slots_seq[:-1]).all()
+    )
+    if monotone:
+        return _plan_monotone(demand, have_swap, sw_pages, sw_slots,
+                              los, his, page_asc)
 
     # Planned-state bookkeeping lives in *slot-index* space: every
     # swap-backed demand page appears exactly once in the sorted slot
@@ -128,10 +251,6 @@ def plan_swapins(
     # no membership test at all (windows only ever absorb swap-backed
     # pages, and the demand list is already deduplicated).
     covered = bytearray(len(sw_pages))
-    # When the slot map is page-ascending (slots were handed out in
-    # page order — the common case), every window slice is already
-    # sorted by page and the per-group argsort is skipped.
-    page_asc = sw_pages.size < 2 or bool((np.diff(sw_pages) > 0).all())
     groups: list[FaultGroup] = []
     zero_acc: list[int] = []
 
@@ -142,43 +261,12 @@ def plan_swapins(
             )
             zero_acc.clear()
 
-    # When the swap-backed demand slots ascend (touch order follows
-    # slot order — the dominant case for sequential sweeps), the chosen
-    # windows [lo, hi) appear with strictly increasing bounds, so the
-    # union of earlier windows is exactly [0, last_hi): the coverage
-    # test collapses to one integer compare and no window can partially
-    # overlap earlier coverage — the bytearray bookkeeping disappears.
-    swap_slots_seq = demand_slots[have_swap]
-    monotone = swap_slots_seq.size < 2 or bool(
-        (swap_slots_seq[1:] > swap_slots_seq[:-1]).all()
-    )
-
     # single zip drive: three scalar list indexings per page replaced
     # by tuple unpacking (this loop runs once per demanded page and is
     # the planner's dominant cost at thrash scale)
-    if monotone:
-        last_hi = 0
-        for page, slot, lo, hi in zip(demand.tolist(), slot_list,
-                                      los, his):
-            if slot < 0:
-                # Never touched: zero-fill.
-                zero_acc.append(page)
-                continue
-            if lo < last_hi:
-                continue
-            flush_zero()
-            last_hi = hi
-            cand_pages = sw_pages[lo:hi]
-            cand_slots = sw_slots[lo:hi]
-            if page_asc:
-                groups.append(FaultGroup(cand_pages, cand_slots))
-            else:
-                idx = np.argsort(cand_pages)
-                groups.append(FaultGroup(cand_pages[idx], cand_slots[idx]))
-        flush_zero()
-        return groups
-
-    for page, slot, lo, hi in zip(demand.tolist(), slot_list, los, his):
+    slot_list = demand_slots.tolist()
+    for page, slot, lo, hi in zip(demand.tolist(), slot_list,
+                                  los.tolist(), his.tolist()):
         if slot < 0:
             # Never touched: zero-fill.
             zero_acc.append(page)
@@ -194,14 +282,83 @@ def plan_swapins(
             cand_pages = cand_pages[keep]
             cand_slots = cand_slots[keep]
         covered[lo:hi] = b"\x01" * (hi - lo)
+        # judged on the still-slot-sorted candidate view, where the
+        # span test is exact
+        first = int(cand_slots[0])
+        contig = int(cand_slots[-1]) - first == cand_slots.size - 1
         if page_asc:
-            groups.append(FaultGroup(cand_pages, cand_slots))
+            groups.append(FaultGroup(cand_pages, cand_slots,
+                                     contig, first))
         else:
             idx = np.argsort(cand_pages)
-            groups.append(FaultGroup(cand_pages[idx], cand_slots[idx]))
+            groups.append(FaultGroup(cand_pages[idx], cand_slots[idx],
+                                     contig, first))
 
     flush_zero()
     return groups
+
+
+def _plan_monotone(
+    demand: np.ndarray,
+    have_swap: np.ndarray,
+    sw_pages: np.ndarray,
+    sw_slots: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+    page_asc: bool,
+):
+    """Array-built plan for the monotone branch of :func:`plan_swapins`.
+
+    Describes exactly the group sequence of the scalar loop it
+    replaces: the swap-backed demand pages that *open* a window are
+    found by jumping ``lo``-past-previous-``hi`` (monotonicity makes
+    ``los`` non-decreasing, so one ``searchsorted`` per emitted group
+    lands on the next opener), and zero-fill pages are bucketed —
+    sorted within each bucket, as the scalar accumulator did — in
+    front of the first later window.  Returns a :class:`MonotonePlan`
+    (or a plain group list when there are no swap-backed pages).
+    """
+    idx_sb = np.flatnonzero(have_swap)
+    zf_raw = demand[~have_swap]
+    if idx_sb.size == 0:
+        if zf_raw.size:
+            return [FaultGroup(np.sort(zf_raw), None)]
+        return []
+    los_sb = los[idx_sb]
+    his_sb = his[idx_sb]
+    if _compiled.COMPILED_ENABLED:
+        chosen = _compiled.monotone_window_starts(
+            np.ascontiguousarray(los_sb, dtype=np.int64),
+            np.ascontiguousarray(his_sb, dtype=np.int64),
+        )
+    else:
+        chosen = np.zeros(idx_sb.size, dtype=bool)
+        n = idx_sb.size
+        i = 0
+        while i < n:
+            chosen[i] = True
+            # the next opener is the first later page whose window does
+            # not overlap this one (own-slot membership guarantees
+            # lo < hi, so the jump always advances)
+            i = int(np.searchsorted(los_sb, his_sb[i], side="left"))
+    los_c = los_sb[chosen]
+    his_c = his_sb[chosen]
+    nchosen = los_c.size
+    if zf_raw.size:
+        # bucket k = zero-fill pages flushed just before chosen group k
+        # (touch-order position before that group's); bucket nchosen is
+        # the trailing flush.  ``bucket`` is non-decreasing (both index
+        # sequences ascend), so a bucket-major stable lexsort equals
+        # per-bucket np.sort.
+        bucket = np.searchsorted(idx_sb[chosen], np.flatnonzero(~have_swap),
+                                 side="left")
+        bounds = np.searchsorted(bucket, np.arange(nchosen + 2), side="left")
+        zf_pages = zf_raw[np.lexsort((zf_raw, bucket))]
+    else:
+        bounds = None
+        zf_pages = zf_raw
+    return MonotonePlan(sw_pages, sw_slots, los_c, his_c, zf_pages,
+                        bounds, page_asc)
 
 
 def plan_block_reads(
@@ -231,9 +388,18 @@ def plan_block_reads(
     for i in range(0, pages.size, max_batch):
         p = pages[i : i + max_batch]
         s = slots[i : i + max_batch]
+        first = int(s[0])
+        contig = int(s[-1]) - first == s.size - 1
         idx = np.argsort(p)
-        groups.append(FaultGroup(p[idx], s[idx]))
+        groups.append(FaultGroup(p[idx], s[idx], contig, first))
     return groups
 
 
-__all__ = ["FaultGroup", "dedupe_preserve_order", "plan_block_reads", "plan_swapins"]
+__all__ = [
+    "FaultGroup",
+    "MonotonePlan",
+    "dedupe_preserve_order",
+    "plan_block_reads",
+    "plan_swapins",
+    "plan_swapins_fused",
+]

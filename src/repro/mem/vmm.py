@@ -30,7 +30,11 @@ from repro.disk.swap import SwapAllocator
 from repro.mem.frames import FramePool, OutOfFramesError
 from repro.mem.page_table import PageTable
 from repro.mem.params import MemoryParams
-from repro.mem.readahead import dedupe_preserve_order, plan_swapins
+from repro.mem.readahead import (
+    MonotonePlan,
+    dedupe_preserve_order,
+    plan_swapins_fused,
+)
 from repro.mem.replacement import (
     GlobalLruPolicy,
     ReplacementPolicy,
@@ -125,6 +129,15 @@ class VirtualMemoryManager:
         # whether the most recent reclaim round found any candidates
         # (distinguishes "nothing evictable" from "victims went stale")
         self._reclaim_saw_candidates = False
+        #: deadline publisher for the batch-advance tier — the node's
+        #: AdaptivePaging, wired by the schedulers' start() (and only
+        #: there: a bare VMM driven by unit tests keeps the scalar
+        #: path, whose interleavings those tests rely on).  The tier
+        #: may only commit events strictly before
+        #: min(bg_arm_at, run_cap_at): at either deadline another
+        #: actor (background writer, gang switch) wakes and may
+        #: observe page state.
+        self.deadlines = None
 
         # telemetry (no-ops against the default NULL_OBS registry);
         # _obs_on gates the few sites that would otherwise do real work
@@ -273,9 +286,36 @@ class VirtualMemoryManager:
                 absent = pages[~table.present[pages]]
                 if absent.size == 0:
                     break
-                for group in plan_swapins(
+                plan = plan_swapins_fused(
                     table, absent, self.params.readahead_pages
-                ):
+                )
+                done = 0
+                if self._eager_entry_ok():
+                    if type(plan) is MonotonePlan:
+                        # array plan: the eager driver consumes it
+                        # without materialising groups and returns the
+                        # uncommitted tail for the scalar loop below
+                        groups, t_end, efilled, exc = \
+                            self._advance_eager_plan(table, pid, plan)
+                    else:
+                        groups = plan
+                        done, t_end, efilled, exc = self._advance_eager(
+                            table, pid, groups
+                        )
+                    if self._obs_on:
+                        filled += efilled
+                    if t_end > self.env.now:
+                        # the resync wakeup stands in for the last
+                        # absorbed completion trigger (the scalar path
+                        # would have woken us at exactly this instant)
+                        self.env.events_absorbed -= 1
+                        yield self.env.timeout_at(t_end)
+                    if exc is not None:
+                        raise exc
+                else:
+                    groups = plan.materialize() \
+                        if type(plan) is MonotonePlan else plan
+                for group in groups[done:]:
                     # a group page may have been brought in meanwhile;
                     # when none was (the overwhelmingly common case) the
                     # planned arrays are used as-is, skipping the mask
@@ -348,6 +388,680 @@ class VirtualMemoryManager:
             self._obs.span("demand_fill", self.name, t0, self.env.now,
                            pid=pid, pages=filled)
         table.record_access(pages, self.env.now, dirty)
+
+    # ------------------------------------------------------------------
+    # the batch-advance tier (see repro.sim.fastpath)
+    # ------------------------------------------------------------------
+    def _eager_entry_ok(self) -> bool:
+        """Whether a demand fill may be advanced eagerly.
+
+        The batch-advance tier replays a fill's event sequence
+        synchronously under a local clock, so it is sound only while a
+        *closed-system* proof holds: nothing else may observe or mutate
+        this node's state until the fill's last committed event time.
+        The conjuncts below are exactly that proof:
+
+        * ``deadlines`` wired — a scheduler owns this node and
+          publishes when the next external actor (gang switch,
+          background-writer arm) can wake; bare VMMs stay scalar;
+        * our own demand is the *only* one in flight (a stopped rank
+          mid-fault, or a concurrent block swap-in, interleaves);
+        * the eviction lock is free and uncontended;
+        * the disk is idle with FIFO discipline and no fault plan
+          (injection points are interaction boundaries);
+        * the background writer is not actively cleaning.
+        """
+        if not (_fastpath.BATCH_ENABLED and _fastpath.ENABLED):
+            return False
+        dl = self.deadlines
+        if dl is None:
+            return False
+        lock = self._evict_lock
+        if (len(self._active_demands) != 1
+                or lock.in_use != 0
+                or lock.queue_length != 0
+                or not self.disk.eager_ready()):
+            return False
+        bg = dl.bgwriter
+        return bg is None or not bg.active
+
+    def _advance_eager(self, table, pid: int, groups):
+        """Apply a prefix of ``groups`` synchronously with a local clock.
+
+        Replays, op for op, what the scalar loop in :meth:`touch` would
+        have committed — same service times, statistics, telemetry and
+        hook timestamps — without dispatching any events; the events it
+        stands in for are tallied on ``env.events_absorbed``.  Stops at
+        the first group whose service cannot provably finish strictly
+        before the published deadline (the caller's scalar loop resumes
+        there after one resync timeout).
+
+        Returns ``(done, t_end, filled, exc)``: groups committed, the
+        local clock, pages read (for the demand-fill span) and a
+        pending :class:`OutOfFramesError` to re-raise *after* the
+        resync (the scalar path raises it at exactly that instant).
+        """
+        env = self.env
+        params = self.params
+        frames = self.frames
+        disk = self.disk
+        dl = self.deadlines
+        deadline = dl.bg_arm_at if dl.bg_arm_at < dl.run_cap_at \
+            else dl.run_cap_at
+        t = env.now
+        done = 0
+        filled = 0
+        if not t < deadline:
+            return 0, t, 0, None
+        n = len(groups)
+        while done < n:
+            group = groups[done]
+            gpages = group.pages
+            gslots = group.slots
+            # the scalar loop's per-group presence recheck is skipped:
+            # plan groups are pairwise disjoint and nothing else can
+            # make pages resident inside a closed eager pass
+            if gslots is not None:
+                advanced = self._eager_read_run(
+                    table, pid, groups, done, t, deadline
+                )
+                if advanced is not None:
+                    ngroups, t, npages = advanced
+                    done += ngroups
+                    filled += npages
+                    continue
+            if frames.free < gpages.size or frames.below_min(gpages.size):
+                try:
+                    ok, t = self._eager_ensure(gpages.size, t, deadline)
+                except OutOfFramesError as exc:
+                    return done, t, filled, exc
+                if not ok:
+                    break
+            if gslots is None:
+                delay = gpages.size * params.minor_fault_s
+                t2 = t + delay
+                if delay > 0 and not t2 < deadline:
+                    break
+                frames.allocate(gpages.size)
+                self.stats.minor_faults += gpages.size
+                self._c_minor.inc(gpages.size)
+                if delay > 0:
+                    t = t2
+                    env.events_absorbed += 1
+            else:
+                cpu = gpages.size * params.major_fault_cpu_s
+                duration, _ = disk.service_time_for(gslots, "read")
+                t_after = (t + duration) + cpu
+                if not t_after < deadline:
+                    break
+                frames.allocate(gpages.size)
+                req = disk.service_eager(gslots, "read", t,
+                                         PRIO_FOREGROUND, pid=pid)
+                self.stats.major_faults += 1
+                self.stats.pages_swapped_in += gpages.size
+                self._c_major.inc()
+                self._c_pages_in.inc(gpages.size)
+                filled += gpages.size
+                self._count_refaults(pid, gpages, now=req.completed_at)
+                t = req.completed_at + cpu
+            table.make_resident(gpages)
+            table.set_last_ref(gpages, t)
+            done += 1
+        return done, t, filled, None
+
+    def _eager_read_run(self, table, pid: int, groups, start: int,
+                        t: float, deadline: float):
+        """Vectorized commit of a run of contiguous read groups.
+
+        Detects the maximal run of single-run (contiguous-slot) swap-in
+        groups from ``groups[start:]`` whose frames are available
+        without reclaim and whose waiter-visible completions all land
+        strictly before ``deadline``, then applies the whole run with
+        array operations: one accumulate for the exact event times, one
+        frame allocation, bulk page-state flips, a vectorized refault
+        gather and a bulk disk commit.  Returns
+        ``(ngroups, t_end, npages)`` or ``None`` when fewer than two
+        groups qualify (the per-group path is cheaper then).
+        """
+        params = self.params
+        frames = self.frames
+        firsts = []
+        sizes = []
+        k = start
+        n = len(groups)
+        while k < n:
+            g = groups[k]
+            # planner-certified set contiguity: group slots are in page
+            # order, where a span test alone is unsound (a permutation
+            # like [2, 1, 6, 5] passes it while covering two disk runs)
+            if not g.contig:
+                break
+            firsts.append(g.slot0)
+            sizes.append(g.pages.size)
+            k += 1
+        if k - start < 2:
+            return None
+        sizes = np.asarray(sizes, dtype=np.int64)
+        firsts = np.asarray(firsts, dtype=np.int64)
+        # per-group watermark precondition, prefix-truncated: group j
+        # may allocate without reclaim iff the pool stays at or above
+        # freepages.min after it (the scalar loop's inline guard)
+        csum = np.cumsum(sizes)
+        room = (frames.free - csum) >= params.freepages_min
+        if not room.all():
+            m = int(np.argmin(room))
+            if m < 2:
+                return None
+            sizes = sizes[:m]
+            firsts = firsts[:m]
+            csum = csum[:m]
+        durations, seeks = self.disk.eager_run_times(firsts, sizes, "read")
+        # exact event times by strict left-fold: acc interleaves each
+        # group's service completion T_c and its fused CPU charge, so
+        # T_c = acc[1::2] and the waiter resumes at acc[2::2] — the
+        # same float additions, in the same order, as the scalar path
+        cpus = sizes * params.major_fault_cpu_s
+        inter = np.empty(2 * sizes.size, dtype=np.float64)
+        inter[0::2] = durations
+        inter[1::2] = cpus
+        acc = np.add.accumulate(np.concatenate(([t], inter)))
+        t_c = acc[1::2]
+        waiters = acc[2::2]
+        inside = waiters < deadline
+        if not inside.all():
+            m = int(np.argmin(inside))
+            if m < 2:
+                return None
+            sizes = sizes[:m]
+            firsts = firsts[:m]
+            durations = durations[:m]
+            seeks = seeks[:m]
+            t_c = t_c[:m]
+            waiters = waiters[:m]
+        m = sizes.size
+        starts = acc[0:2 * m:2]
+        # the device stores and services the sorted slot set (scalar
+        # requests sort on submission); a contiguous set's sorted form
+        # is its arange, regardless of the group's page-order shuffle
+        slots_list = [np.arange(f, f + s) for f, s in
+                      zip(firsts[:m].tolist(), sizes.tolist())]
+        all_pages = np.concatenate(
+            [groups[start + i].pages for i in range(m)]
+        )
+        total = self._commit_read_run(
+            table, pid, slots_list, all_pages, sizes, durations, seeks,
+            starts, t_c, waiters,
+        )
+        return m, float(waiters[-1]), total
+
+    def _commit_read_run(self, table, pid: int, slots_list, all_pages,
+                         sizes, durations, seeks, starts, t_c, waiters):
+        """Bulk-apply a priced read run: frames, statistics, the
+        refault gather, the disk commit and the page-state flips
+        (shared by the group-list and array-plan drivers)."""
+        total = int(sizes.sum())
+        self.frames.allocate(total)
+        self.stats.major_faults += sizes.size
+        self.stats.pages_swapped_in += total
+        self._c_major.inc(sizes.size)
+        self._c_pages_in.inc(total)
+        if pid in self._ever_evicted:
+            evicted = self._evicted_at[pid][all_pages]
+            recent = np.repeat(t_c, sizes) - evicted < self.refault_window_s
+            nref = int(np.count_nonzero(recent))
+            self.stats.refaults += nref
+            if nref:
+                self._c_refaults.inc(nref)
+        self.disk.commit_eager_run(
+            slots_list, sizes, durations, seeks,
+            starts, t_c, "read", PRIO_FOREGROUND, pid=pid,
+        )
+        table.make_resident(all_pages)
+        table.set_last_ref_values(all_pages, np.repeat(waiters, sizes))
+        return total
+
+    def _advance_eager_plan(self, table, pid: int, plan: MonotonePlan):
+        """Array-plan twin of :meth:`_advance_eager`.
+
+        Consumes a :class:`~repro.mem.readahead.MonotonePlan` without
+        materialising its fault groups: maximal runs of slot-contiguous
+        swap groups (no zero-fill bucket or discontiguity between them)
+        commit through :meth:`_eager_read_window`; lone groups and
+        zero-fill buckets replay the scalar loop's arithmetic one at a
+        time.  The plan's window slices are slot-ascending, which is
+        exactly what the scalar path services (requests sort their
+        slots on submission), so no per-group page-order shuffle is
+        needed anywhere on this path.
+
+        Returns ``(tail_groups, t_end, filled, exc)`` where
+        ``tail_groups`` is the materialised uncommitted suffix for the
+        scalar loop in :meth:`touch` (``done`` is implicitly 0).
+        """
+        env = self.env
+        params = self.params
+        frames = self.frames
+        disk = self.disk
+        dl = self.deadlines
+        deadline = dl.bg_arm_at if dl.bg_arm_at < dl.run_cap_at \
+            else dl.run_cap_at
+        t = env.now
+        filled = 0
+        n = plan.los.size
+        if not t < deadline:
+            return plan.materialize(), t, 0, None
+        contig = plan.contig
+        zb = plan.zf_bounds
+        zbl = zb.tolist() if zb is not None else None
+        # a bulk run may not extend across a discontiguous group or a
+        # group preceded by a pending zero-fill bucket; precompute the
+        # barrier positions once and find each run's end by bisection
+        barrier = ~contig
+        if zb is not None:
+            barrier = barrier | (zb[:n] != zb[1:n + 1])
+        bidx = np.flatnonzero(barrier)
+        los = plan.los
+        his = plan.his
+        k = 0
+        zf_next = 0
+        while k < n:
+            if zbl is not None and zf_next == k and zbl[k] != zbl[k + 1]:
+                # zero-fill bucket k precedes swap group k
+                zpages = plan.zf_pages[zbl[k]:zbl[k + 1]]
+                size = zpages.size
+                if frames.free < size or frames.below_min(size):
+                    try:
+                        ok, t = self._eager_ensure(size, t, deadline)
+                    except OutOfFramesError as exc:
+                        return plan.materialize(k, zf_next), t, filled, exc
+                    if not ok:
+                        break
+                delay = size * params.minor_fault_s
+                t2 = t + delay
+                if delay > 0 and not t2 < deadline:
+                    break
+                frames.allocate(size)
+                self.stats.minor_faults += size
+                self._c_minor.inc(size)
+                if delay > 0:
+                    t = t2
+                    env.events_absorbed += 1
+                table.make_resident(zpages)
+                table.set_last_ref(zpages, t)
+                zf_next = k + 1
+                continue
+            if bool(contig[k]):
+                pos = int(np.searchsorted(bidx, k, side="right"))
+                j = int(bidx[pos]) if pos < bidx.size else n
+                if j - k >= 2:
+                    adv = self._eager_read_window(
+                        table, pid, plan, k, j, t, deadline
+                    )
+                    if adv is not None:
+                        m, t, npages = adv
+                        filled += npages
+                        k += m
+                        zf_next = k
+                        continue
+            # lone swap group k (its bucket, if any, is consumed)
+            lo = int(los[k])
+            hi = int(his[k])
+            size = hi - lo
+            if frames.free < size or frames.below_min(size):
+                try:
+                    ok, t = self._eager_ensure(size, t, deadline)
+                except OutOfFramesError as exc:
+                    return plan.materialize(k, zf_next), t, filled, exc
+                if not ok:
+                    break
+            gslots = plan.sw_slots[lo:hi]
+            cpu = size * params.major_fault_cpu_s
+            duration, _ = disk.service_time_for(gslots, "read")
+            t_after = (t + duration) + cpu
+            if not t_after < deadline:
+                break
+            frames.allocate(size)
+            req = disk.service_eager(gslots, "read", t,
+                                     PRIO_FOREGROUND, pid=pid)
+            self.stats.major_faults += 1
+            self.stats.pages_swapped_in += size
+            self._c_major.inc()
+            self._c_pages_in.inc(size)
+            filled += size
+            gpages = plan.sw_pages[lo:hi]
+            self._count_refaults(pid, gpages, now=req.completed_at)
+            t = req.completed_at + cpu
+            table.make_resident(gpages)
+            table.set_last_ref(gpages, t)
+            k += 1
+            zf_next = k
+        return plan.materialize(k, zf_next), t, filled, None
+
+    def _eager_read_window(self, table, pid: int, plan: MonotonePlan,
+                           start: int, stop: int, t: float,
+                           deadline: float):
+        """:meth:`_eager_read_run` over a plan's window arrays.
+
+        ``[start, stop)`` indexes slot-contiguous swap groups of
+        ``plan``; the run is prefix-truncated by the per-group
+        watermark precondition and the deadline exactly as the
+        group-list variant.  Returns ``(ngroups, t_end, npages)`` or
+        ``None`` when fewer than two groups survive.
+        """
+        params = self.params
+        frames = self.frames
+        sizes = plan.sizes[start:stop]
+        firsts = plan.firsts[start:stop]
+        csum = np.cumsum(sizes)
+        room = (frames.free - csum) >= params.freepages_min
+        if not room.all():
+            m = int(np.argmin(room))
+            if m < 2:
+                return None
+            sizes = sizes[:m]
+            firsts = firsts[:m]
+        durations, seeks = self.disk.eager_run_times(firsts, sizes, "read")
+        cpus = sizes * params.major_fault_cpu_s
+        inter = np.empty(2 * sizes.size, dtype=np.float64)
+        inter[0::2] = durations
+        inter[1::2] = cpus
+        acc = np.add.accumulate(np.concatenate(([t], inter)))
+        t_c = acc[1::2]
+        waiters = acc[2::2]
+        inside = waiters < deadline
+        if not inside.all():
+            m = int(np.argmin(inside))
+            if m < 2:
+                return None
+            sizes = sizes[:m]
+            firsts = firsts[:m]
+            durations = durations[:m]
+            seeks = seeks[:m]
+            t_c = t_c[:m]
+            waiters = waiters[:m]
+        m = sizes.size
+        starts = acc[0:2 * m:2]
+        los = plan.los[start:start + m].tolist()
+        his = plan.his[start:start + m].tolist()
+        sw_slots = plan.sw_slots
+        sw_pages = plan.sw_pages
+        slots_list = [sw_slots[a:b] for a, b in zip(los, his)]
+        all_pages = np.concatenate(
+            [sw_pages[a:b] for a, b in zip(los, his)]
+        ) if m > 1 else sw_pages[los[0]:his[0]]
+        total = self._commit_read_run(
+            table, pid, slots_list, all_pages, sizes, durations, seeks,
+            starts, t_c, waiters,
+        )
+        return m, float(waiters[-1]), total
+
+    def _eager_ensure(self, incoming: int, t: float, deadline: float):
+        """Eager mirror of :meth:`_ensure_frames`.
+
+        Returns ``(ok, t)``.  Reclaim episodes are committed whole or
+        not started: ``stats.reclaim_episodes`` is identity-compared,
+        so the only safe stop is *between* episodes, guarded by a
+        whole-episode duration bound — under the flat-seek model each
+        evicted page costs at most one positioning plus one transfer
+        plus the per-request overhead, and an episode never evicts
+        more than its deficit.  ``(False, t)`` means the scalar loop
+        must take over before the next episode.
+        """
+        frames = self.frames
+        params = self.disk.params
+        per_page = (params.overhead_s + params.positioning_s
+                    + params.page_transfer_s)
+        stale_retries = 0
+        while True:
+            if (frames.free >= incoming
+                    and not frames.below_min(incoming)):
+                return True, t
+            deficit = frames.deficit_to_high(incoming)
+            if not t + deficit * per_page < deadline:
+                return False, t
+            progress, t = self._eager_reclaim_episode(deficit, t)
+            if progress > 0:
+                stale_retries = 0
+                continue
+            if frames.free >= incoming:
+                return True, t
+            if self._reclaim_saw_candidates:
+                # unreachable with the shipped policies (a closed pass
+                # cannot make victims go stale), but mirrored from
+                # _ensure_frames for safety: back off one positioning
+                # time and retry
+                stale_retries += 1
+                if stale_retries > 100_000:
+                    raise OutOfFramesError(
+                        f"livelock: need {incoming} frames, "
+                        f"{frames.free} free after "
+                        f"{stale_retries} stale reclaim rounds"
+                    )
+                t2 = t + params.positioning_s
+                if not t2 < deadline:
+                    return False, t
+                t = t2
+                self.env.events_absorbed += 1
+                continue
+            raise OutOfFramesError(
+                f"need {incoming} frames, {frames.free} free, "
+                "and nothing is evictable"
+            )
+
+    def _eager_reclaim_episode(self, count: int, t: float):
+        """One :meth:`reclaim` episode applied eagerly.
+
+        Same selector calls, same batch walk, same statistics — the
+        per-batch lock acquisition and disk writes are absorbed instead
+        of dispatched.  Returns ``(progress, t)``.
+        """
+        self.stats.reclaim_episodes += 1
+        remaining = count
+        total = 0
+        self._reclaim_saw_candidates = False
+        while remaining > 0:
+            selector = self.victim_selector or self.policy.select_victims
+            batches = selector(
+                self.tables, remaining, self.params.swap_cluster,
+                self._active_protect(None),
+            )
+            if not batches:
+                break
+            self._reclaim_saw_candidates = True
+            progress, t = self._eager_evict_batches(batches, t)
+            if progress == 0:
+                break
+            remaining -= progress
+            total += progress
+        return total, t
+
+    def _eager_evict_batches(self, batches, t: float):
+        """Apply one selector call's victim batches, bulk-committing
+        consecutive same-pid spans.
+
+        Per-page LRU eviction produces dozens of single-page batches
+        per episode; walking them through :meth:`_eager_evict_batch`
+        one at a time costs a full Python round-trip (revalidate,
+        allocate, disk service, hook, evict) per page.  A same-pid
+        span whose pages survive revalidation untouched and whose
+        write slots are per-batch contiguous commits as one vectorised
+        pass instead; anything else falls back to the per-batch
+        mirror.  Returns ``(progress, t)``.
+        """
+        progress = 0
+        i = 0
+        n = len(batches)
+        while i < n:
+            pid = batches[i].pid
+            j = i + 1
+            while j < n and batches[j].pid == pid:
+                j += 1
+            res = (self._eager_evict_span(pid, batches[i:j], t)
+                   if j - i > 1 else None)
+            if res is None:
+                for batch in batches[i:j]:
+                    p, t = self._eager_evict_batch(batch, t)
+                    progress += p
+            else:
+                p, t = res
+                progress += p
+            i = j
+        return progress, t
+
+    def _eager_evict_span(self, pid: int, span, t: float):
+        """Bulk mirror of consecutive same-pid :meth:`_eager_evict_batch`
+        calls.  Returns ``(evicted, t)``, or ``None`` to fall back.
+
+        Preconditions, checked vectorised: batches pairwise disjoint,
+        every page still present and undemanded (so revalidation
+        filters nothing), and each batch's write slots one contiguous
+        run (so the chained head model of
+        :meth:`~repro.disk.device.Disk.eager_run_times` applies).  A
+        closed pass cannot stale a victim, but fragmented swap can
+        scatter slots — those spans take the per-batch path.
+        """
+        table = self.tables.get(pid)
+        if table is None:
+            return None
+        sizes = np.array([b.pages.size for b in span], dtype=np.int64)
+        pages = np.concatenate([b.pages for b in span])
+        srt = np.sort(pages)
+        if pages.size > 1 and not (srt[1:] > srt[:-1]).all():
+            return None
+        if not table.present[pages].all():
+            return None
+        if self._demand_counts[pid][pages].any():
+            return None
+        nb = sizes.size
+        offsets = np.zeros(nb + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        no_slot = table.swap_slot[pages] < 0
+        if no_slot.any():
+            # per-batch allocations in batch order: the allocator call
+            # sequence (and therefore slot placement) matches the
+            # scalar mirror exactly
+            offs = offsets.tolist()
+            for k in range(nb):
+                seg = no_slot[offs[k]:offs[k + 1]]
+                if seg.any():
+                    need = pages[offs[k]:offs[k + 1]][seg]
+                    table.assign_slots(need, self.swap.allocate(need.size))
+        needs_write = table.dirty[pages] | no_slot
+        w_sizes = np.add.reduceat(
+            needs_write.astype(np.int64), offsets[:-1]
+        ) if needs_write.any() else np.zeros(nb, dtype=np.int64)
+        wk = np.flatnonzero(w_sizes)
+        if wk.size:
+            to_write = pages[needs_write]
+            w_slots = table.swap_slot[to_write]
+            w_off = np.zeros(nb + 1, dtype=np.int64)
+            np.cumsum(w_sizes, out=w_off[1:])
+            # minimum/maximum.reduceat segments run from one write
+            # batch's start to the next; interleaved write-free batches
+            # contribute no slots, so each segment is exactly one
+            # batch's write set
+            seg_starts = w_off[wk]
+            sz = w_sizes[wk]
+            mins = np.minimum.reduceat(w_slots, seg_starts)
+            maxs = np.maximum.reduceat(w_slots, seg_starts)
+            if bool(((maxs - mins) == sz - 1).all()):
+                slots_list = [np.arange(m, m + s)
+                              for m, s in zip(mins.tolist(), sz.tolist())]
+                durations, seeks = self.disk.eager_run_times(
+                    mins, sz, "write")
+            else:
+                # fragmented swap scattered some batch's slots: walk
+                # the general head model instead (sorted segments, one
+                # per write batch — write-free batches are empty)
+                bounds = np.append(seg_starts, w_slots.size).tolist()
+                slots_list = [np.sort(w_slots[a:b])
+                              for a, b in zip(bounds[:-1], bounds[1:])]
+                durations, seeks = self.disk.eager_times_list(
+                    slots_list, "write")
+            acc = np.add.accumulate(np.concatenate(([t], durations)))
+            self.disk.commit_eager_run(
+                slots_list,
+                sz, durations, seeks, acc[:-1], acc[1:], "write",
+                PRIO_FOREGROUND, pid=pid,
+            )
+            w_total = int(sz.sum())
+            self.stats.pages_swapped_out += w_total
+            self._c_pages_out.inc(w_total)
+            table.mark_clean(to_write)
+            # a batch's pages are stamped at the running clock after
+            # its own write (write-free batches inherit the previous
+            # completion)
+            stamps = acc[np.searchsorted(wk, np.arange(nb), side="right")]
+            t = float(acc[-1])
+        else:
+            w_total = 0
+            stamps = np.full(nb, t)
+        total = int(sizes.sum())
+        self.stats.pages_discarded += total - w_total
+        self.stats.evictions += total
+        self._c_discarded.inc(total - w_total)
+        self._c_evictions.inc(total)
+        if self.on_flush is not None:
+            for b in span:
+                self.on_flush(pid, b.pages)
+        self._evicted_at[pid][pages] = np.repeat(stamps, sizes)
+        self._ever_evicted.add(pid)
+        table.evict(pages)
+        self.frames.release(total)
+        self.env.events_absorbed += nb  # one lock-grant wakeup per batch
+        return total, t
+
+    def _eager_evict_batch(self, batch: VictimBatch, t: float):
+        """Eager mirror of :meth:`evict_batch` (flush mode, foreground).
+
+        The eviction lock is free by the eager precondition and grants
+        synchronously, so acquiring it costs exactly the one wakeup
+        event we absorb.  Returns ``(evicted, t)``.
+        """
+        self.env.events_absorbed += 1  # the lock-grant wakeup
+        table = self.tables.get(batch.pid)
+        if table is None:
+            return 0, t
+        # revalidation is kept even though a closed pass cannot race:
+        # batches may legitimately overlap our own in-flight demand set
+        pages = batch.pages
+        present = table.present[pages]
+        if not present.all():
+            pages = pages[present]
+        counts = self._demand_counts[batch.pid]
+        if pages.size:
+            demanded = counts[pages]
+            if demanded.any():
+                pages = pages[demanded == 0]
+        if pages.size == 0:
+            return 0, t
+        no_slot_mask = table.swap_slot[pages] < 0
+        needs_write = table.dirty[pages] | no_slot_mask
+        to_write = pages[needs_write]
+        if to_write.size:
+            no_slot = pages[no_slot_mask]
+            if no_slot.size:
+                new_slots = self.swap.allocate(no_slot.size)
+                table.assign_slots(no_slot, new_slots)
+            slots = table.swap_slot[to_write]
+            req = self.disk.service_eager(slots, "write", t,
+                                          PRIO_FOREGROUND, pid=batch.pid)
+            t = req.completed_at
+            self.stats.pages_swapped_out += to_write.size
+            self._c_pages_out.inc(to_write.size)
+            table.mark_clean(to_write)
+            # no post-write demand recheck: demands cannot change
+            # inside a closed pass
+        self.stats.pages_discarded += pages.size - to_write.size
+        self.stats.evictions += pages.size
+        self._c_discarded.inc(pages.size - to_write.size)
+        self._c_evictions.inc(pages.size)
+        if self.on_flush is not None:
+            self.on_flush(batch.pid, pages)
+        self._evicted_at[batch.pid][pages] = t
+        self._ever_evicted.add(batch.pid)
+        table.evict(pages)
+        self.frames.release(pages.size)
+        return int(pages.size), t
 
     def swap_in_block(self, pid: int, groups):
         """Process fragment: service pre-planned block swap-ins.

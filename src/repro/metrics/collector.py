@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,6 +32,10 @@ class MetricsCollector:
         self.paging: list[PagingEvent] = []
         self.switches: list = []
         self.nodes: list = []
+        # sort keys parallel to `paging` (see attach_node); kept in a
+        # separate list so `paging` stays a plain list of events that
+        # tests and consumers may read (or even append to) directly
+        self._pkeys: list = []
         self.scheduler = None
         self.faults = None
         self.registry = None
@@ -38,16 +43,82 @@ class MetricsCollector:
 
     # -- wiring ----------------------------------------------------------
     def attach_node(self, node) -> None:
-        """Hook a node's disk completions (call before running)."""
-        name = node.name
-        self.nodes.append(node)
+        """Hook a node's disk completions (call before running).
 
-        def hook(req, start, end, _name=name):
-            self.paging.append(
-                PagingEvent(_name, req.op, req.npages, start, end, req.pid)
-            )
+        Events are kept in the canonical ``(end, node)`` order rather
+        than hook-invocation order: the batch-advance tier commits a
+        whole run of completions at once (future-stamped, before other
+        nodes' interleaved events are appended), and same-instant
+        completions on different nodes pop in heap order, which is an
+        implementation detail.  Sorted insertion makes the trace
+        identical across execution modes — per-node ends strictly
+        increase (every transfer has positive duration), so the key is
+        a strict total order, and in-order appends stay O(1).  Nodes
+        are ranked by attach order, not name (lexicographic ordering
+        would misplace ``node10`` before ``node2``).
+        """
+        name = node.name
+        node_rank = len(self.nodes)
+        self.nodes.append(node)
+        paging = self.paging
+        keys = self._pkeys
+
+        def hook(req, start, end, _name=name, _rank=node_rank):
+            key = (end, _rank)
+            ev = PagingEvent(_name, req.op, req.npages, start, end, req.pid)
+            if not keys or key >= keys[-1]:
+                keys.append(key)
+                paging.append(ev)
+            else:
+                i = bisect(keys, key)
+                keys.insert(i, key)
+                paging.insert(i, ev)
+
+        def run_hook(op, sizes, starts, ends, pid,
+                     _name=name, _rank=node_rank):
+            # a whole eager run at once: per-node ends strictly
+            # increase, so the run's keys are pre-sorted and the
+            # result of per-event bisect insertion is a stable merge
+            # with whatever future-stamped tail already exists
+            new_keys = [(e, _rank) for e in ends]
+            evs = [PagingEvent(_name, op, n, s, e, pid)
+                   for n, s, e in zip(sizes, starts, ends)]
+            if not keys or new_keys[0] >= keys[-1]:
+                keys.extend(new_keys)
+                paging.extend(evs)
+                return
+            i = bisect(keys, new_keys[0])
+            if new_keys[-1] <= keys[i]:
+                # the run fits in one gap: contiguous splice
+                keys[i:i] = new_keys
+                paging[i:i] = evs
+                return
+            tk = keys[i:]
+            tp = paging[i:]
+            del keys[i:]
+            del paging[i:]
+            a = 0
+            b = 0
+            na = len(new_keys)
+            nb = len(tk)
+            while a < na and b < nb:
+                if new_keys[a] < tk[b]:
+                    keys.append(new_keys[a])
+                    paging.append(evs[a])
+                    a += 1
+                else:
+                    keys.append(tk[b])
+                    paging.append(tp[b])
+                    b += 1
+            if a < na:
+                keys.extend(new_keys[a:])
+                paging.extend(evs[a:])
+            else:
+                keys.extend(tk[b:])
+                paging.extend(tp[b:])
 
         node.disk.on_complete = hook
+        node.disk.on_complete_run = run_hook
 
     def attach_scheduler(self, sched) -> None:
         """Keep a handle on the scheduler for eviction accounting."""
@@ -219,6 +290,7 @@ class MetricsCollector:
         :meth:`fault_summary`.
         """
         self.paging.clear()
+        self._pkeys.clear()
         self.switches.clear()
         self.detach_all()
 

@@ -18,8 +18,16 @@ Public surface
 :class:`RngStreams`   — named, independently seeded random streams.
 :func:`set_fast_path_enabled` — toggle the steady-state fast path
 (:mod:`repro.sim.fastpath`).
+:func:`set_batch_advance_enabled` — toggle the batch-advance tier.
+:func:`set_compiled_enabled` — toggle the numba-compiled kernels
+(:mod:`repro.sim.compiled`; interpreted where numba is absent).
 """
 
+from repro.sim.compiled import (
+    compiled_enabled,
+    have_numba,
+    set_compiled_enabled,
+)
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -30,7 +38,12 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
-from repro.sim.fastpath import fast_path_enabled, set_fast_path_enabled
+from repro.sim.fastpath import (
+    batch_advance_enabled,
+    fast_path_enabled,
+    set_batch_advance_enabled,
+    set_fast_path_enabled,
+)
 from repro.sim.resources import PriorityResource, Resource
 from repro.sim.rng import RngStreams
 
@@ -46,6 +59,11 @@ __all__ = [
     "RngStreams",
     "SimulationError",
     "Timeout",
+    "batch_advance_enabled",
+    "compiled_enabled",
     "fast_path_enabled",
+    "have_numba",
+    "set_batch_advance_enabled",
+    "set_compiled_enabled",
     "set_fast_path_enabled",
 ]

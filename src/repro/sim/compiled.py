@@ -1,0 +1,157 @@
+"""Optional numba-compiled kernels for the residual scalar hot loops.
+
+The batch-advance tier (:mod:`repro.sim.fastpath`) turns most of the
+paging hot path into numpy array operations, but two residual scalar
+loops survive because their control flow is inherently sequential:
+
+* the disk head-model *run decomposition* — walking a sorted slot list
+  into maximal consecutive runs and summing positioning costs
+  (:meth:`repro.disk.device.Disk.service_time`);
+* the read-ahead planner's *window jump loop* — choosing which demand
+  pages open a read-ahead window when the demand slots ascend
+  (:func:`repro.mem.readahead.plan_swapins`).
+
+Both are pure integer/float kernels, so they are expressed here as
+plain Python functions that ``numba.njit`` compiles when available.
+Without numba the same functions run interpreted — the *logic* of the
+compiled tier is therefore exercised (and identity-tested) on every
+host, and actual compilation is a pure speed difference on hosts that
+have numba installed.
+
+Feature detection happens once at import; the tier is **off by
+default** (CI runs it in a dedicated matrix leg).  Force it on with
+``REPRO_NUMBA=1`` in the environment or
+:func:`set_compiled_enabled`.  Every kernel accumulates floats in
+exactly the order of the scalar code it replaces (and ``math.sqrt`` is
+bitwise-identical under numba), so enabling the tier never changes a
+simulated trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common case in this tree
+    _numba = None
+    HAVE_NUMBA = False
+
+_ON = ("1", "on", "true", "yes")
+
+#: whether the compiled-kernel tier is consulted by the hot paths
+COMPILED_ENABLED = os.environ.get("REPRO_NUMBA", "").lower() in _ON
+
+
+def set_compiled_enabled(enabled: bool) -> None:
+    """Toggle the compiled-kernel tier.
+
+    Enabling works even without numba — the kernels then run
+    interpreted, which keeps the tier's code paths testable everywhere
+    (compilation is a host-local speedup, never a behaviour change).
+    """
+    global COMPILED_ENABLED
+    COMPILED_ENABLED = bool(enabled)
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled-kernel tier is active."""
+    return COMPILED_ENABLED
+
+
+def have_numba() -> bool:
+    """Whether numba was importable (kernels actually compile)."""
+    return HAVE_NUMBA
+
+
+def _maybe_jit(fn):
+    if HAVE_NUMBA:  # pragma: no cover - exercised in the numba CI leg
+        return _numba.njit(cache=True, fastmath=False)(fn)
+    return fn
+
+
+@_maybe_jit
+def run_positioning(slots, head, last_op_same, positioning_s, coef):
+    """Seek count and positioning cost of one request's slot list.
+
+    Mirrors the list-walk in ``Disk.service_time`` exactly: decompose
+    the sorted ``slots`` into maximal consecutive runs, charge
+    ``positioning_s`` (plus the optional ``coef * sqrt(distance)``
+    term) for every run that does not continue the previous transfer,
+    accumulating in run order.  ``last_op_same`` is True when the head's
+    last transfer had the same direction as this request.
+    """
+    seeks = 0
+    positioning = 0.0
+    pos = head
+    n = slots.shape[0]
+    i = 0
+    first_run = True
+    while i < n:
+        start = slots[i]
+        end = start + 1
+        i += 1
+        while i < n and slots[i] == end:
+            end += 1
+            i += 1
+        continues = (start == pos) and ((not first_run) or last_op_same)
+        if not continues:
+            seeks += 1
+            positioning += positioning_s
+            if coef > 0.0:
+                positioning += coef * math.sqrt(abs(start - pos))
+        pos = end
+        first_run = False
+    return seeks, positioning
+
+
+@_maybe_jit
+def monotone_window_starts(slot_los, slot_his):
+    """Indices of the swap-backed demand pages that open a window.
+
+    ``slot_los``/``slot_his`` are the per-page ``searchsorted`` window
+    bounds of the *swap-backed* demand pages, in touch order, under the
+    monotone precondition (strictly ascending demand slots).  A page
+    opens a new read-ahead window exactly when its ``lo`` lies at or
+    past the previous window's ``hi`` — the same one-compare skip rule
+    as the planner's scalar loop.  Returns a mask over the input.
+    """
+    n = slot_los.shape[0]
+    chosen = np.zeros(n, dtype=np.bool_)
+    last_hi = 0
+    for i in range(n):
+        if slot_los[i] >= last_hi:
+            chosen[i] = True
+            last_hi = slot_his[i]
+    return chosen
+
+
+def _warmup() -> None:  # pragma: no cover - numba hosts only
+    """Compile the kernels eagerly so timings exclude JIT cost."""
+    if not HAVE_NUMBA:
+        return
+    s = np.array([0, 1, 5], dtype=np.int64)
+    run_positioning(s, 0, True, 0.01, 0.0)
+    monotone_window_starts(
+        np.array([0, 1], dtype=np.int64), np.array([2, 3], dtype=np.int64)
+    )
+
+
+if COMPILED_ENABLED:  # pragma: no cover - env-forced hosts only
+    _warmup()
+
+
+__all__ = [
+    "COMPILED_ENABLED",
+    "HAVE_NUMBA",
+    "compiled_enabled",
+    "have_numba",
+    "monotone_window_starts",
+    "run_positioning",
+    "set_compiled_enabled",
+]

@@ -380,6 +380,20 @@ class Environment:
         #: total events processed by step() — a wall-clock-free measure
         #: of how much simulation work a run performed
         self.events_processed = 0
+        #: events the batch-advance tier applied synchronously instead
+        #: of dispatching (see repro.sim.fastpath): each absorbed event
+        #: is one heap pop the scalar fast path would have performed
+        self.events_absorbed = 0
+
+    @property
+    def events_simulated(self) -> int:
+        """Logical events: dispatched plus batch-absorbed.
+
+        Comparable across fast-path modes — batching moves events from
+        ``events_processed`` (loop iterations) into ``events_absorbed``
+        without changing what was simulated.
+        """
+        return self.events_processed + self.events_absorbed
 
     # -- basic accessors ---------------------------------------------------
     @property

@@ -62,12 +62,25 @@ class Phase:
         return sum(r.npages for r in self.ranges)
 
 
+#: memo for :func:`expand_phase`, keyed by the (frozen, hashable) phase.
+#: Iterative workloads touch the same phases every iteration, and the
+#: expansion's dedup pass shows up in profiles.  Cleared wholesale when
+#: it outgrows the cap so long sweeps over many workloads stay bounded.
+_EXPAND_CACHE: dict[Phase, tuple[np.ndarray, np.ndarray]] = {}
+_EXPAND_CACHE_MAX = 512
+
+
 def expand_phase(phase: Phase) -> tuple[np.ndarray, np.ndarray]:
     """Expand a phase into ``(pages, dirty_mask)`` in touch order.
 
     A page appearing in several ranges is touched once (first
     occurrence); it is dirty if *any* containing range dirties it.
+    The returned arrays are cached (and marked read-only): callers
+    treat them as immutable views of the phase.
     """
+    hit = _EXPAND_CACHE.get(phase)
+    if hit is not None:
+        return hit
     if not phase.ranges:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
     pages = np.concatenate([r.pages() for r in phase.ranges])
@@ -75,17 +88,22 @@ def expand_phase(phase: Phase) -> tuple[np.ndarray, np.ndarray]:
         [np.full(r.npages, r.dirty, dtype=bool) for r in phase.ranges]
     )
     uniq, first = np.unique(pages, return_index=True)
-    if uniq.size == pages.size:
-        return pages, dirty
-    # de-duplicate, keeping touch order and OR-ing dirty flags
-    order = np.sort(first)
-    out_pages = pages[order]
-    # map each occurrence to its first occurrence and OR the dirty bits
-    inv = np.searchsorted(uniq, pages)
-    dirty_by_uniq = np.zeros(uniq.size, dtype=bool)
-    np.logical_or.at(dirty_by_uniq, inv, dirty)
-    out_dirty = dirty_by_uniq[np.searchsorted(uniq, out_pages)]
-    return out_pages, out_dirty
+    if uniq.size != pages.size:
+        # de-duplicate, keeping touch order and OR-ing dirty flags
+        order = np.sort(first)
+        out_pages = pages[order]
+        # map occurrences to their first occurrence and OR dirty bits
+        inv = np.searchsorted(uniq, pages)
+        dirty_by_uniq = np.zeros(uniq.size, dtype=bool)
+        np.logical_or.at(dirty_by_uniq, inv, dirty)
+        out_dirty = dirty_by_uniq[np.searchsorted(uniq, out_pages)]
+        pages, dirty = out_pages, out_dirty
+    pages.flags.writeable = False
+    dirty.flags.writeable = False
+    if len(_EXPAND_CACHE) >= _EXPAND_CACHE_MAX:
+        _EXPAND_CACHE.clear()
+    _EXPAND_CACHE[phase] = (pages, dirty)
+    return pages, dirty
 
 
 def chunk_ranges(
