@@ -67,9 +67,23 @@ event core:
   exceeds the committed floor by more than
   :data:`SMOKE_REGRESSION_FACTOR`.
 
+``BENCH_PR8.json`` (``--pr8-out``) covers sweep-scale observability:
+
+* an instrumented (``repro.obs.sweep.SweepObserver``) vs plain
+  multi-seed sweep, asserting the sweep-level ``summary()`` equals the
+  elementwise sum of the per-cell summaries shipped through
+  ``"_perf"``, the merged Chrome trace carries one distinct track
+  group per cell, records stay byte-identical outside ``"_perf"``,
+  and the capture overhead fits the PR 3 budget (≤5 % relative or
+  ≤2 µs per simulated event),
+* the chaos benchmark re-run with the supervisor event log on,
+  asserting every retry and pool rebuild the supervisor counted is
+  named in the structured log (``--pr8-trace-out`` additionally
+  writes the merged chaos-sweep Chrome trace for the CI artifact).
+
 Each benchmark section writes one BENCH file; ``--section`` selects
 which sections run.  It defaults to the *current* PR's section so
-routine full runs refresh only ``BENCH_PR7.json`` and stop rewriting
+routine full runs refresh only ``BENCH_PR8.json`` and stop rewriting
 the historical reports; ``--section all`` reproduces everything.
 
 Usage::
@@ -146,6 +160,10 @@ BASELINE_PR4_SINGLE_CELL_WALL_S = 1.1086018349997175
 #: ``BENCH_PR5.json`` and the denominator of the PR 7 speedup claim
 BASELINE_PR5_SINGLE_CELL_WALL_S = 0.958194470997114
 
+#: the same cell on the PR 7 code (post batch-advance core) — the
+#: ``fast_wall_s_min`` recorded in ``BENCH_PR7.json``
+BASELINE_PR7_SINGLE_CELL_WALL_S = 0.7965931319995434
+
 #: the Figure-6 LRU cell's wall-time trajectory across the perf PRs
 #: (min-of-N on the same host lineage).  Every BENCH file carries this
 #: forward — with the current PR's measurement appended — so a
@@ -156,17 +174,21 @@ FIG6_TRAJECTORY = (
     ("PR3", BASELINE_PR3_SINGLE_CELL_WALL_S),
     ("PR4", BASELINE_PR4_SINGLE_CELL_WALL_S),
     ("PR5", BASELINE_PR5_SINGLE_CELL_WALL_S),
+    ("PR7", BASELINE_PR7_SINGLE_CELL_WALL_S),
 )
 
 
 def fig6_trajectory(current_pr: str = None,
                     current_wall_s: float = None) -> list:
     """The recorded fig6 wall-time trajectory, optionally extended with
-    the measurement the calling section just took."""
+    the measurement the calling section just took.  A fresh measurement
+    for a PR already in the recorded table replaces the recorded entry
+    (a re-run of a historical section updates, never duplicates)."""
     traj = [
         {"pr": pr, "wall_s": wall,
          "speedup_vs_seed": BASELINE_SINGLE_CELL_WALL_S / wall}
         for pr, wall in FIG6_TRAJECTORY
+        if pr != current_pr
     ]
     if current_wall_s is not None:
         traj.append({
@@ -195,6 +217,21 @@ FIG6_LRU = GangConfig("LU", "C", nprocs=4, policy="lru", seed=1, scale=0.5)
 #: the perf-regression floor stored in ``BENCH_PR5.json``
 SMOKE_CELL = GangConfig("LU", "B", nprocs=1, policy="lru", seed=1,
                         scale=0.05)
+
+
+def _strip_perf(obj):
+    """Drop every ``"_perf"`` quarantine sub-dict (recursively)."""
+    if isinstance(obj, dict):
+        return {k: _strip_perf(v) for k, v in obj.items()
+                if k != "_perf"}
+    if isinstance(obj, list):
+        return [_strip_perf(v) for v in obj]
+    return obj
+
+
+def _canon(record) -> str:
+    """Canonical JSON of a record outside the ``"_perf"`` quarantine."""
+    return json.dumps(_strip_perf(_sanitise(record)), sort_keys=True)
 
 
 def bench_single_cell(cfg: GangConfig, repeats: int = 3) -> dict:
@@ -384,18 +421,7 @@ def bench_cache(scale: float, seeds, jobs: int = 1) -> dict:
         set_default_cache(None)
         shutil.rmtree(tmp, ignore_errors=True)
 
-    def _strip_perf(obj):
-        if isinstance(obj, dict):
-            return {k: _strip_perf(v) for k, v in obj.items()
-                    if k != "_perf"}
-        if isinstance(obj, list):
-            return [_strip_perf(v) for v in obj]
-        return obj
-
-    identical = (
-        json.dumps(_strip_perf(_sanitise(cold)), sort_keys=True)
-        == json.dumps(_strip_perf(_sanitise(warm)), sort_keys=True)
-    )
+    identical = _canon(cold) == _canon(warm)
     warm_total = warm_cache.hits + warm_cache.misses
     skipped = warm_cache.hits / warm_total if warm_total else 0.0
     return {
@@ -613,33 +639,22 @@ def check_fig6_regression(measured_wall_s: float) -> dict:
     }
 
 
-def bench_chaos(scale: float, seeds, jobs: int = 2,
-                max_retries: int = 8) -> dict:
-    """Fault-free serial baseline vs supervised sweep under crashes.
+def _find_chaos_plan(n_cells: int):
+    """Seed-search a crash plan that makes quarantine impossible.
 
-    Seed-searches a :class:`~repro.faults.worker.WorkerFaultPlan`
-    whose schedule makes quarantine provably impossible: 1–3 crashes
-    at attempt 0 and **clean draws on every retry attempt any cell can
-    reach**.  The latter matters because a spontaneous pool break
-    charges every in-flight cell one attempt — with slow simulation
-    cells, every crash taxes ``jobs - 1`` innocents too — so with at
-    most 3 breaks no cell can ever see an attempt past 4, all draws
-    through attempt 5 are clean by construction, and the retry budget
-    of 8 is never exhausted.  Crash-only by design: crash containment
-    is timing-independent, so the verdict is stable on noisy CI
-    runners (hang cancellation is deadline-driven and covered by
-    ``tests/perf/test_supervisor.py``).
+    Returns ``(plan, schedule)``: 1–3 crashes at attempt 0 and **clean
+    draws on every retry attempt any cell can reach**.  The latter
+    matters because a spontaneous pool break charges every in-flight
+    cell one attempt — with slow simulation cells, every crash taxes
+    ``jobs - 1`` innocents too — so with at most 3 breaks no cell can
+    ever see an attempt past 4, all draws through attempt 5 are clean
+    by construction, and a retry budget of 8 is never exhausted.
+    Crash-only by design: crash containment is timing-independent, so
+    verdicts stay stable on noisy CI runners (hang cancellation is
+    deadline-driven and covered by ``tests/perf/test_supervisor.py``).
     """
     from repro.faults.worker import WorkerFaultPlan
-    from repro.perf.supervisor import (
-        Supervisor,
-        SupervisorConfig,
-        set_default_supervisor,
-    )
 
-    base = GangConfig("LU", "B", nprocs=1, scale=scale)
-    n_cells = 3 * len(seeds)  # replicate runs 3 policies per seed
-    plan = schedule = None
     for seed in range(50000):
         cand = WorkerFaultPlan(crash_rate=0.1, seed=seed)
         sched = cand.injections(n_cells)
@@ -648,10 +663,29 @@ def bench_chaos(scale: float, seeds, jobs: int = 2,
         if any(cand.decide(i, a) is not None
                for i in range(n_cells) for a in range(1, 6)):
             continue
-        plan, schedule = cand, sched
-        break
-    if plan is None:  # pragma: no cover - search window is generous
-        raise RuntimeError("no suitable chaos seed in search window")
+        return cand, sched
+    raise RuntimeError(  # pragma: no cover - search window is generous
+        "no suitable chaos seed in search window")
+
+
+def bench_chaos(scale: float, seeds, jobs: int = 2,
+                max_retries: int = 8) -> dict:
+    """Fault-free serial baseline vs supervised sweep under crashes.
+
+    Uses the :func:`_find_chaos_plan` crash schedule, under which
+    quarantine is provably impossible (see its docstring), so the
+    supervised run must absorb at least one pool rebuild, quarantine
+    nothing, and merge to byte-identical output.
+    """
+    from repro.perf.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        set_default_supervisor,
+    )
+
+    base = GangConfig("LU", "B", nprocs=1, scale=scale)
+    n_cells = 3 * len(seeds)  # replicate runs 3 policies per seed
+    plan, schedule = _find_chaos_plan(n_cells)
 
     t0 = time.perf_counter()
     baseline = multi_seed.replicate(base, seeds=seeds, jobs=1)
@@ -687,6 +721,182 @@ def bench_chaos(scale: float, seeds, jobs: int = 2,
         "zero_quarantined": stats["quarantined"] == 0,
         "chaos_identical": identical,
     }
+
+
+def bench_sweep_obs(scale: float, seeds, jobs: int = 4) -> dict:
+    """Instrumented vs plain multi-seed sweep: identity + aggregation.
+
+    Runs the (seed, mode) cell grid four ways — obs-off serial,
+    obs-off ``jobs=N``, obs-on serial, obs-on ``jobs=N`` with a
+    :class:`~repro.obs.sweep.SweepObserver` installed — and asserts:
+
+    * all four merge byte-identically outside ``"_perf"``,
+    * the sweep-level ``summary()`` equals the elementwise sum of the
+      per-cell summaries shipped through ``"_perf"["obs"]``, exactly,
+    * the merged registry's counters agree with the summed view
+      (an independent cross-check through a different code path),
+    * the merged Chrome trace carries one distinct track group
+      (trace process) per cell,
+    * the obs-on serial overhead against obs-off serial fits the PR 3
+      budget: ≤``OBS_OVERHEAD_BUDGET`` relative *or*
+      ≤``OBS_OVERHEAD_BUDGET_PER_EVENT_US`` per simulated event
+      (serial-vs-serial so pool scheduling noise stays out of the
+      measurement; the parallel walls are reported alongside).
+    """
+    from repro.obs import SweepObserver, chrome_trace, set_default_sweep
+    from repro.obs.export import summary as registry_summary
+    from repro.obs.sweep import merge_summaries
+    from repro.perf.pool import run_cells
+
+    base = GangConfig("LU", "B", nprocs=1, scale=scale)
+    cells = multi_seed.cell_grid(base, "so/ao/ai/bg", seeds)
+
+    t0 = time.perf_counter()
+    off_serial = run_cells(cells, jobs=1)
+    off_serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    off_par = run_cells(cells, jobs=jobs)
+    off_par_s = time.perf_counter() - t0
+
+    serial_obs = SweepObserver()
+    set_default_sweep(serial_obs)
+    try:
+        t0 = time.perf_counter()
+        on_serial = run_cells(cells, jobs=1)
+        on_serial_s = time.perf_counter() - t0
+    finally:
+        set_default_sweep(None)
+
+    sweep = SweepObserver()
+    set_default_sweep(sweep)
+    try:
+        t0 = time.perf_counter()
+        on_par = run_cells(cells, jobs=jobs)
+        on_par_s = time.perf_counter() - t0
+    finally:
+        set_default_sweep(None)
+
+    identical = (_canon(off_serial) == _canon(off_par)
+                 == _canon(on_serial) == _canon(on_par))
+
+    per_cell = [
+        r["_perf"]["obs"] for r in on_par.values()
+        if isinstance(r, dict) and "obs" in r.get("_perf", {})
+    ]
+    summary_equals = (
+        len(per_cell) == len(cells)
+        and sweep.summary() == merge_summaries(per_cell)
+    )
+    counters_equal = (
+        registry_summary(sweep.registry)["counters"]
+        == sweep.summary()["counters"]
+    )
+    trace = chrome_trace(sweep.registry)
+    tracks = sum(1 for e in trace["traceEvents"]
+                 if e.get("name") == "process_name")
+
+    events = sum(
+        r["events_simulated"] for r in on_serial.values()
+        if isinstance(r, dict) and "events_simulated" in r
+    )
+    overhead = (on_serial_s / off_serial_s - 1.0
+                if off_serial_s > 0 else None)
+    per_event_us = ((on_serial_s - off_serial_s) / events * 1e6
+                    if events else None)
+    return {
+        "label": f"multi_seed {base.label()} seeds={list(seeds)}",
+        "cells": len(cells),
+        "jobs": jobs,
+        "off_serial_wall_s": off_serial_s,
+        "off_parallel_wall_s": off_par_s,
+        "on_serial_wall_s": on_serial_s,
+        "on_parallel_wall_s": on_par_s,
+        "records_identical": identical,
+        "cells_with_telemetry": sweep.cell_count,
+        "summary_equals_cell_sum": summary_equals,
+        "registry_counters_equal": counters_equal,
+        "distinct_trace_tracks": tracks,
+        "one_track_per_cell": tracks == len(cells),
+        "events_simulated": events,
+        "obs_overhead_frac": overhead,
+        "overhead_budget_frac": OBS_OVERHEAD_BUDGET,
+        "obs_overhead_per_event_us": per_event_us,
+        "per_event_budget_us": OBS_OVERHEAD_BUDGET_PER_EVENT_US,
+        "within_budget": overhead is not None
+        and (overhead <= OBS_OVERHEAD_BUDGET
+             or per_event_us <= OBS_OVERHEAD_BUDGET_PER_EVENT_US),
+    }
+
+
+def bench_chaos_events(scale: float, seeds, jobs: int = 2,
+                       max_retries: int = 8,
+                       trace_out: str = None) -> dict:
+    """The chaos sweep with full sweep observability on.
+
+    Re-runs the :func:`bench_chaos` scenario (injected worker crashes
+    under supervision) with a sweep observer and the supervisor event
+    log active, and asserts the *structured log names every fault the
+    counters count*: one ``retry`` entry per counted retry (each
+    naming its cell key and attempt), one ``pool_rebuild`` entry per
+    counted rebuild.  ``trace_out`` additionally writes the merged
+    cross-cell Chrome trace (the CI workflow uploads it as an
+    artifact).
+    """
+    from repro.obs import SweepObserver, set_default_sweep, \
+        write_chrome_trace
+    from repro.perf.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        set_default_supervisor,
+    )
+
+    base = GangConfig("LU", "B", nprocs=1, scale=scale)
+    n_cells = 3 * len(seeds)
+    plan, schedule = _find_chaos_plan(n_cells)
+
+    baseline = multi_seed.replicate(base, seeds=seeds, jobs=1)
+
+    supervisor = Supervisor(SupervisorConfig(
+        max_retries=max_retries, worker_faults=plan, journal=True,
+        backoff_base_s=0.0, backoff_max_s=0.0, poll_interval_s=0.02))
+    sweep = SweepObserver()
+    set_default_supervisor(supervisor)
+    set_default_sweep(sweep)
+    try:
+        t0 = time.perf_counter()
+        chaos = multi_seed.replicate(base, seeds=seeds, jobs=jobs)
+        chaos_s = time.perf_counter() - t0
+    finally:
+        set_default_supervisor(None)
+        set_default_sweep(None)
+
+    stats = dict(supervisor.stats)
+    counts = supervisor.events.counts()
+    retries = supervisor.events.named("retry")
+    report = {
+        "label": f"multi_seed {base.label()} seeds={list(seeds)}",
+        "cells": n_cells,
+        "jobs": jobs,
+        "fault_plan": {"crash_rate": plan.crash_rate, "seed": plan.seed},
+        "injected_crashes": len(schedule),
+        "chaos_wall_s": chaos_s,
+        "supervisor_stats": stats,
+        "event_counts": counts,
+        "event_log_path": str(supervisor.events.path),
+        "every_retry_logged": counts.get("retry", 0) == stats["retries"],
+        "every_rebuild_logged":
+            counts.get("pool_rebuild", 0) == stats["rebuilds"],
+        "retries_name_cells": all(e.get("key") for e in retries),
+        "cells_with_telemetry": sweep.cell_count,
+        "survived_rebuilds": stats["rebuilds"] >= 1,
+        "zero_quarantined": stats["quarantined"] == 0,
+        "chaos_identical": _canon(baseline) == _canon(chaos),
+    }
+    if trace_out:
+        path = write_chrome_trace(sweep.registry, trace_out)
+        report["trace_out"] = str(path)
+    return report
 
 
 def bench_fastpath_smoke_floor(repeats: int = 3) -> dict:
@@ -753,8 +963,8 @@ def main(argv=None) -> int:
                     help="tiny scale, correctness only; for CI")
     ap.add_argument(
         "--section",
-        choices=("pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "all"),
-        default="pr7",
+        choices=("pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8", "all"),
+        default="pr8",
         help="benchmark section(s) to run; defaults to the current "
              "PR's section so routine runs refresh only its BENCH "
              "file instead of rewriting the historical reports")
@@ -764,6 +974,10 @@ def main(argv=None) -> int:
     ap.add_argument("--pr5-out", default=str(REPO_ROOT / "BENCH_PR5.json"))
     ap.add_argument("--pr6-out", default=str(REPO_ROOT / "BENCH_PR6.json"))
     ap.add_argument("--pr7-out", default=str(REPO_ROOT / "BENCH_PR7.json"))
+    ap.add_argument("--pr8-out", default=str(REPO_ROOT / "BENCH_PR8.json"))
+    ap.add_argument("--pr8-trace-out", default=None,
+                    help="also write the merged chaos-sweep Chrome "
+                         "trace here (CI uploads it as an artifact)")
     ap.add_argument("--jobs", type=int, default=4)
     ap.add_argument(
         "--repeats", type=int, default=3,
@@ -772,7 +986,7 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     wanted = {s: args.section in (s, "all")
-              for s in ("pr2", "pr3", "pr4", "pr5", "pr6", "pr7")}
+              for s in ("pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8")}
     mode = "smoke" if args.smoke else "full"
 
     def emit(report: dict, path: str) -> None:
@@ -980,6 +1194,70 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+
+    if wanted["pr8"]:
+        if args.smoke:
+            obs_sweep = bench_sweep_obs(scale=0.05, seeds=(1, 2), jobs=2)
+            chaos_ev = bench_chaos_events(
+                scale=0.05, seeds=(1, 2), jobs=2,
+                trace_out=args.pr8_trace_out)
+        else:
+            obs_sweep = bench_sweep_obs(scale=0.1, seeds=(1, 2, 3, 4),
+                                        jobs=args.jobs)
+            chaos_ev = bench_chaos_events(
+                scale=0.1, seeds=(1, 2, 3, 4), jobs=args.jobs,
+                trace_out=args.pr8_trace_out)
+        emit({
+            "bench": "PR8 sweep-scale observability",
+            "mode": mode,
+            "host_cpu_count": os.cpu_count(),
+            "sweep_obs": obs_sweep,
+            "chaos_events": chaos_ev,
+        }, args.pr8_out)
+        for field, msg in (
+            ("records_identical",
+             "obs-on sweep records diverged from the obs-off serial "
+             "run"),
+            ("summary_equals_cell_sum",
+             "sweep summary() != sum of per-cell summaries"),
+            ("registry_counters_equal",
+             "merged-registry counters disagree with the summed "
+             "summaries"),
+            ("one_track_per_cell",
+             "merged Chrome trace does not carry one track per cell"),
+        ):
+            if not obs_sweep[field]:
+                print(f"FAIL: {msg}", file=sys.stderr)
+                return 1
+        if not args.smoke and not obs_sweep["within_budget"]:
+            print(
+                f"FAIL: sweep telemetry overhead "
+                f"{obs_sweep['obs_overhead_frac']:.1%} "
+                f"({obs_sweep['obs_overhead_per_event_us']:.2f} "
+                f"us/event) exceeds both the "
+                f"{OBS_OVERHEAD_BUDGET:.0%} relative and "
+                f"{OBS_OVERHEAD_BUDGET_PER_EVENT_US:.1f} us/event "
+                f"budgets", file=sys.stderr)
+            return 1
+        for field, msg in (
+            ("chaos_identical",
+             "instrumented chaos sweep diverged from the fault-free "
+             "serial run"),
+            ("zero_quarantined",
+             "instrumented chaos sweep quarantined cells"),
+            ("survived_rebuilds",
+             "no pool rebuild happened — the crash plan never engaged"),
+            ("every_retry_logged",
+             "event log is missing retries the supervisor counted"),
+            ("every_rebuild_logged",
+             "event log is missing pool rebuilds the supervisor "
+             "counted"),
+            ("retries_name_cells",
+             "retry events do not all name their cell key"),
+        ):
+            if not chaos_ev[field]:
+                print(f"FAIL: {msg}", file=sys.stderr)
+                return 1
 
     return 0
 

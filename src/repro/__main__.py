@@ -6,12 +6,18 @@ Commands
 ``run <experiment>``     run one experiment (``--scale``, ``--seed``)
 ``all``                  run every experiment in sequence
 ``replicate``            multi-seed stability check for one workload
-``obs <trace>``          switch-phase report from a saved trace file
+``obs <trace>``          switch-phase / event-log report from a saved file
+``obs bench-report``     cumulative perf trajectory across BENCH_PR*.json
 ``cache stats|clear``    inspect / wipe the cell result cache
 
-``run`` and ``all`` accept ``--obs`` (collect telemetry and print the
-switch-phase breakdown) and ``--trace-out FILE`` (also write a Chrome
-trace viewable in chrome://tracing or Perfetto; implies ``--obs``).
+``run``, ``all`` and ``replicate`` accept ``--obs`` (collect telemetry
+and print the switch-phase breakdown) and ``--trace-out FILE`` (also
+write a Chrome trace viewable in chrome://tracing or Perfetto; implies
+``--obs``).  Telemetry spans sweeps: with ``--jobs N`` every worker
+ships its counters and spans back through the ``"_perf"`` channel and
+the exported trace is the cross-cell merge, one track group per cell
+(`repro.obs.sweep`).  ``cellcache_*`` / ``supervisor_*`` host-side
+counters appear in the report alongside the phase table.
 
 ``run``, ``all`` and ``replicate`` accept the resilient-sweep flags:
 ``--max-retries N`` (bounded per-cell retries with exponential
@@ -38,6 +44,9 @@ Examples::
     python -m repro run fig6 --scale 0.1 --obs --trace-out fig6.trace.json
     python -m repro obs fig6.trace.json
     python -m repro replicate --bench CG --klass B --seeds 1 2 3
+    python -m repro replicate --jobs 4 --obs --trace-out sweep.trace.json
+    python -m repro obs results/.sweepjournal/<sweep>.events.jsonl
+    python -m repro obs bench-report --strict
     python -m repro all --scale 0.1 --cache
     python -m repro cache stats
 """
@@ -139,30 +148,57 @@ def _run_kwargs(module, args) -> dict:
 
 
 def _obs_begin(args):
-    """Install a process-default telemetry registry when requested."""
+    """Install the process-default telemetry registry AND sweep observer.
+
+    The registry collects in-process telemetry (serial runs, host-side
+    ``cellcache_*`` / ``supervisor_*`` counters); the sweep observer
+    makes ``--jobs N`` workers capture and ship theirs back, so the
+    exported trace is never silently main-process-only.
+    """
     if not (getattr(args, "obs", False) or getattr(args, "trace_out", None)):
         return None
-    from repro.obs import Registry, set_default
+    from repro.obs import Registry, SweepObserver, set_default, \
+        set_default_sweep
 
     reg = Registry()
     set_default(reg)
-    return reg
+    sweep = SweepObserver()
+    set_default_sweep(sweep)
+    return reg, sweep
 
 
-def _obs_finish(reg, args) -> None:
+def _obs_finish(handle, args) -> None:
     """Report and export the collected telemetry, then uninstall."""
-    if reg is None:
+    if handle is None:
         return
+    reg, sweep = handle
     from repro.obs import (
         phase_breakdown,
+        render_counter_table,
         render_phase_table,
         set_default,
+        set_default_sweep,
         write_chrome_trace,
     )
 
     set_default(None)
+    set_default_sweep(None)
+    if sweep.cell_count:
+        # cross-process merge: worker spans/counters join the
+        # main-process registry before reporting and trace export
+        reg.merge(sweep.registry)
+        print(f"\nsweep telemetry: merged {sweep.cell_count} cell "
+              f"snapshot(s)"
+              + (f", {sweep.cells_skipped} without telemetry"
+                 if sweep.cells_skipped else ""))
     print()
     print(render_phase_table(phase_breakdown(reg)))
+    host = render_counter_table(
+        reg, prefixes=("cellcache_", "supervisor_"),
+        title="Host-side counters")
+    if "<no matching counters>" not in host:
+        print()
+        print(host)
     if getattr(args, "trace_out", None):
         path = write_chrome_trace(reg, args.trace_out)
         print(f"chrome trace written to {path}")
@@ -187,8 +223,10 @@ def _cache_finish(cache) -> None:
 
     set_default_cache(None)
     s = cache.stats()
+    rate = "" if s["hit_rate"] is None \
+        else f", {100.0 * s['hit_rate']:.0f}% hit rate"
     print(f"\ncell cache: {s['hits']} hits, {s['misses']} misses, "
-          f"{s['stores']} stores ({s['entries']} entries on disk, "
+          f"{s['stores']} stores{rate} ({s['entries']} entries on disk, "
           f"{s['bytes'] / 1024:.0f} KiB at {s['root']})")
 
 
@@ -236,6 +274,12 @@ def _supervisor_finish(supervisor) -> None:
           f"{s['rebuilds']} pool rebuilds, {s['timeouts']} timeouts, "
           f"{s['deadline_extensions']} deadline extensions, "
           f"{s['quarantined']} quarantined")
+    counts = supervisor.events.counts()
+    if counts:
+        line = ", ".join(f"{k}={v}" for k, v in counts.items())
+        where = f" (log: {supervisor.events.path})" \
+            if supervisor.events.path else ""
+        print(f"supervisor events: {line}{where}")
 
 
 def _profiled(args, default_stem: str, fn):
@@ -316,6 +360,15 @@ def cmd_cache(args) -> int:
         s = cache.stats()
         print(f"cell cache at {s['root']}: {s['entries']} entries, "
               f"{s['bytes'] / 1024:.0f} KiB")
+        life = s["lifetime"]
+        if s["lifetime_hit_rate"] is None:
+            print("hit rate: no recorded traffic")
+        else:
+            print(f"hit rate: {100.0 * s['lifetime_hit_rate']:.0f}% "
+                  f"lifetime ({life['hits']} hits / "
+                  f"{life['hits'] + life['misses']} lookups, "
+                  f"{life['stores']} stores, "
+                  f"{life['corrupt']} corrupt)")
     else:  # clear
         removed = cache.clear()
         print(f"cleared {removed} cached cell results from {cache.root}")
@@ -323,11 +376,42 @@ def cmd_cache(args) -> int:
 
 
 def cmd_obs(args) -> int:
-    from repro.obs import load_spans, phase_breakdown, render_phase_table
+    if args.trace == "bench-report":
+        from repro.obs import load_bench_reports, render_bench_report
 
-    spans = load_spans(args.trace)
+        reports = load_bench_reports(args.dir or ".")
+        if not reports:
+            print(f"no BENCH_PR*.json found under {args.dir or '.'}",
+                  file=sys.stderr)
+            return 1
+        text, regressions = render_bench_report(reports,
+                                                tolerance=args.tolerance)
+        print(text)
+        if regressions and args.strict:
+            return 1
+        return 0
+
+    from repro.obs import (
+        load_events,
+        load_spans,
+        phase_breakdown,
+        render_event_table,
+        render_phase_table,
+    )
+
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError):
+        spans = []
     if not spans:
-        print(f"no spans found in {args.trace}", file=sys.stderr)
+        # not a trace — maybe a supervisor event log
+        events = load_events(args.trace)
+        if events:
+            print(render_event_table(
+                events, title=f"Supervisor events — {args.trace}"))
+            return 0
+        print(f"no spans or events found in {args.trace}",
+              file=sys.stderr)
         return 1
     rows = phase_breakdown(spans, run=args.run)
     print(render_phase_table(
@@ -362,12 +446,14 @@ def cmd_replicate(args) -> int:
 
     cfg = GangConfig(args.bench, args.klass, nprocs=args.nodes,
                      scale=args.scale)
+    reg = _obs_begin(args)
     supervisor = _supervisor_begin(args)
     try:
         record = replicate(cfg, policy=args.policy, seeds=args.seeds,
                            jobs=args.jobs)
     finally:
         _supervisor_finish(supervisor)
+        _obs_finish(reg, args)
     print(render(record, label=cfg.label()))
     return 0
 
@@ -460,14 +546,34 @@ def main(argv=None) -> int:
     p_rep.add_argument("--scale", type=float, default=0.2)
     p_rep.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for the seed sweep")
+    p_rep.add_argument("--obs", action="store_true",
+                       help="collect telemetry across the seed sweep; "
+                            "print the merged switch-phase breakdown")
+    p_rep.add_argument("--trace-out", metavar="FILE",
+                       help="write the merged cross-cell Chrome trace "
+                            "(implies --obs)")
     add_resilience_flags(p_rep)
 
     p_obs = sub.add_parser(
-        "obs", help="switch-phase report from a saved trace file"
+        "obs", help="switch-phase / event-log report from a saved "
+                    "file, or 'bench-report' for the BENCH_PR*.json "
+                    "perf trajectory"
     )
-    p_obs.add_argument("trace", help="Chrome-trace JSON or telemetry JSONL")
+    p_obs.add_argument("trace",
+                       help="Chrome-trace JSON, telemetry JSONL, a "
+                            "supervisor event log, or the literal "
+                            "'bench-report'")
     p_obs.add_argument("--run", default=None,
                        help="restrict to one run scope (trace process name)")
+    p_obs.add_argument("--dir", default=None,
+                       help="bench-report: directory holding "
+                            "BENCH_PR*.json (default: .)")
+    p_obs.add_argument("--strict", action="store_true",
+                       help="bench-report: exit 1 when any trajectory "
+                            "step regressed")
+    p_obs.add_argument("--tolerance", type=float, default=1.1,
+                       help="bench-report: flag a step growing past "
+                            "TOLERANCE x its predecessor (default 1.1)")
 
     p_cache = sub.add_parser(
         "cache", help="inspect or wipe the cell result cache"

@@ -378,8 +378,12 @@ def run_cell(cfg: GangConfig, obs_enabled: bool = False) -> dict:
 
     ``obs_enabled=True`` runs the cell with a fresh telemetry registry
     and ships its :func:`~repro.obs.export.summary` under
-    ``["_perf"]["obs"]`` — quarantined with the other per-host data so
-    obs-on and obs-off sweeps stay byte-identical outside ``"_perf"``.
+    ``["_perf"]["obs"]`` plus the full mergeable
+    :meth:`~repro.obs.registry.Registry.snapshot` under
+    ``["_perf"]["obs_snapshot"]`` (what the sweep-level
+    :class:`~repro.obs.sweep.SweepObserver` folds into the merged
+    registry) — quarantined with the other per-host data so obs-on and
+    obs-off sweeps stay byte-identical outside ``"_perf"``.
     """
     obs = Registry() if obs_enabled else None
     res = run_experiment(cfg, obs=obs)
@@ -390,6 +394,7 @@ def run_cell(cfg: GangConfig, obs_enabled: bool = False) -> dict:
     }
     if res.obs is not None:
         perf["obs"] = obs_summary(res.obs)
+        perf["obs_snapshot"] = res.obs.snapshot()
     return {
         "makespan": res.makespan,
         "completions": res.completions,

@@ -24,6 +24,15 @@ picks up when no explicit ``obs`` is passed.  The default is
 process-local — parallel sweep workers (``--jobs N``) do not inherit
 it; use ``run_cell(cfg, obs_enabled=True)`` for per-cell summaries
 that merge through the ``"_perf"`` quarantine instead.
+
+Sweep scale
+-----------
+:mod:`repro.obs.sweep` extends the single-process registry across a
+multi-process sweep: workers ship ``Registry.snapshot()`` payloads
+through the ``"_perf"`` channel and a :class:`SweepObserver` merges
+them into one sweep-level registry (per-cell trace tracks, exact
+summed summaries), plus the supervisor event log, the live progress
+ticker, and the ``BENCH_PR*.json`` trajectory reporter.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.obs.export import (
     chrome_trace,
     load_spans,
     phase_breakdown,
+    render_counter_table,
     render_phase_table,
     summary,
     write_chrome_trace,
@@ -48,6 +58,19 @@ from repro.obs.registry import (
     NullRegistry,
     Registry,
     Span,
+)
+from repro.obs.sweep import (
+    ProgressTicker,
+    SweepEventLog,
+    SweepObserver,
+    capture_enabled,
+    get_default_sweep,
+    load_bench_reports,
+    load_events,
+    merge_summaries,
+    render_bench_report,
+    render_event_table,
+    set_default_sweep,
 )
 
 _default: Union[Registry, NullRegistry] = NULL_OBS
@@ -71,14 +94,26 @@ __all__ = [
     "NULL_OBS",
     "NullRegistry",
     "PHASE_ORDER",
+    "ProgressTicker",
     "Registry",
     "Span",
+    "SweepEventLog",
+    "SweepObserver",
+    "capture_enabled",
     "chrome_trace",
     "get_default",
+    "get_default_sweep",
+    "load_bench_reports",
+    "load_events",
     "load_spans",
+    "merge_summaries",
     "phase_breakdown",
+    "render_bench_report",
+    "render_counter_table",
+    "render_event_table",
     "render_phase_table",
     "set_default",
+    "set_default_sweep",
     "summary",
     "write_chrome_trace",
     "write_jsonl",

@@ -250,6 +250,29 @@ def render_phase_table(rows: list[dict],
     )
 
 
+def render_counter_table(reg: Registry, prefixes: tuple[str, ...] = (),
+                         title: str = "Counters") -> str:
+    """ASCII table of counter values, optionally prefix-filtered.
+
+    ``prefixes`` selects counters whose *name* starts with any entry
+    (empty = all).  Used by ``repro obs`` to surface host-side
+    counters (``cellcache_*``, ``supervisor_*``) that live outside the
+    simulated-time phase table.
+    """
+    rows = [
+        (_flat_name(c.name, c.labels), c.value)
+        for c in reg.counters()
+        if not prefixes or any(c.name.startswith(p) for p in prefixes)
+    ]
+    if not rows:
+        return f"{title}\n<no matching counters>"
+    # Imported lazily: repro.metrics pulls in the scheduler stack, which
+    # itself imports repro.obs — a module-level import would be circular.
+    from repro.metrics.report import format_table
+
+    return format_table(("counter", "value"), rows, title=title)
+
+
 def load_spans(path: Union[str, Path]) -> list[Span]:
     """Read spans back from a Chrome trace or JSONL file."""
     path = Path(path)
@@ -296,6 +319,7 @@ __all__ = [
     "chrome_trace",
     "load_spans",
     "phase_breakdown",
+    "render_counter_table",
     "render_phase_table",
     "summary",
     "write_chrome_trace",

@@ -206,6 +206,9 @@ class Registry:
 
     enabled = True
 
+    #: wire format version of :meth:`snapshot` / :meth:`merge`
+    SNAPSHOT_VERSION = 1
+
     def __init__(self) -> None:
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
@@ -266,6 +269,88 @@ class Registry:
         if self._run_id is not None:
             track = f"{self._run_id}/{track}"
         self.spans.append(Span(name, track, start, end, args or None))
+
+    # -- snapshot / merge --------------------------------------------------
+    def snapshot(self) -> dict:
+        """Compact, picklable and JSON-able dump of everything recorded.
+
+        Instruments are label-sorted (the same deterministic order
+        :meth:`counters` / :meth:`gauges` / :meth:`histograms` return);
+        spans keep insertion order.  The inverse is :meth:`merge` — the
+        pair is the worker-to-parent telemetry transport of
+        :mod:`repro.obs.sweep`: a worker process snapshots its per-cell
+        registry, ships the dict through the ``"_perf"`` quarantine,
+        and the sweep observer folds it into the sweep-level registry.
+        """
+        return {
+            "v": self.SNAPSHOT_VERSION,
+            "counters": [
+                [c.name, [list(kv) for kv in c.labels], c.value]
+                for c in self.counters()
+            ],
+            "gauges": [
+                [g.name, [list(kv) for kv in g.labels], g.value]
+                for g in self.gauges()
+            ],
+            "histograms": [
+                [h.name, [list(kv) for kv in h.labels], h.count, h.total,
+                 h.vmin if h.count else None, h.vmax if h.count else None]
+                for h in self.histograms()
+            ],
+            "spans": [
+                [s.name, s.track, s.start, s.end, s.args]
+                for s in self.spans
+            ],
+        }
+
+    def merge(self, other: "Registry | dict",
+              track_prefix: Optional[str] = None) -> None:
+        """Fold another registry (or one of its snapshots) into this one.
+
+        Deterministic label-sorted semantics: instruments match by
+        (name, sorted labels) exactly as recorded — the current run
+        scope is deliberately *not* injected, a snapshot's labels are
+        final.  Counters and histogram statistics add.  Gauges add
+        too: last-write-wins is a within-process notion that does not
+        survive aggregation, so the sweep view of a gauge is the sum
+        of per-cell final values.  Spans append in snapshot order with
+        ``track_prefix + "/"`` prepended when given — which is what
+        gives every cell its own track group in a merged Chrome trace.
+        """
+        snap = other.snapshot() if isinstance(other, Registry) else other
+        version = snap.get("v")
+        if version != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"cannot merge registry snapshot version {version!r} "
+                f"(expected {self.SNAPSHOT_VERSION})"
+            )
+        for name, labels, value in snap["counters"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            c = self._counters.get(key)
+            if c is None:
+                c = self._counters[key] = Counter(name, key[1])
+            c.value += value
+        for name, labels, value in snap["gauges"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            g = self._gauges.get(key)
+            if g is None:
+                g = self._gauges[key] = Gauge(name, key[1])
+            g.value += value
+        for name, labels, cnt, total, vmin, vmax in snap["histograms"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            h = self._histograms.get(key)
+            if h is None:
+                h = self._histograms[key] = Histogram(name, key[1])
+            h.count += cnt
+            h.total += total
+            if vmin is not None and vmin < h.vmin:
+                h.vmin = vmin
+            if vmax is not None and vmax > h.vmax:
+                h.vmax = vmax
+        for name, track, start, end, args in snap["spans"]:
+            if track_prefix:
+                track = f"{track_prefix}/{track}"
+            self.spans.append(Span(name, track, start, end, args or None))
 
     # -- queries -----------------------------------------------------------
     def value(self, name: str, **labels: str) -> float:

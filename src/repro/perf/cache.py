@@ -39,11 +39,16 @@ without threading a parameter through each harness.
 Telemetry: ``cellcache_hits`` / ``cellcache_misses`` /
 ``cellcache_stores`` counters are emitted through the PR 3 obs
 registry (the process default unless one is passed explicitly).
+Session counters reset per process; **lifetime** counters persist in a
+``cachestats.json`` sidecar under the cache root (best-effort
+read-modify-write, never allowed to fail a sweep), so
+``repro cache stats`` can report a hit rate that spans invocations.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 from dataclasses import fields, is_dataclass
@@ -52,6 +57,12 @@ from typing import Any, Optional
 
 #: default cache location, next to the experiment records
 DEFAULT_CACHE_DIR = Path("results") / ".cellcache"
+
+#: lifetime-counter sidecar filename (``.json``, so ``entries()`` —
+#: which globs ``*.pkl`` — never mistakes it for a cached result)
+STATS_FILE = "cachestats.json"
+
+_LIFETIME_KEYS = ("hits", "misses", "stores", "corrupt")
 
 _CODE_VERSION: Optional[str] = None
 
@@ -173,6 +184,50 @@ class CellCache:
     def _path(self, fp: str) -> Path:
         return self.root / f"{fp}.pkl"
 
+    # -- lifetime counters ---------------------------------------------------
+    def _stats_path(self) -> Path:
+        return self.root / STATS_FILE
+
+    def _bump_lifetime(self, **deltas: int) -> None:
+        """Fold counter deltas into the on-disk sidecar (best effort).
+
+        Plain read-modify-write: concurrent workers may occasionally
+        lose an increment, which is acceptable for an advisory hit-rate
+        display — correctness of cached *results* never depends on it,
+        and any I/O failure is swallowed.
+        """
+        try:
+            totals = self.lifetime()
+            for k, n in deltas.items():
+                totals[k] = totals.get(k, 0) + n
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._stats_path().with_name(STATS_FILE + ".tmp")
+            tmp.write_text(json.dumps(totals, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, self._stats_path())
+        except OSError:  # pragma: no cover - advisory only
+            pass
+
+    def lifetime(self) -> dict[str, int]:
+        """Cross-invocation counters from the sidecar (zeros if none)."""
+        totals = {k: 0 for k in _LIFETIME_KEYS}
+        try:
+            raw = json.loads(
+                self._stats_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return totals
+        if isinstance(raw, dict):
+            for k in _LIFETIME_KEYS:
+                v = raw.get(k)
+                if isinstance(v, int) and v >= 0:
+                    totals[k] = v
+        return totals
+
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> Optional[float]:
+        lookups = hits + misses
+        return hits / lookups if lookups else None
+
     def get(self, fp: str) -> Any:
         """Return the cached result for ``fp``, or ``None`` on a miss.
 
@@ -197,10 +252,12 @@ class CellCache:
         except FileNotFoundError:
             self.misses += 1
             self._c_misses.inc()
+            self._bump_lifetime(misses=1)
             return None
         except OSError:
             self.misses += 1
             self._c_misses.inc()
+            self._bump_lifetime(misses=1)
             return None
         except (pickle.PickleError, EOFError, KeyError, TypeError,
                 AttributeError, ImportError, IndexError, MemoryError):
@@ -209,9 +266,11 @@ class CellCache:
             path.unlink(missing_ok=True)
             self.misses += 1
             self._c_misses.inc()
+            self._bump_lifetime(corrupt=1, misses=1)
             return None
         self.hits += 1
         self._c_hits.inc()
+        self._bump_lifetime(hits=1)
         if isinstance(result, dict):
             result.setdefault("_perf", {})["cache"] = "hit"
         return result
@@ -227,6 +286,7 @@ class CellCache:
         os.replace(tmp, path)
         self.stores += 1
         self._c_stores.inc()
+        self._bump_lifetime(stores=1)
 
     # -- maintenance ---------------------------------------------------------
     def entries(self) -> list[Path]:
@@ -236,8 +296,14 @@ class CellCache:
         return sorted(self.root.glob("*.pkl"))
 
     def stats(self) -> dict:
-        """Session counters plus on-disk footprint."""
+        """Session counters, lifetime counters, hit rates, footprint.
+
+        ``hit_rate`` covers this process's lookups,
+        ``lifetime_hit_rate`` every lookup the sidecar has seen; both
+        are ``None`` when no lookups happened.
+        """
         entries = self.entries()
+        lifetime = self.lifetime()
         return {
             "root": str(self.root),
             "entries": len(entries),
@@ -246,6 +312,10 @@ class CellCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "hit_rate": self._hit_rate(self.hits, self.misses),
+            "lifetime": lifetime,
+            "lifetime_hit_rate": self._hit_rate(lifetime["hits"],
+                                                lifetime["misses"]),
         }
 
     def clear(self) -> int:
@@ -274,6 +344,7 @@ def set_default_cache(cache: Optional[CellCache]) -> None:
 __all__ = [
     "CellCache",
     "DEFAULT_CACHE_DIR",
+    "STATS_FILE",
     "code_version",
     "fingerprint",
     "get_default_cache",

@@ -28,9 +28,10 @@ kwargs must be picklable (module-level functions, frozen dataclasses).
 
 from __future__ import annotations
 
+import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -55,17 +56,51 @@ class Cell:
             )
 
 
-def _execute(cell: Cell) -> Any:
+def _execute(cell: Cell, capture: Optional[bool] = None) -> Any:
     """Run one cell with per-cell global state reset.
 
     Both the serial and parallel paths go through here, so a cell sees
     the same process-global state regardless of which worker (or how
     many cells before it) ran in the same interpreter.
+
+    ``capture`` turns on sweep telemetry capture (``None`` reads the
+    :data:`repro.obs.sweep.CAPTURE_ENV` flag, for workers reached
+    through code paths that do not thread the argument): the cell runs
+    against a fresh default registry and its snapshot + flat summary
+    are attached under the result's ``"_perf"`` quarantine, so obs-on
+    and obs-off results stay byte-identical outside it and cache
+    fingerprints (which cover only ``fn`` + ``kwargs``) never change.
     """
     from repro.gang.job import Job
 
     Job._next_jid = 1
-    return cell.fn(**cell.kwargs)
+    if capture is None:
+        from repro.obs.sweep import capture_enabled
+
+        capture = capture_enabled()
+    if not capture:
+        return cell.fn(**cell.kwargs)
+
+    from repro.obs import Registry, get_default, set_default
+    from repro.obs.export import summary as obs_summary
+
+    prev = get_default()
+    reg = Registry()
+    set_default(reg)
+    try:
+        result = cell.fn(**cell.kwargs)
+    finally:
+        set_default(prev if getattr(prev, "enabled", False) else None)
+    # Cells that manage their own registry (run_cell(obs_enabled=True))
+    # leave the default one empty and ship their own payload;
+    # setdefault keeps theirs.
+    if isinstance(result, dict) and (
+            reg.spans or reg.counters() or reg.gauges()
+            or reg.histograms()):
+        perf = result.setdefault("_perf", {})
+        perf.setdefault("obs", obs_summary(reg))
+        perf.setdefault("obs_snapshot", reg.snapshot())
+    return result
 
 
 def _check_cells(cells: Sequence[Cell]) -> list[Hashable]:
@@ -80,7 +115,7 @@ def _check_cells(cells: Sequence[Cell]) -> list[Hashable]:
 
 def run_cells(
     cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1, cache=None,
-    supervisor=None,
+    supervisor=None, sweep_obs=None,
 ) -> dict[Hashable, Any]:
     """Run ``cells`` and return ``{cell.key: result}`` in cell order.
 
@@ -108,18 +143,39 @@ def run_cells(
     merge contract is unchanged.  Without one, this bare path keeps
     its historical fail-fast semantics: the first cell exception
     propagates.
+
+    ``sweep_obs`` is an optional
+    :class:`repro.obs.sweep.SweepObserver`; when omitted, the process
+    default (installed by the CLI's ``--obs`` flag via
+    :func:`repro.obs.sweep.set_default_sweep`) is consulted.  With one
+    installed, every cell captures its telemetry (see
+    :func:`_execute`) and the merged results are absorbed into the
+    observer's sweep-level registry — per-cell trace tracks, summed
+    summaries — without changing anything outside ``"_perf"``.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     cells = list(cells)
     keys = _check_cells(cells)
 
+    if sweep_obs is None:
+        from repro.obs.sweep import get_default_sweep
+
+        sweep_obs = get_default_sweep()
+    # Explicit per-call capture flag: robust under spawn/forkserver
+    # workers, which inherit neither parent globals nor late env edits.
+    capture: Optional[bool] = True if sweep_obs is not None else None
+
     if supervisor is None:
         from repro.perf.supervisor import get_default_supervisor
 
         supervisor = get_default_supervisor()
     if supervisor is not None:
-        return supervisor.run(cells, jobs=jobs, cache=cache)
+        merged = supervisor.run(cells, jobs=jobs, cache=cache,
+                                capture=capture)
+        if sweep_obs is not None:
+            sweep_obs.absorb_results(merged)
+        return merged
 
     if cache is None:
         from repro.perf.cache import get_default_cache
@@ -144,7 +200,7 @@ def run_cells(
 
     if todo:
         if jobs == 1 or len(todo) <= 1:
-            fresh = [_execute(c) for _, c in todo]
+            fresh = [_execute(c, capture) for _, c in todo]
         else:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(todo))
@@ -152,13 +208,17 @@ def run_cells(
                 # map() yields results in submission order regardless of
                 # which worker finishes first — the merge is
                 # deterministic.
-                fresh = list(pool.map(_execute, (c for _, c in todo)))
+                fresh = list(pool.map(_execute, (c for _, c in todo),
+                                      itertools.repeat(capture)))
         for (i, cell), result in zip(todo, fresh):
             results[i] = result
             if cache is not None:
                 cache.put(prints[i], result, label=repr(cell.key))
 
-    return dict(zip(keys, results))
+    merged = dict(zip(keys, results))
+    if sweep_obs is not None:
+        sweep_obs.absorb_results(merged)
+    return merged
 
 
 __all__ = ["Cell", "run_cells", "_check_cells", "_execute"]

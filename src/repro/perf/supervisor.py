@@ -58,7 +58,16 @@ the chaos benchmark comes from
 Telemetry: ``supervisor_*`` counters (``completed``, ``retries``,
 ``rebuilds``, ``timeouts``, ``deadline_extensions``, ``quarantined``,
 ``resumed``) flow through the :mod:`repro.obs` registry, and the same
-values are always available on :attr:`Supervisor.stats`.
+values are always available on :attr:`Supervisor.stats`.  PR 8 adds
+two richer channels: :attr:`Supervisor.events` is a
+:class:`repro.obs.sweep.SweepEventLog` recording every supervision
+decision (retry, grace extension, hung-kill, pool rebuild,
+quarantine, …) correlated by cell key + attempt — mirrored to
+``<sweep_id>.events.jsonl`` next to the journal when journaling is on
+— and a :class:`repro.obs.sweep.ProgressTicker` renders live
+done/running/quarantined + ETA (from the EMA cost estimate) to stderr
+during long sweeps (TTY only unless forced via
+``SupervisorConfig.progress``).
 
 Mirroring the cache and obs subsystems, a process-default supervisor
 installed with :func:`set_default_supervisor` is picked up by
@@ -79,6 +88,7 @@ from pathlib import Path
 from typing import Any, Hashable, Optional
 
 from repro.faults.worker import WorkerFaultPlan
+from repro.obs.sweep import ProgressTicker, SweepEventLog, capture_enabled
 from repro.perf.journal import DEFAULT_JOURNAL_DIR, SweepJournal, sweep_id
 from repro.perf.pool import Cell, _check_cells, _execute
 
@@ -119,6 +129,9 @@ class SupervisorConfig:
     resume: bool = False
     #: host fault injection (tests / hidden ``--chaos`` flag only)
     worker_faults: Optional[WorkerFaultPlan] = None
+    #: live progress/ETA ticker on stderr: ``None`` auto-detects (on
+    #: only when stderr is a TTY), ``True``/``False`` force it
+    progress: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -146,7 +159,8 @@ class SupervisorConfig:
 
 
 def _supervised_execute(cell: Cell, index: int, attempt: int,
-                        plan: Optional[WorkerFaultPlan]) -> Any:
+                        plan: Optional[WorkerFaultPlan],
+                        capture: Optional[bool] = None) -> Any:
     """Worker-side shim: apply any injected host fault, then run the cell.
 
     Runs in the worker process.  The injected behaviours model the real
@@ -154,6 +168,8 @@ def _supervised_execute(cell: Cell, index: int, attempt: int,
     fail-stop crash (no exception crosses the pipe, the executor
     breaks), a long sleep is a hang (only the parent's deadline
     watchdog can end it), a short sleep is a straggling start.
+    ``capture`` is the telemetry-capture flag forwarded to
+    :func:`~repro.perf.pool._execute`.
     """
     if plan is not None and plan.active:
         kind = plan.decide(index, attempt)
@@ -163,7 +179,7 @@ def _supervised_execute(cell: Cell, index: int, attempt: int,
             time.sleep(plan.hang_s)
         elif kind == "slow":
             time.sleep(plan.slow_start_s)
-    return _execute(cell)
+    return _execute(cell, capture)
 
 
 class _CellState:
@@ -202,7 +218,7 @@ class Supervisor:
               "deadline_extensions", "quarantined", "resumed")
 
     def __init__(self, config: Optional[SupervisorConfig] = None,
-                 obs=None) -> None:
+                 obs=None, progress_stream=None) -> None:
         self.config = config or SupervisorConfig()
         if obs is None:
             from repro.obs import get_default
@@ -212,6 +228,10 @@ class Supervisor:
         self._counters = {
             k: obs.counter(f"supervisor_{k}") for k in self._STATS
         }
+        #: structured supervision event log (retries, kills, rebuilds,
+        #: quarantines, …); mirrored to JSONL when journaling is on
+        self.events = SweepEventLog()
+        self._progress_stream = progress_stream
         #: running EMA of successful-attempt wall seconds
         self._estimate: Optional[float] = None
 
@@ -221,7 +241,8 @@ class Supervisor:
         self._counters[key].inc(n)
 
     # -- public API --------------------------------------------------------
-    def run(self, cells, jobs: int = 1, cache=None) -> dict[Hashable, Any]:
+    def run(self, cells, jobs: int = 1, cache=None,
+            capture: Optional[bool] = None) -> dict[Hashable, Any]:
         """Run ``cells`` under supervision; returns ``{key: result}``.
 
         Same contract as :func:`repro.perf.pool.run_cells` — results
@@ -232,11 +253,17 @@ class Supervisor:
         in a worker process (``jobs=1`` builds a one-worker pool):
         isolation is what makes crash containment and hung-worker
         cancellation possible at all.
+
+        ``capture`` is the worker telemetry-capture flag (see
+        :func:`repro.perf.pool._execute`); ``None`` reads the process
+        capture env flag.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         cells = list(cells)
         keys = _check_cells(cells)
+        if capture is None:
+            capture = capture_enabled()
 
         from repro.perf.cache import CellCache, fingerprint, \
             get_default_cache
@@ -253,6 +280,8 @@ class Supervisor:
         if self.config.journaling:
             journal = SweepJournal(sweep_id(prints),
                                    root=self.config.journal_dir)
+            self.events.attach(Path(self.config.journal_dir)
+                               / f"{journal.sweep}.events.jsonl")
             # the result store backing resume: the active cache when
             # there is one (composition, not duplication), otherwise a
             # journal-scoped content-addressed store
@@ -271,6 +300,7 @@ class Supervisor:
                         results[i] = hit
                         settled[i] = True
                         self._count("resumed")
+                        self.events.log("resumed", key=cells[i].key)
                     # a done entry whose stored result vanished simply
                     # re-executes — the journal is an index, the store
                     # is the source of truth
@@ -291,26 +321,35 @@ class Supervisor:
                         journaled.add(prints[i])
 
         todo = [i for i in range(len(cells)) if not settled[i]]
-        if todo:
-            try:
+        self.events.log("sweep_begin", cells=len(cells), jobs=jobs,
+                        todo=len(todo))
+        try:
+            if todo:
                 self._run_supervised(cells, prints, results, todo, jobs,
-                                     cache, store, journal, journaled)
-            finally:
-                if journal is not None:
-                    journal.close()
-        elif journal is not None:
-            journal.close()
+                                     cache, store, journal, journaled,
+                                     capture)
+        finally:
+            if journal is not None:
+                journal.close()
+            self.events.close_file()
         return dict(zip(keys, results))
 
     # -- core loop ---------------------------------------------------------
     def _run_supervised(self, cells, prints, results, todo, jobs,
-                        cache, store, journal, journaled) -> None:
+                        cache, store, journal, journaled,
+                        capture=None) -> None:
         cfg = self.config
         states = {i: _CellState(i, cells[i], prints[i]) for i in todo}
         waiting: list[int] = list(todo)
         workers = min(jobs, len(todo))
         pool = ProcessPoolExecutor(max_workers=workers)
         inflight: dict[Future, _CellState] = {}
+        ticker = ProgressTicker(total=len(results),
+                                done=len(results) - len(todo),
+                                enabled=cfg.progress,
+                                stream=self._progress_stream)
+        done0 = len(results) - len(todo)
+        prog = {"done": 0, "quar": 0}
 
         def settle_success(st: _CellState, result) -> None:
             wall = time.monotonic() - st.submitted_at
@@ -318,6 +357,13 @@ class Supervisor:
             self._observe(wall)
             results[st.index] = result
             self._count("completed")
+            self.events.log("cell_done", key=st.cell.key,
+                            attempt=st.attempts + 1, wall_s=wall)
+            prog["done"] += 1
+            if isinstance(result, dict):
+                ev = result.get("events_dispatched")
+                if isinstance(ev, (int, float)):
+                    ticker.add_events(ev)
             if cache is not None:
                 cache.put(st.fp, result, label=repr(st.cell.key))
             if store is not None and store is not cache:
@@ -344,11 +390,20 @@ class Supervisor:
                         * cfg.backoff_factor ** (st.attempts - 1),
                     )
                     st.ready_at = time.monotonic() + backoff
+                    self.events.log("retry", key=st.cell.key,
+                                    attempt=st.attempts, error=error,
+                                    backoff_s=backoff)
+                else:
+                    self.events.log("requeued", key=st.cell.key,
+                                    attempt=st.attempts)
                 waiting.append(st.index)
                 return
             # poison cell: blacklist it into the merged record so the
             # rest of the sweep survives
             self._count("quarantined")
+            self.events.log("quarantine", key=st.cell.key,
+                            attempt=st.attempts, error=st.errors[-1])
+            prog["quar"] += 1
             results[st.index] = {
                 FAILED_KEY: {
                     "key": repr(st.cell.key),
@@ -389,6 +444,9 @@ class Supervisor:
             """
             nonlocal pool
             self._count("rebuilds")
+            self.events.log("pool_rebuild",
+                            cause="hung_worker" if hung else "worker_crash",
+                            inflight=len(inflight))
             for proc in list(getattr(pool, "_processes", {}).values()):
                 try:
                     proc.kill()
@@ -434,7 +492,7 @@ class Supervisor:
                     st.extended = False
                     fut = pool.submit(_supervised_execute, st.cell,
                                       st.index, st.attempts,
-                                      cfg.worker_faults)
+                                      cfg.worker_faults, capture)
                     inflight[fut] = st
 
                 if not inflight:
@@ -465,12 +523,21 @@ class Supervisor:
                         st.extended = True
                         st.deadline = now + cfg.grace_factor * st.budget
                         self._count("deadline_extensions")
+                        self.events.log(
+                            "grace_extension", key=st.cell.key,
+                            attempt=st.attempts,
+                            extra_s=cfg.grace_factor * st.budget)
                     else:
                         hung.append(st)
                 if hung:
                     for st in hung:
                         self._count("timeouts")
                         st.timeout_kills += 1
+                        self.events.log(
+                            "hung_kill", key=st.cell.key,
+                            attempt=st.attempts,
+                            elapsed_s=time.monotonic() - st.submitted_at,
+                            budget_s=st.budget)
                         settle_failure(
                             st,
                             f"deadline exceeded "
@@ -478,7 +545,16 @@ class Supervisor:
                             f" > budget {st.budget:.2f}s)",
                         )
                     rebuild(hung=tuple(hung))
+
+                remaining = len(states) - prog["done"] - prog["quar"]
+                eta = None
+                if self._estimate is not None and remaining > 0:
+                    eta = remaining * self._estimate / max(1, workers)
+                ticker.update(done=done0 + prog["done"],
+                              running=len(inflight),
+                              quarantined=prog["quar"], eta_s=eta)
         finally:
+            ticker.close()
             pool.shutdown(wait=False, cancel_futures=True)
 
     # -- deadline policy ---------------------------------------------------

@@ -8,6 +8,7 @@ from repro.obs import (
     chrome_trace,
     load_spans,
     phase_breakdown,
+    render_counter_table,
     render_phase_table,
     summary,
     write_chrome_trace,
@@ -144,3 +145,75 @@ def test_empty_registry_exports():
     doc = chrome_trace(reg)
     assert doc["traceEvents"] == []
     assert phase_breakdown(reg) == []
+
+
+def test_phase_breakdown_zero_span_run():
+    # a run that opened and closed without recording any spans must not
+    # perturb the breakdown of runs that did
+    reg = Registry()
+    reg.begin_run("empty")
+    reg.end_run()
+    reg.begin_run("real")
+    reg.span("switch", "scheduler", 0.0, 2.0)
+    reg.end_run()
+    rows = phase_breakdown(reg)
+    assert [r["phase"] for r in rows] == ["switch"]
+    assert rows[0]["count"] == 1 and rows[0]["share"] == 1.0
+    out = render_phase_table(rows)
+    assert "switch" in out and "100.0%" in out
+
+
+def test_phase_breakdown_single_phase_run():
+    # only one (non-switch) phase recorded: share falls back to the
+    # grand total and the table still renders a complete 100% row
+    reg = Registry()
+    reg.begin_run("cell")
+    reg.span("demand_fill", "n0.vmm", 0.0, 1.5)
+    reg.span("demand_fill", "n0.vmm", 2.0, 2.5)
+    reg.end_run()
+    rows = phase_breakdown(reg)
+    assert len(rows) == 1
+    assert rows[0]["phase"] == "demand_fill"
+    assert rows[0]["count"] == 2
+    assert rows[0]["total_s"] == 2.0
+    assert rows[0]["share"] == 1.0
+    assert "demand_fill" in render_phase_table(rows)
+
+
+def test_policy_labels_with_slashes_keep_their_track():
+    # the paper policy label "so/ao/ai/bg" contains "/"; the trace
+    # exporter splits process/thread at the LAST separator so the
+    # policy stays intact on the process side
+    reg = Registry()
+    reg.begin_run("0:LU gang:so/ao/ai/bg")
+    reg.span("switch", "scheduler", 0.0, 1.0)
+    reg.span("page_out", "n0", 0.0, 0.5)
+    reg.end_run()
+    doc = chrome_trace(reg)
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    procs = {e["args"]["name"] for e in meta
+             if e["name"] == "process_name"}
+    threads = {e["args"]["name"] for e in meta
+               if e["name"] == "thread_name"}
+    assert procs == {"0:0:LU gang:so/ao/ai/bg"}
+    assert threads == {"scheduler", "n0"}
+    rows = phase_breakdown(reg, run="0:0:LU gang:so/ao/ai/bg")
+    assert [r["phase"] for r in rows] == ["switch", "page_out"]
+
+
+def test_render_counter_table_prefix_filter():
+    reg = Registry()
+    reg.counter("cellcache_hits").inc(3)
+    reg.counter("supervisor_retries").inc(1)
+    reg.counter("disk_pages", op="read").inc(7)
+    out = render_counter_table(reg, prefixes=("cellcache_", "supervisor_"),
+                               title="Host-side counters")
+    assert "Host-side counters" in out
+    assert "cellcache_hits" in out
+    assert "supervisor_retries" in out
+    assert "disk_pages" not in out
+    # no filter -> everything
+    assert "disk_pages" in render_counter_table(reg)
+    # nothing matches -> sentinel text
+    empty = render_counter_table(reg, prefixes=("nope_",))
+    assert empty.endswith("<no matching counters>")

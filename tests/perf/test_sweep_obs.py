@@ -1,0 +1,242 @@
+"""Cross-process telemetry capture through the sweep layer: pool
+capture/absorb, supervisor event logging, and the CLI surfaces
+(``--trace-out`` under ``--jobs N``, ``repro obs bench-report``,
+event-log rendering, cache hit rate)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import get_default
+from repro.obs.sweep import (
+    SweepObserver,
+    load_events,
+    merge_summaries,
+    set_capture,
+    set_default_sweep,
+)
+from repro.perf import (
+    Cell,
+    Supervisor,
+    SupervisorConfig,
+    run_cells,
+    set_default_cache,
+    set_default_supervisor,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_process_defaults():
+    set_default_cache(None)
+    set_default_supervisor(None)
+    set_default_sweep(None)
+    set_capture(False)
+    yield
+    set_default_cache(None)
+    set_default_supervisor(None)
+    set_default_sweep(None)
+    set_capture(False)
+
+
+# Cell functions must be module-level so workers can unpickle them.
+def telemetric(x):
+    obs = get_default()
+    obs.counter("cell_work").inc(x)
+    obs.histogram("svc").observe(0.5 * x)
+    obs.span("switch", "sched", 0.0, float(x))
+    return {"x": x, "sq": x * x, "makespan": float(x)}
+
+
+def flaky(counter, fail_times):
+    path = Path(counter)
+    n = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(n + 1))
+    if n < fail_times:
+        raise RuntimeError(f"flaky attempt {n}")
+    return {"ok": True, "ran": n + 1}
+
+
+def _cells(n=4):
+    return [Cell(("t", i), telemetric, {"x": i + 1}) for i in range(n)]
+
+
+def _strip_perf(merged):
+    return {k: {kk: vv for kk, vv in v.items() if kk != "_perf"}
+            for k, v in merged.items()}
+
+
+# ---------------------------------------------------------------------------
+# pool capture
+# ---------------------------------------------------------------------------
+
+def test_capture_off_ships_no_payload():
+    merged = run_cells(_cells(), jobs=1)
+    for r in merged.values():
+        assert "obs_snapshot" not in r.get("_perf", {})
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_capture_absorbs_and_sums(jobs):
+    baseline = run_cells(_cells(), jobs=1)
+    sweep = SweepObserver()
+    merged = run_cells(_cells(), jobs=jobs, sweep_obs=sweep)
+    # telemetry rides the _perf quarantine; records identical outside it
+    assert _strip_perf(merged) == _strip_perf(baseline)
+    assert sweep.cell_count == 4
+    per_cell = [r["_perf"]["obs"] for r in merged.values()]
+    assert sweep.summary() == merge_summaries(per_cell)
+    assert sweep.summary()["counters"]["cell_work"] == 1 + 2 + 3 + 4
+    # every cell contributes its own track group (spans + marker)
+    tracks = {s.track.split("/")[0] for s in sweep.registry.spans}
+    assert tracks == {repr(("t", i)) for i in range(4)}
+
+
+def test_default_sweep_is_picked_up_by_run_cells():
+    sweep = SweepObserver()
+    set_default_sweep(sweep)
+    run_cells(_cells(2), jobs=2)
+    assert sweep.cell_count == 2
+
+
+# ---------------------------------------------------------------------------
+# supervisor event log
+# ---------------------------------------------------------------------------
+
+def test_supervisor_logs_retries_and_mirrors_journal(tmp_path):
+    sup = Supervisor(SupervisorConfig(
+        max_retries=3, backoff_base_s=0.0, backoff_max_s=0.0,
+        poll_interval_s=0.02, journal=True,
+        journal_dir=str(tmp_path / "journal")))
+    cells = [Cell("ok", telemetric, {"x": 1}),
+             Cell("fl", flaky, {"counter": str(tmp_path / "c"),
+                                "fail_times": 2})]
+    merged = sup.run(cells, jobs=2)
+    assert merged["fl"]["ok"] is True
+    counts = sup.events.counts()
+    assert counts["sweep_begin"] == 1
+    assert counts["cell_done"] == 2
+    assert counts.get("retry", 0) == sup.stats["retries"] == 2
+    retries = sup.events.named("retry")
+    assert all(e["key"] == "fl" for e in retries)
+    assert [e["attempt"] for e in retries] == [1, 2]
+    # mirrored next to the sweep journal, readable by load_events
+    assert sup.events.path is not None
+    assert sup.events.path.name.endswith(".events.jsonl")
+    loaded = load_events(sup.events.path)
+    assert [e["event"] for e in loaded] == \
+        [e["event"] for e in sup.events.entries]
+
+
+def test_supervisor_logs_quarantine(tmp_path):
+    def run():
+        sup = Supervisor(SupervisorConfig(
+            max_retries=1, backoff_base_s=0.0, backoff_max_s=0.0,
+            poll_interval_s=0.02))
+        cells = [Cell("bad", flaky, {"counter": str(tmp_path / "c"),
+                                     "fail_times": 99})]
+        sup.run(cells, jobs=1)
+        return sup
+
+    sup = run()
+    assert sup.stats["quarantined"] == 1
+    quars = sup.events.named("quarantine")
+    assert len(quars) == 1
+    assert quars[0]["key"] == "bad"
+    assert "flaky attempt" in quars[0]["error"]
+
+
+# ---------------------------------------------------------------------------
+# CLI: merged trace under --jobs N (the satellite-1 regression)
+# ---------------------------------------------------------------------------
+
+def test_replicate_jobs_trace_out_exports_all_cells(tmp_path, capsys,
+                                                    monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    trace = tmp_path / "sweep.trace.json"
+    rc = main(["replicate", "--scale", "0.05", "--seeds", "1", "2",
+               "--jobs", "2", "--obs", "--trace-out", str(trace)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # 2 seeds x {batch, lru, paper policy} = 6 cells, all merged
+    assert "sweep telemetry: merged 6 cell snapshot(s)" in out
+    doc = json.loads(trace.read_text())
+    procs = {e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("ph") == "M" and e["name"] == "process_name"}
+    # one distinct trace process (track group) per cell — before the
+    # fix a --jobs sweep exported a main-process-only (empty) trace
+    # (match by prefix: cell-key reprs may themselves contain "/")
+    for key in ((s, m) for s in (1, 2)
+                for m in ("batch", "lru", "so/ao/ai/bg")):
+        want = repr(key)
+        assert any(p == want or p.startswith(want + "/") for p in procs), \
+            f"no trace process for cell {want}"
+    assert len(procs) >= 6
+
+
+# ---------------------------------------------------------------------------
+# CLI: obs bench-report / event-log rendering / cache stats
+# ---------------------------------------------------------------------------
+
+def _write_bench(tmp_path, wall_last):
+    (tmp_path / "BENCH_PR3.json").write_text(json.dumps({
+        "bench": "b", "mode": "full",
+        "fig6_trajectory": [{"pr": "seed", "wall_s": 3.0},
+                            {"pr": "PR3", "wall_s": wall_last}]}))
+
+
+def test_cli_bench_report(tmp_path, capsys):
+    _write_bench(tmp_path, 1.5)
+    assert main(["obs", "bench-report", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure-6 LRU cell perf trajectory" in out
+    assert "no regressions" in out
+
+
+def test_cli_bench_report_strict_fails_on_regression(tmp_path, capsys):
+    _write_bench(tmp_path, 9.0)
+    assert main(["obs", "bench-report", "--dir", str(tmp_path)]) == 0
+    assert main(["obs", "bench-report", "--dir", str(tmp_path),
+                 "--strict"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_report_empty_dir(tmp_path, capsys):
+    assert main(["obs", "bench-report", "--dir", str(tmp_path)]) == 1
+    assert "no BENCH_PR*.json" in capsys.readouterr().err
+
+
+def test_cli_obs_renders_event_log(tmp_path, capsys):
+    p = tmp_path / "sweep.events.jsonl"
+    p.write_text(json.dumps({"seq": 0, "t": 0.0, "event": "retry",
+                             "key": "'fl'", "attempt": 1,
+                             "error": "boom"}) + "\n")
+    assert main(["obs", str(p)]) == 0
+    out = capsys.readouterr().out
+    assert "Supervisor events" in out
+    assert "retry" in out
+
+
+def test_cli_obs_rejects_unknown_file(tmp_path, capsys):
+    p = tmp_path / "junk.txt"
+    p.write_text("not telemetry\n")
+    assert main(["obs", str(p)]) == 1
+    assert "no spans or events" in capsys.readouterr().err
+
+
+def test_cli_cache_stats_hit_rate(tmp_path, capsys):
+    from repro.perf import CellCache
+
+    root = tmp_path / "cache"
+    cache = CellCache(root=root)
+    assert main(["cache", "stats", "--dir", str(root)]) == 0
+    assert "hit rate: no recorded traffic" in capsys.readouterr().out
+    cache.put("fp1", {"v": 1})
+    cache.get("fp1")
+    cache.get("fp1")
+    cache.get("missing")
+    assert main(["cache", "stats", "--dir", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate: 67% lifetime (2 hits / 3 lookups, " \
+           "1 stores, 0 corrupt)" in out
