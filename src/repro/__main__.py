@@ -129,6 +129,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_arg(text: str) -> int:
+    """argparse type for ``--jobs``: an int >= 1, or ``auto`` for the
+    host CPU count (see :func:`repro.perf.backend.resolve_jobs`)."""
+    if text.strip().lower() == "auto":
+        from repro.perf.backend import resolve_jobs
+
+        return resolve_jobs("auto")
+    return _positive_int(text)
+
+
 def cmd_list(_args) -> int:
     width = max(len(k) for k in EXPERIMENTS)
     for key, (_mod, desc) in EXPERIMENTS.items():
@@ -230,6 +240,46 @@ def _cache_finish(cache) -> None:
           f"{s['bytes'] / 1024:.0f} KiB at {s['root']})")
 
 
+def _backend_begin(args):
+    """Install the process-default executor backend from ``--backend``.
+
+    ``auto`` (the default) installs the persistent warm-worker
+    executor, so CLI sweeps — bare *and* supervised — share one warm
+    worker set across every ``run_cells`` call of the invocation.
+    Explicit names install that backend; results are byte-identical
+    across all of them (see repro.perf.backend).
+    """
+    spec = getattr(args, "backend", None)
+    if spec is None:
+        return None
+    from repro.perf.backend import set_default_backend
+
+    set_default_backend("persistent" if spec == "auto" else spec)
+    return spec
+
+
+def _backend_finish(handle) -> None:
+    """Print warm-executor stats (if one was spun up), uninstall the
+    default backend, and shut the workers down."""
+    if handle is None:
+        return
+    from repro.perf.backend import set_default_backend
+    from repro.perf.persistent import (
+        peek_default_executor,
+        shutdown_default_executor,
+    )
+
+    set_default_backend(None)
+    executor = peek_default_executor()
+    if executor is not None:
+        s = executor.stats
+        print(f"\npersistent executor: {s['spawns']} workers spawned, "
+              f"{s['respawns']} respawned, {s['sweeps']} sweeps, "
+              f"{s['dispatches']} dispatches, "
+              f"{s['spec_bytes'] / 1024:.0f} KiB spec tables")
+    shutdown_default_executor()
+
+
 def _supervisor_begin(args):
     """Install the process-default sweep supervisor when any of the
     resilience flags (``--max-retries``, ``--cell-timeout``,
@@ -271,7 +321,9 @@ def _supervisor_finish(supervisor) -> None:
     s = supervisor.stats
     print(f"\nsupervisor: {s['completed']} cells completed, "
           f"{s['resumed']} resumed, {s['retries']} retries, "
-          f"{s['rebuilds']} pool rebuilds, {s['timeouts']} timeouts, "
+          f"{s['rebuilds']} pool rebuilds, "
+          f"{s['respawns']} worker respawns, "
+          f"{s['timeouts']} timeouts, "
           f"{s['deadline_extensions']} deadline extensions, "
           f"{s['quarantined']} quarantined")
     counts = supervisor.events.counts()
@@ -316,12 +368,14 @@ def cmd_run(args) -> int:
     reg = _obs_begin(args)
     cache = _cache_begin(args)
     supervisor = _supervisor_begin(args)
+    backend = _backend_begin(args)
     try:
         record = _profiled(
             args, args.experiment,
             lambda: module.run(**_run_kwargs(module, args)),
         )
     finally:
+        _backend_finish(backend)
         _supervisor_finish(supervisor)
         _cache_finish(cache)
         _obs_finish(reg, args)
@@ -337,6 +391,7 @@ def cmd_all(args) -> int:
     reg = _obs_begin(args)
     cache = _cache_begin(args)
     supervisor = _supervisor_begin(args)
+    backend = _backend_begin(args)
 
     def _run_all():
         for key, (module, desc) in EXPERIMENTS.items():
@@ -346,6 +401,7 @@ def cmd_all(args) -> int:
     try:
         _profiled(args, "all", _run_all)
     finally:
+        _backend_finish(backend)
         _supervisor_finish(supervisor)
         _cache_finish(cache)
         _obs_finish(reg, args)
@@ -448,10 +504,12 @@ def cmd_replicate(args) -> int:
                      scale=args.scale)
     reg = _obs_begin(args)
     supervisor = _supervisor_begin(args)
+    backend = _backend_begin(args)
     try:
         record = replicate(cfg, policy=args.policy, seeds=args.seeds,
                            jobs=args.jobs)
     finally:
+        _backend_finish(backend)
         _supervisor_finish(supervisor)
         _obs_finish(reg, args)
     print(render(record, label=cfg.label()))
@@ -488,14 +546,27 @@ def main(argv=None) -> int:
         # repro.faults.worker.WorkerFaultPlan.parse)
         p.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
 
+    def add_backend_flag(p) -> None:
+        """The executor-backend selector shared by run/all/replicate."""
+        p.add_argument("--backend", default="auto",
+                       choices=("auto", "serial", "pool", "persistent"),
+                       help="sweep executor backend: 'persistent' = warm "
+                            "worker processes reused across sweeps "
+                            "(default via 'auto'), 'pool' = legacy "
+                            "spawn-per-sweep pool, 'serial' = in-process; "
+                            "merged results are byte-identical across "
+                            "backends")
+
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment", help="experiment key (see `list`)")
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=1)
-    p_run.add_argument("--jobs", type=_positive_int, default=1,
+    p_run.add_argument("--jobs", type=_jobs_arg, default=1,
                        help="worker processes for sweep experiments "
-                            "(1 = serial; results are identical)")
+                            "(1 = serial, 'auto' = host CPU count; "
+                            "results are identical)")
     add_resilience_flags(p_run)
+    add_backend_flag(p_run)
     p_run.add_argument("--json", metavar="PATH",
                        help="also write the structured record as JSON")
     p_run.add_argument("--obs", action="store_true",
@@ -515,9 +586,11 @@ def main(argv=None) -> int:
     p_all = sub.add_parser("all", help="run everything")
     p_all.add_argument("--scale", type=float, default=1.0)
     p_all.add_argument("--seed", type=int, default=1)
-    p_all.add_argument("--jobs", type=_positive_int, default=1,
-                       help="worker processes for sweep experiments")
+    p_all.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes for sweep experiments "
+                            "('auto' = host CPU count)")
     add_resilience_flags(p_all)
+    add_backend_flag(p_all)
     p_all.add_argument("--obs", action="store_true",
                        help="collect telemetry across all experiments")
     p_all.add_argument("--trace-out", metavar="FILE",
@@ -544,8 +617,9 @@ def main(argv=None) -> int:
     p_rep.add_argument("--policy", default="so/ao/ai/bg")
     p_rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     p_rep.add_argument("--scale", type=float, default=0.2)
-    p_rep.add_argument("--jobs", type=_positive_int, default=1,
-                       help="worker processes for the seed sweep")
+    p_rep.add_argument("--jobs", type=_jobs_arg, default=1,
+                       help="worker processes for the seed sweep "
+                            "('auto' = host CPU count)")
     p_rep.add_argument("--obs", action="store_true",
                        help="collect telemetry across the seed sweep; "
                             "print the merged switch-phase breakdown")
@@ -553,6 +627,7 @@ def main(argv=None) -> int:
                        help="write the merged cross-cell Chrome trace "
                             "(implies --obs)")
     add_resilience_flags(p_rep)
+    add_backend_flag(p_rep)
 
     p_obs = sub.add_parser(
         "obs", help="switch-phase / event-log report from a saved "

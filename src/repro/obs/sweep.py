@@ -155,6 +155,11 @@ class SweepObserver:
         #: results absorbed without a telemetry payload (e.g. cache
         #: hits stored by an obs-off run, or non-dict cell results)
         self.cells_skipped = 0
+        #: cells per persistent-executor worker id, from the
+        #: ``_perf["worker"]`` annotation (empty for serial / legacy
+        #: pool sweeps, which have no stable worker identity); shows
+        #: how evenly the work-stealing scheduler spread the sweep
+        self.worker_cells: dict[int, int] = {}
 
     @property
     def cell_count(self) -> int:
@@ -174,6 +179,10 @@ class SweepObserver:
     def absorb(self, key: Hashable, result: Any) -> bool:
         """Fold one cell result's shipped telemetry; True if absorbed."""
         perf = result.get("_perf") if isinstance(result, dict) else None
+        if isinstance(perf, dict) and isinstance(perf.get("worker"),
+                                                 int):
+            wid = perf["worker"]
+            self.worker_cells[wid] = self.worker_cells.get(wid, 0) + 1
         snap = perf.get("obs_snapshot") if isinstance(perf, dict) else None
         if not isinstance(snap, dict):
             self.cells_skipped += 1
@@ -517,6 +526,36 @@ def bench_trajectory(reports: list[dict]) -> list[dict]:
                                                   (int, float))]
 
 
+def sweep_speedup_trajectory(reports: list[dict]) -> list[dict]:
+    """The fullest parallel-sweep speedup history across the reports.
+
+    Mirrors :func:`bench_trajectory` for the second perf axis: PR 10
+    reports carry a cumulative ``sweep_trajectory`` list
+    (``[{"pr": "PR2", "speedup": 0.74}, ...]``); older reports that
+    predate it contribute their recorded ``sweep.sweep_speedup``
+    (BENCH_PR2) as a fallback so the history renders even on a
+    checkout whose newest report is old.
+    """
+    best: list = []
+    for r in reports:
+        traj = r["report"].get("sweep_trajectory")
+        if isinstance(traj, list) and len(traj) > len(best):
+            best = traj
+    if not best:
+        for r in reports:
+            sweep = r["report"].get("sweep")
+            if isinstance(sweep, dict) and isinstance(
+                    sweep.get("sweep_speedup"), (int, float)):
+                best.append({"pr": f"PR{r['pr']}",
+                             "speedup": sweep["sweep_speedup"],
+                             "jobs": sweep.get("jobs"),
+                             "host_cpu_count":
+                                 r["report"].get("host_cpu_count")})
+    return [t for t in best
+            if isinstance(t, dict) and isinstance(t.get("speedup"),
+                                                  (int, float))]
+
+
 def flag_regressions(traj: list[dict],
                      tolerance: float = BENCH_REGRESSION_TOLERANCE
                      ) -> list[dict]:
@@ -563,6 +602,28 @@ def render_bench_report(reports: list[dict],
             rows, title="Figure-6 LRU cell perf trajectory"))
     else:
         lines.append("no fig6 trajectory found in BENCH reports")
+    sweep_traj = sweep_speedup_trajectory(reports)
+    if sweep_traj:
+        rows = []
+        for t in sweep_traj:
+            speedup = t["speedup"]
+            jobs = t.get("jobs")
+            cpus = t.get("host_cpu_count")
+            note = t.get("note", "")
+            if not note and isinstance(cpus, int) and cpus < 4:
+                note = f"{cpus}-cpu host"
+            rows.append((
+                t.get("pr", "?"),
+                f"{speedup:.2f}x",
+                str(jobs) if jobs is not None else "?",
+                str(cpus) if cpus is not None else "?",
+                note,
+            ))
+        lines.append("")
+        lines.append(format_table(
+            ("pr", "sweep speedup", "jobs", "host cpus", "note"),
+            rows, title="Parallel sweep speedup trajectory "
+                        "(vs serial, target 1.50x)"))
     rows = [
         (f"PR{r['pr']}", r["report"].get("mode", "?"),
          str(r["report"].get("bench", "?")), r["path"])
@@ -605,4 +666,5 @@ __all__ = [
     "set_capture",
     "set_default_sweep",
     "summary_of_snapshot",
+    "sweep_speedup_trajectory",
 ]

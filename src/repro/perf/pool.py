@@ -3,8 +3,11 @@
 A sweep experiment (multi-seed replication, sensitivity grid, extension
 matrices) is a set of *cells* — fully independent simulation runs, each
 described by a picklable callable plus keyword arguments.  The pool runs
-the cells either serially in-process (``jobs=1``, the default) or across
-a :class:`~concurrent.futures.ProcessPoolExecutor`, and returns results
+the cells either serially in-process (``jobs=1``, the default) or
+through a pluggable :class:`~repro.perf.backend.ExecutorBackend` —
+by default the PR 10 persistent warm-worker executor
+(:mod:`repro.perf.persistent`), optionally the legacy spawn-per-sweep
+``ProcessPoolExecutor`` (``backend="pool"``) — and returns results
 keyed by each cell's declared key **in cell-declaration order**.
 
 Determinism contract
@@ -15,21 +18,21 @@ Parallel output is bit-for-bit identical to serial output:
   global the simulation stack mutates is the :class:`~repro.gang.job.Job`
   jid counter, which :func:`_execute` resets before every cell in both
   the serial and the parallel path;
-* ``ProcessPoolExecutor.map`` preserves submission order, so merge order
-  never depends on completion order;
+* the merge is keyed by *cell index*, never by completion order: the
+  legacy pool's ``map`` preserves submission order, and the persistent
+  backend writes each result into its cell's slot, so work stealing
+  and out-of-order completion cannot reorder the merged record;
 * wall-clock / RSS measurements are inherently nondeterministic, so cell
   functions must quarantine them under the reserved ``"_perf"`` key of
   their result dict (see :func:`repro.experiments.runner.run_cell`);
   everything outside ``"_perf"`` is covered by the guarantee.
 
-Workers are plain ``fork``/``spawn`` children; cell functions and their
-kwargs must be picklable (module-level functions, frozen dataclasses).
+Workers are separate processes; cell functions and their kwargs must be
+picklable (module-level functions, frozen dataclasses).
 """
 
 from __future__ import annotations
 
-import itertools
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
 
@@ -115,7 +118,7 @@ def _check_cells(cells: Sequence[Cell]) -> list[Hashable]:
 
 def run_cells(
     cells: Iterable[Cell] | Sequence[Cell], jobs: int = 1, cache=None,
-    supervisor=None, sweep_obs=None,
+    supervisor=None, sweep_obs=None, backend=None,
 ) -> dict[Hashable, Any]:
     """Run ``cells`` and return ``{cell.key: result}`` in cell order.
 
@@ -123,6 +126,14 @@ def run_cells(
     fans cells across that many worker processes.  Either way the result
     mapping is built in declaration order, so iteration over the return
     value is deterministic and identical across job counts.
+
+    ``backend`` selects how parallel cells reach workers: a
+    :class:`repro.perf.backend.ExecutorBackend` instance, a registry
+    name (``"serial"`` / ``"pool"`` / ``"persistent"``), or ``None``
+    to walk the default chain (process default installed by the CLI's
+    ``--backend`` flag, then the ``REPRO_BACKEND`` env var, then the
+    persistent warm-worker executor).  The merge contract is identical
+    for every backend.
 
     ``cache`` is an optional :class:`repro.perf.cache.CellCache`; when
     omitted, the process default (installed by the CLI's ``--cache``
@@ -172,7 +183,7 @@ def run_cells(
         supervisor = get_default_supervisor()
     if supervisor is not None:
         merged = supervisor.run(cells, jobs=jobs, cache=cache,
-                                capture=capture)
+                                capture=capture, backend=backend)
         if sweep_obs is not None:
             sweep_obs.absorb_results(merged)
         return merged
@@ -202,14 +213,13 @@ def run_cells(
         if jobs == 1 or len(todo) <= 1:
             fresh = [_execute(c, capture) for _, c in todo]
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(todo))
-            ) as pool:
-                # map() yields results in submission order regardless of
-                # which worker finishes first — the merge is
-                # deterministic.
-                fresh = list(pool.map(_execute, (c for _, c in todo),
-                                      itertools.repeat(capture)))
+            from repro.perf.backend import resolve_backend
+
+            todo_prints = [prints[i] for i, _ in todo] if prints \
+                else None
+            fresh = resolve_backend(backend).run(
+                [c for _, c in todo], jobs, capture,
+                prints=todo_prints)
         for (i, cell), result in zip(todo, fresh):
             results[i] = result
             if cache is not None:

@@ -1,0 +1,190 @@
+"""Shared read-only cell spec table for persistent-worker dispatch.
+
+The legacy pool re-pickles every :class:`~repro.perf.pool.Cell` — key,
+function reference and full kwargs — into each task message.  For warm
+workers that serve many sweeps that is pure overhead: the cell payloads
+of one sweep are immutable, so they can be serialised **once** into a
+read-only table that every worker maps, after which per-task dispatch
+messages shrink to a ``(generation, index, attempt, fingerprint)``
+descriptor a few dozen bytes long.
+
+Layout
+------
+:class:`SpecTable` pickles each cell as ``(key, fn, kwargs)`` with
+pickle **protocol 5** and a ``buffer_callback``, so large binary kwargs
+(ndarrays) leave the pickle stream as out-of-band
+:class:`pickle.PickleBuffer` segments.  Pickle bytes and buffer bytes
+are packed into one contiguous blob with a per-cell index of
+``(pickle_offset, pickle_length, ((buf_offset, buf_length), ...))``
+entries.  Workers rebuild a cell by slicing zero-copy memoryviews out
+of the mapped blob and handing them to ``pickle.loads(buffers=...)`` —
+an ndarray kwarg therefore aliases the shared table instead of being
+copied per task.  Rebuilt buffer-backed kwargs are **read-only**, which
+is exactly the sweep determinism contract: cells are pure functions of
+their arguments and must not mutate them.
+
+Transport
+---------
+Two interchangeable transports, chosen by table size:
+
+* ``("shm", name, nbytes)`` — a POSIX shared-memory segment.  The
+  parent creates and unlinks it and is the only registrant that
+  matters: executor workers are children of the sweep parent, so they
+  inherit the parent's ``resource_tracker`` process and their attach
+  merely re-adds the same name to the same tracker set (idempotent).
+  No per-worker ``unregister`` workaround is needed — and calling one
+  would *remove the parent's registration*, leaking the segment if
+  the parent dies before ``unlink``.
+* ``("inline", bytes)`` — the blob rides in the pipe message itself.
+  Used for small tables, where a kernel shm round-trip costs more than
+  it saves, and as the fallback when shared memory is unavailable.
+
+``REPRO_SPEC_SHM=0`` forces inline transport, ``=1`` forces shm;
+otherwise tables at least :data:`SHM_THRESHOLD_BYTES` use shm.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Optional, Sequence
+
+#: tables at least this large ride in shared memory (else inline)
+SHM_THRESHOLD_BYTES = 64 * 1024
+
+#: env override for the transport choice: "0" = always inline,
+#: "1" = always shared memory (when available)
+SPEC_SHM_ENV = "REPRO_SPEC_SHM"
+
+#: pickle protocol with out-of-band buffer support
+_PROTOCOL = 5
+
+
+def _use_shm(nbytes: int) -> bool:
+    flag = os.environ.get(SPEC_SHM_ENV, "").strip()
+    if flag == "0":
+        return False
+    if flag == "1":
+        return nbytes > 0
+    return nbytes >= SHM_THRESHOLD_BYTES
+
+
+class SpecTable:
+    """Parent-side packed cell table; owns the shared segment if any.
+
+    Build once per sweep from the declaration-ordered cell list, ship
+    :meth:`transport` to every worker in the begin-sweep message, and
+    :meth:`close` after the sweep settles.  Closing unlinks the shm
+    name; workers already attached keep a valid mapping until they
+    close their own view (POSIX unlink semantics), so a mid-sweep
+    respawn must happen before ``close`` — which the executor
+    guarantees by closing only in ``end_sweep``.
+    """
+
+    def __init__(self, cells: Sequence) -> None:
+        blob = bytearray()
+        index: list[tuple[int, int, tuple[tuple[int, int], ...]]] = []
+        for cell in cells:
+            buffers: list[pickle.PickleBuffer] = []
+            data = pickle.dumps((cell.key, cell.fn, cell.kwargs),
+                                protocol=_PROTOCOL,
+                                buffer_callback=buffers.append)
+            spans: list[tuple[int, int]] = []
+            for buf in buffers:
+                raw = buf.raw()
+                spans.append((len(blob), raw.nbytes))
+                blob += raw
+                buf.release()
+            index.append((len(blob), len(data), tuple(spans)))
+            blob += data
+        self._blob = bytes(blob)
+        self.index = tuple(index)
+        self._shm = None
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._blob)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def transport(self) -> tuple:
+        """The transport descriptor to ship to workers (idempotent)."""
+        if self._shm is not None:
+            return ("shm", self._shm.name, self.nbytes, self.index)
+        if _use_shm(self.nbytes):
+            from multiprocessing import shared_memory
+
+            try:
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=self.nbytes)
+            except OSError:
+                return ("inline", self._blob, self.index)
+            shm.buf[: self.nbytes] = self._blob
+            self._shm = shm
+            return ("shm", shm.name, self.nbytes, self.index)
+        return ("inline", self._blob, self.index)
+
+    def close(self) -> None:
+        """Release (and for shm: unlink) the parent's copy of the table."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+class SpecView:
+    """Worker-side zero-copy view of a shipped :class:`SpecTable`."""
+
+    def __init__(self, mem, index, shm=None) -> None:
+        self._mem = memoryview(mem).toreadonly()
+        self._index = index
+        self._shm = shm
+
+    @classmethod
+    def from_transport(cls, transport: tuple) -> "SpecView":
+        kind = transport[0]
+        if kind == "inline":
+            _, blob, index = transport
+            return cls(blob, index)
+        if kind == "shm":
+            _, name, nbytes, index = transport
+            from multiprocessing import shared_memory
+
+            # attach only: the parent created the segment, owns the
+            # unlink, and shares its resource tracker with this worker
+            # (see module docs), so no de-registration dance is needed
+            shm = shared_memory.SharedMemory(name=name, create=False)
+            return cls(shm.buf[:nbytes], index, shm=shm)
+        raise ValueError(f"unknown spec transport {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def cell(self, index: int):
+        """Rebuild cell ``index`` from the table (zero-copy buffers)."""
+        from repro.perf.pool import Cell
+
+        off, length, spans = self._index[index]
+        buffers = [self._mem[boff:boff + blen] for boff, blen in spans]
+        key, fn, kwargs = pickle.loads(self._mem[off:off + length],
+                                       buffers=buffers)
+        return Cell(key, fn, kwargs)
+
+    def close(self) -> None:
+        try:
+            self._mem.release()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except Exception:  # pragma: no cover - exported buffers may
+                pass  # keep the mapping alive; the view is gone either way
+            self._shm = None
+
+
+__all__ = ["SHM_THRESHOLD_BYTES", "SPEC_SHM_ENV", "SpecTable", "SpecView"]

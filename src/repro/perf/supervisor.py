@@ -211,11 +211,118 @@ class _CellState:
         self.extended = False
 
 
+class _SweepBook:
+    """Shared bookkeeping for one supervised sweep.
+
+    Both supervision loops — the legacy pool loop
+    (:meth:`Supervisor._run_supervised`) and the persistent-executor
+    loop (:meth:`Supervisor._run_persistent`) — settle cells through
+    the same two methods, so retries, backoff, quarantine, journaling
+    and the result-store contract are backend-independent by
+    construction: a backend decides *where* a cell runs, never what
+    happens when it settles.
+    """
+
+    def __init__(self, sup: "Supervisor", cells, prints, results,
+                 todo, cache, store, journal, journaled) -> None:
+        self.sup = sup
+        self.results = results
+        self.cache = cache
+        self.store = store
+        self.journal = journal
+        self.journaled = journaled
+        self.states = {i: _CellState(i, cells[i], prints[i])
+                       for i in todo}
+        #: cells awaiting (re)submission, possibly backing off
+        self.waiting: list[int] = list(todo)
+        #: cells settled for good this run
+        self.done = 0
+        self.quar = 0
+        #: live-progress hook (set by the driving loop)
+        self.ticker: Optional[ProgressTicker] = None
+
+    @property
+    def open_cells(self) -> int:
+        """Cells not yet settled (neither completed nor quarantined)."""
+        return len(self.states) - self.done - self.quar
+
+    def settle_success(self, st: _CellState, result) -> None:
+        sup = self.sup
+        wall = time.monotonic() - st.submitted_at
+        st.timings.append(wall)
+        sup._observe(wall, key=repr(st.cell.key))
+        self.results[st.index] = result
+        sup._count("completed")
+        sup.events.log("cell_done", key=st.cell.key,
+                       attempt=st.attempts + 1, wall_s=wall)
+        self.done += 1
+        if isinstance(result, dict) and self.ticker is not None:
+            ev = result.get("events_dispatched")
+            if isinstance(ev, (int, float)):
+                self.ticker.add_events(ev)
+        if self.cache is not None:
+            self.cache.put(st.fp, result, label=repr(st.cell.key))
+        if self.store is not None and self.store is not self.cache:
+            self.store.put(st.fp, result, label=repr(st.cell.key))
+        if self.journal is not None and st.fp not in self.journaled:
+            self.journal.record_done(st.fp, repr(st.cell.key),
+                                     attempts=st.attempts + 1,
+                                     wall_s=wall)
+            self.journaled.add(st.fp)
+
+    def settle_failure(self, st: _CellState, error: str,
+                       charge: bool = True) -> None:
+        """Record a failed attempt; requeue or quarantine."""
+        sup = self.sup
+        cfg = sup.config
+        if charge:
+            st.attempts += 1
+            st.errors.append(error)
+            st.timings.append(time.monotonic() - st.submitted_at)
+        if not charge or st.attempts <= cfg.max_retries:
+            if charge:
+                sup._count("retries")
+                backoff = min(
+                    cfg.backoff_max_s,
+                    cfg.backoff_base_s
+                    * cfg.backoff_factor ** (st.attempts - 1),
+                )
+                st.ready_at = time.monotonic() + backoff
+                sup.events.log("retry", key=st.cell.key,
+                               attempt=st.attempts, error=error,
+                               backoff_s=backoff)
+            else:
+                sup.events.log("requeued", key=st.cell.key,
+                               attempt=st.attempts)
+            self.waiting.append(st.index)
+            return
+        # poison cell: blacklist it into the merged record so the
+        # rest of the sweep survives
+        sup._count("quarantined")
+        sup.events.log("quarantine", key=st.cell.key,
+                       attempt=st.attempts, error=st.errors[-1])
+        self.quar += 1
+        self.results[st.index] = {
+            FAILED_KEY: {
+                "key": repr(st.cell.key),
+                "error": st.errors[-1],
+                "errors": list(st.errors),
+                "attempts": st.attempts,
+                "attempt_s": list(st.timings),
+            }
+        }
+        if self.journal is not None:
+            self.journal.record_failed(st.fp, repr(st.cell.key),
+                                       attempts=st.attempts,
+                                       error=st.errors[-1])
+
+
 class Supervisor:
     """Run sweep cells to completion under failures (see module docs)."""
 
-    _STATS = ("completed", "retries", "rebuilds", "timeouts",
-              "deadline_extensions", "quarantined", "resumed")
+    _STATS = ("completed", "retries", "rebuilds", "respawns",
+              "timeouts", "deadline_extensions", "quarantined",
+              "resumed")
 
     def __init__(self, config: Optional[SupervisorConfig] = None,
                  obs=None, progress_stream=None) -> None:
@@ -234,6 +341,9 @@ class Supervisor:
         self._progress_stream = progress_stream
         #: running EMA of successful-attempt wall seconds
         self._estimate: Optional[float] = None
+        #: per-cell-key EMA of wall seconds — feeds the work-stealing
+        #: scheduler's largest-cost-first initial assignment
+        self._estimates: dict[str, float] = {}
 
     # -- counters ----------------------------------------------------------
     def _count(self, key: str, n: int = 1) -> None:
@@ -242,7 +352,8 @@ class Supervisor:
 
     # -- public API --------------------------------------------------------
     def run(self, cells, jobs: int = 1, cache=None,
-            capture: Optional[bool] = None) -> dict[Hashable, Any]:
+            capture: Optional[bool] = None,
+            backend=None) -> dict[Hashable, Any]:
         """Run ``cells`` under supervision; returns ``{key: result}``.
 
         Same contract as :func:`repro.perf.pool.run_cells` — results
@@ -250,13 +361,21 @@ class Supervisor:
         quarantined cells yield ``{"_failed": {...}}`` instead of
         raising, and (with journaling) completed cells survive a dead
         process.  Unlike plain ``run_cells``, *every* execution happens
-        in a worker process (``jobs=1`` builds a one-worker pool):
+        in a worker process (``jobs=1`` supervises a single worker):
         isolation is what makes crash containment and hung-worker
         cancellation possible at all.
 
         ``capture`` is the worker telemetry-capture flag (see
         :func:`repro.perf.pool._execute`); ``None`` reads the process
         capture env flag.
+
+        ``backend`` selects the executor backend
+        (:func:`repro.perf.backend.resolve_backend` with the
+        supervisor chain: explicit > process default > env > legacy
+        ``pool``).  On the persistent backend a worker death is
+        answered by respawning one worker instead of rebuilding the
+        pool; everything else — retries, deadlines, quarantine,
+        journal/resume — is identical.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -325,98 +444,37 @@ class Supervisor:
                         todo=len(todo))
         try:
             if todo:
-                self._run_supervised(cells, prints, results, todo, jobs,
-                                     cache, store, journal, journaled,
-                                     capture)
+                from repro.perf.backend import resolve_backend
+
+                be = resolve_backend(backend, for_supervisor=True)
+                book = _SweepBook(self, cells, prints, results, todo,
+                                  cache, store, journal, journaled)
+                if be.name == "persistent":
+                    self._run_persistent(book, cells, jobs, capture)
+                else:
+                    self._run_supervised(book, jobs, capture)
         finally:
             if journal is not None:
                 journal.close()
             self.events.close_file()
         return dict(zip(keys, results))
 
-    # -- core loop ---------------------------------------------------------
-    def _run_supervised(self, cells, prints, results, todo, jobs,
-                        cache, store, journal, journaled,
+    # -- legacy pool loop --------------------------------------------------
+    def _run_supervised(self, book: _SweepBook, jobs: int,
                         capture=None) -> None:
         cfg = self.config
-        states = {i: _CellState(i, cells[i], prints[i]) for i in todo}
-        waiting: list[int] = list(todo)
-        workers = min(jobs, len(todo))
+        states = book.states
+        waiting = book.waiting
+        workers = min(jobs, len(states))
         pool = ProcessPoolExecutor(max_workers=workers)
         inflight: dict[Future, _CellState] = {}
-        ticker = ProgressTicker(total=len(results),
-                                done=len(results) - len(todo),
+        done0 = len(book.results) - len(states)
+        ticker = ProgressTicker(total=len(book.results), done=done0,
                                 enabled=cfg.progress,
                                 stream=self._progress_stream)
-        done0 = len(results) - len(todo)
-        prog = {"done": 0, "quar": 0}
-
-        def settle_success(st: _CellState, result) -> None:
-            wall = time.monotonic() - st.submitted_at
-            st.timings.append(wall)
-            self._observe(wall)
-            results[st.index] = result
-            self._count("completed")
-            self.events.log("cell_done", key=st.cell.key,
-                            attempt=st.attempts + 1, wall_s=wall)
-            prog["done"] += 1
-            if isinstance(result, dict):
-                ev = result.get("events_dispatched")
-                if isinstance(ev, (int, float)):
-                    ticker.add_events(ev)
-            if cache is not None:
-                cache.put(st.fp, result, label=repr(st.cell.key))
-            if store is not None and store is not cache:
-                store.put(st.fp, result, label=repr(st.cell.key))
-            if journal is not None and st.fp not in journaled:
-                journal.record_done(st.fp, repr(st.cell.key),
-                                    attempts=st.attempts + 1,
-                                    wall_s=wall)
-                journaled.add(st.fp)
-
-        def settle_failure(st: _CellState, error: str,
-                           charge: bool = True) -> None:
-            """Record a failed attempt; requeue or quarantine."""
-            if charge:
-                st.attempts += 1
-                st.errors.append(error)
-                st.timings.append(time.monotonic() - st.submitted_at)
-            if not charge or st.attempts <= cfg.max_retries:
-                if charge:
-                    self._count("retries")
-                    backoff = min(
-                        cfg.backoff_max_s,
-                        cfg.backoff_base_s
-                        * cfg.backoff_factor ** (st.attempts - 1),
-                    )
-                    st.ready_at = time.monotonic() + backoff
-                    self.events.log("retry", key=st.cell.key,
-                                    attempt=st.attempts, error=error,
-                                    backoff_s=backoff)
-                else:
-                    self.events.log("requeued", key=st.cell.key,
-                                    attempt=st.attempts)
-                waiting.append(st.index)
-                return
-            # poison cell: blacklist it into the merged record so the
-            # rest of the sweep survives
-            self._count("quarantined")
-            self.events.log("quarantine", key=st.cell.key,
-                            attempt=st.attempts, error=st.errors[-1])
-            prog["quar"] += 1
-            results[st.index] = {
-                FAILED_KEY: {
-                    "key": repr(st.cell.key),
-                    "error": st.errors[-1],
-                    "errors": list(st.errors),
-                    "attempts": st.attempts,
-                    "attempt_s": list(st.timings),
-                }
-            }
-            if journal is not None:
-                journal.record_failed(st.fp, repr(st.cell.key),
-                                      attempts=st.attempts,
-                                      error=st.errors[-1])
+        book.ticker = ticker
+        settle_success = book.settle_success
+        settle_failure = book.settle_failure
 
         def harvest(fut: Future, st: _CellState) -> bool:
             """Consume one completed future; True if the pool broke."""
@@ -490,9 +548,19 @@ class Supervisor:
                     st.submitted_at = time.monotonic()
                     st.budget, st.deadline = self._deadline(st)
                     st.extended = False
-                    fut = pool.submit(_supervised_execute, st.cell,
-                                      st.index, st.attempts,
-                                      cfg.worker_faults, capture)
+                    try:
+                        fut = pool.submit(_supervised_execute, st.cell,
+                                          st.index, st.attempts,
+                                          cfg.worker_faults, capture)
+                    except BrokenProcessPool:
+                        # the pool broke between polls and the break
+                        # surfaced at submit: this cell never started,
+                        # so requeue it uncharged and rebuild
+                        settle_failure(
+                            st, "worker crashed (BrokenProcessPool)",
+                            charge=False)
+                        rebuild()
+                        break
                     inflight[fut] = st
 
                 if not inflight:
@@ -546,24 +614,186 @@ class Supervisor:
                         )
                     rebuild(hung=tuple(hung))
 
-                remaining = len(states) - prog["done"] - prog["quar"]
+                remaining = book.open_cells
                 eta = None
                 if self._estimate is not None and remaining > 0:
                     eta = remaining * self._estimate / max(1, workers)
-                ticker.update(done=done0 + prog["done"],
+                ticker.update(done=done0 + book.done,
                               running=len(inflight),
-                              quarantined=prog["quar"], eta_s=eta)
+                              quarantined=book.quar, eta_s=eta)
         finally:
             ticker.close()
             pool.shutdown(wait=False, cancel_futures=True)
 
+    # -- persistent-executor loop ------------------------------------------
+    def _run_persistent(self, book: _SweepBook, cells, jobs: int,
+                        capture=None) -> None:
+        """Drive one sweep on the persistent warm-worker executor.
+
+        Failure handling is surgical where the legacy pool loop is
+        wholesale: a worker crash loses exactly the cell that worker
+        held and is answered by respawning *one* worker (``respawns``
+        stat, ``worker_respawn`` event) — the surviving workers never
+        notice.  A hung cell gets the same grace-then-kill escalation
+        as before, but the kill hits only its own worker.  Dispatch
+        order comes from the work-stealing scheduler, seeded
+        largest-EMA-cost-first from the per-key estimates; retries,
+        backoff, quarantine and journaling are shared with the legacy
+        loop through the sweep book, so the merged record is
+        byte-identical across backends.
+        """
+        from repro.perf.persistent import (StealScheduler,
+                                           get_default_executor)
+
+        cfg = self.config
+        states = book.states
+        executor = get_default_executor()
+        gen, wids = executor.begin_sweep(
+            cells, capture=capture, plan=cfg.worker_faults,
+            jobs=min(jobs, len(states)))
+        sched = StealScheduler(
+            wids, cost=lambda i: self._cost_hint(cells[i]))
+        inflight: dict[int, _CellState] = {}
+        idle = set(wids)
+        done0 = len(book.results) - len(states)
+        ticker = ProgressTicker(total=len(book.results), done=done0,
+                                enabled=cfg.progress,
+                                stream=self._progress_stream)
+        book.ticker = ticker
+        self.events.log("persistent_begin", workers=len(wids),
+                        gen=gen)
+
+        def respawn(cause: str, wid: int, exitcode=None) -> None:
+            self._count("respawns")
+            new_wid = executor.respawn()
+            sched.replace_worker(wid, new_wid)
+            idle.discard(wid)
+            idle.add(new_wid)
+            self.events.log("worker_respawn", cause=cause,
+                            exit=exitcode)
+
+        try:
+            while book.open_cells:
+                now = time.monotonic()
+                # feed cells whose backoff has elapsed to the
+                # scheduler in one batch, so the LPT assignment sees
+                # them together
+                ready = [i for i in book.waiting
+                         if states[i].ready_at <= now]
+                if ready:
+                    gone = set(ready)
+                    book.waiting = [i for i in book.waiting
+                                    if i not in gone]
+                    sched.extend(ready)
+
+                for wid in sorted(idle):
+                    index = sched.next_for(wid)
+                    if index is None:
+                        break
+                    st = states[index]
+                    st.submitted_at = time.monotonic()
+                    st.budget, st.deadline = self._deadline(st)
+                    st.extended = False
+                    try:
+                        executor.dispatch(wid, index, st.attempts,
+                                          st.fp)
+                    except (KeyError, RuntimeError, OSError):
+                        # raced a worker death: requeue uncharged;
+                        # the death itself surfaces via poll below
+                        idle.discard(wid)
+                        book.settle_failure(
+                            st, "worker lost before dispatch",
+                            charge=False)
+                        continue
+                    inflight[wid] = st
+                    idle.discard(wid)
+
+                for ev in executor.poll(cfg.poll_interval_s):
+                    if ev.kind == "result":
+                        st = inflight.pop(ev.wid, None)
+                        idle.add(ev.wid)
+                        if st is None or ev.index != st.index:
+                            continue  # defensive: not this sweep's
+                        if ev.ok:
+                            book.settle_success(st, ev.payload)
+                        else:
+                            exc = ev.payload
+                            book.settle_failure(
+                                st, f"{type(exc).__name__}: {exc}")
+                    elif ev.kind == "died":
+                        st = inflight.pop(ev.wid, None)
+                        respawn("worker_crash", ev.wid, ev.exitcode)
+                        if st is not None:
+                            book.settle_failure(
+                                st,
+                                f"worker crashed "
+                                f"(exit {ev.exitcode})")
+
+                # deadline watchdog: grace once, then kill just the
+                # one hung worker
+                now = time.monotonic()
+                for wid, st in [(w, s) for w, s in inflight.items()
+                                if s.deadline is not None
+                                and now > s.deadline]:
+                    if not st.extended and cfg.grace_factor > 0.0:
+                        st.extended = True
+                        st.deadline = now + cfg.grace_factor * st.budget
+                        self._count("deadline_extensions")
+                        self.events.log(
+                            "grace_extension", key=st.cell.key,
+                            attempt=st.attempts,
+                            extra_s=cfg.grace_factor * st.budget)
+                        continue
+                    self._count("timeouts")
+                    st.timeout_kills += 1
+                    self.events.log(
+                        "hung_kill", key=st.cell.key,
+                        attempt=st.attempts,
+                        elapsed_s=time.monotonic() - st.submitted_at,
+                        budget_s=st.budget)
+                    executor.kill_worker(wid)
+                    inflight.pop(wid, None)
+                    respawn("hung_worker", wid)
+                    book.settle_failure(
+                        st,
+                        f"deadline exceeded "
+                        f"({time.monotonic() - st.submitted_at:.2f}s"
+                        f" > budget {st.budget:.2f}s)",
+                    )
+
+                remaining = book.open_cells
+                eta = None
+                if self._estimate is not None and remaining > 0:
+                    eta = remaining * self._estimate / max(
+                        1, len(idle) + len(inflight))
+                ticker.update(done=done0 + book.done,
+                              running=len(inflight),
+                              quarantined=book.quar, eta_s=eta)
+        finally:
+            ticker.close()
+            executor.end_sweep()
+
     # -- deadline policy ---------------------------------------------------
-    def _observe(self, wall_s: float) -> None:
-        """Fold one successful attempt into the running cost estimate."""
+    def _observe(self, wall_s: float,
+                 key: Optional[str] = None) -> None:
+        """Fold one successful attempt into the running cost estimates
+        (global, and per cell key when given)."""
         if self._estimate is None:
             self._estimate = wall_s
         else:
             self._estimate = 0.7 * self._estimate + 0.3 * wall_s
+        if key is not None:
+            prev = self._estimates.get(key)
+            self._estimates[key] = wall_s if prev is None \
+                else 0.7 * prev + 0.3 * wall_s
+
+    def _cost_hint(self, cell: Cell) -> float:
+        """Scheduler cost estimate for one cell: per-key EMA, else the
+        global EMA, else 0 (unknown; scheduler treats all equally)."""
+        est = self._estimates.get(repr(cell.key))
+        if est is None:
+            est = self._estimate
+        return est if est is not None else 0.0
 
     def _deadline(self, st: _CellState
                   ) -> tuple[Optional[float], Optional[float]]:
